@@ -1,0 +1,30 @@
+"""Shared configuration for the figure/table regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures (printing
+measured-vs-paper rows) and asserts its qualitative shape.  The default
+window is small so the whole suite runs in minutes; set
+``REPRO_BENCH_WINDOW`` for higher-fidelity runs::
+
+    REPRO_BENCH_WINDOW=120000 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+BENCH_WINDOW = int(os.environ.get("REPRO_BENCH_WINDOW", "15000"))
+
+
+@pytest.fixture
+def window():
+    return BENCH_WINDOW
+
+
+def run_experiment(benchmark, experiment, window):
+    """Run *experiment* once under the benchmark timer and print it."""
+    result = benchmark.pedantic(
+        experiment, kwargs={"window": window}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,17 @@
+"""Figure 2: Speedups of PFM and Slipstream 2.0."""
+
+from conftest import run_experiment
+
+from repro.experiments.slipstream_fig2 import fig2
+
+
+def test_fig02_pfm_vs_slipstream(benchmark, window):
+    result = run_experiment(benchmark, fig2, window)
+    # Shape: PFM beats slipstream on both benchmarks; slipstream helps;
+    # restart-mode recovery is substantially worse than local squash.
+    assert result.value("astar PFM") > result.value("astar slipstream") > 0
+    assert result.value("bfs PFM") > result.value("bfs slipstream") > 0
+    assert (
+        result.value("astar slipstream (restarts)")
+        < result.value("astar slipstream")
+    )

@@ -1,0 +1,21 @@
+"""Figure 9: astar sensitivity to delayD, queueQ, portP."""
+
+from conftest import run_experiment
+
+from repro.experiments.astar_sweeps import fig9
+
+
+def test_fig09_delay_queue_port(benchmark, window):
+    result = run_experiment(benchmark, fig9, window)
+    # (a) Speedup decreases gently with component pipeline delay but
+    #     remains large even at delay8 (paper: 138%).
+    assert result.value("delay8") <= result.value("delay0")
+    assert result.value("delay8") > 60
+    # (b) Queue sizes 16+ are within a modest band (see DESIGN.md §5 for
+    #     the low-queue deviation of the agent-side discard).
+    assert result.value("queue32") > result.value("queue16") * 0.8
+    assert result.value("queue64") < result.value("queue32") * 1.3
+    # (c) PRF port availability is not an issue: portLS1 ~ portALL.
+    port_all = result.value("portALL")
+    port_ls1 = result.value("delay4, queue32, portLS1")
+    assert port_ls1 > port_all * 0.85

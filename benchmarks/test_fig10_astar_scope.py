@@ -1,0 +1,14 @@
+"""Figure 10: astar speedup vs index_queue entries (speculative scope)."""
+
+from conftest import run_experiment
+
+from repro.experiments.astar_sweeps import fig10
+
+
+def test_fig10_scope_sweep(benchmark, window):
+    result = run_experiment(benchmark, fig10, window)
+    # Shape: tiny scopes collapse the speedup; 8 entries achieves most of
+    # the potential; 16 gives little more (paper's Figure 10).
+    assert result.value("1 entries") < result.value("8 entries") * 0.7
+    assert result.value("2 entries") < result.value("8 entries")
+    assert result.value("16 entries") < result.value("8 entries") * 1.25

@@ -1,0 +1,19 @@
+"""Figure 12: bfs idealizations + custom component vs clkC_wW."""
+
+from conftest import run_experiment
+
+from repro.experiments.bfs_sweeps import fig12
+
+
+def test_fig12_bfs(benchmark, window):
+    result = run_experiment(benchmark, fig12, window)
+    # Headline shape (paper: 11% / 152% / 426% / up to 125%):
+    # - perfect BP alone is the smallest idealization;
+    # - perfect D$ alone is much larger but only a fraction of both;
+    # - the custom component lands between baseline and perfBP+D$.
+    assert result.value("perfBP") < result.value("perfD$")
+    assert result.value("perfD$") < result.value("perfBP+D$")
+    assert 0 < result.value("clk4_w4") < result.value("perfBP+D$")
+    # Bandwidth ordering mirrors astar but with more slack (paper note).
+    assert result.value("clk8_w1") < result.value("clk4_w4")
+    assert result.value("clk4_w2") <= result.value("clk4_w4") * 1.1

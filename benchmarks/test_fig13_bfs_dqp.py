@@ -1,0 +1,15 @@
+"""Figure 13: bfs sensitivity to delayD, queueQ, portP (paper: low)."""
+
+from conftest import run_experiment
+
+from repro.experiments.bfs_sweeps import fig13
+
+
+def test_fig13_low_sensitivity(benchmark, window):
+    result = run_experiment(benchmark, fig13, window)
+    # Delay tolerance: even delay8 keeps most of the delay0 speedup.
+    assert result.value("delay8") > result.value("delay0") * 0.6
+    # Queue sizes 16+ in a modest band.
+    assert result.value("queue32") > result.value("queue16") * 0.75
+    # Ports: portLS1 performs close to portALL.
+    assert result.value("portLS1") > result.value("portALL") * 0.8

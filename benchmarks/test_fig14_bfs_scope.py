@@ -1,0 +1,17 @@
+"""Figure 14: bfs speedup scales with its queue entries."""
+
+from conftest import run_experiment
+
+from repro.experiments.bfs_sweeps import fig14
+
+
+def test_fig14_scope_scaling(benchmark, window):
+    result = run_experiment(benchmark, fig14, window)
+    # Paper: performance scales with the frontier/begin-address/
+    # trip-count/neighbor queue sizes (unlike astar, which saturates at 8).
+    assert result.value("8 entries") < result.value("64 entries")
+    assert result.value("16 entries") <= result.value("64 entries") * 1.05
+    # 128 entries holds most of the 32-entry speedup; at short windows the
+    # deepest run-ahead overshoots the (still small) frontier and wastes
+    # some memory bandwidth, so allow a modest roll-off.
+    assert result.value("128 entries") >= result.value("32 entries") * 0.65

@@ -1,0 +1,34 @@
+"""Figure 17: the five custom prefetchers vs C and W (+D and P notes)."""
+
+from conftest import run_experiment
+
+from repro.experiments.prefetch_sweeps import fig17, fig17_delay, fig17_ports
+from repro.experiments.runner import PREFETCH_WORKLOADS
+
+
+def test_fig17_cw_sweep(benchmark, window):
+    result = run_experiment(benchmark, fig17, window)
+    for name in PREFETCH_WORKLOADS:
+        # Every prefetcher speeds its benchmark up...
+        assert result.value(f"{name} clk4_w1") > 0, name
+        # ...and is resistant to width (W barely matters).
+        w1 = result.value(f"{name} clk4_w1")
+        w4 = result.value(f"{name} clk4_w4")
+        assert abs(w4 - w1) < max(25.0, 0.4 * abs(w1)), name
+
+
+def test_fig17_delay_resistance(benchmark, window):
+    result = run_experiment(benchmark, fig17_delay, window)
+    for name in PREFETCH_WORKLOADS:
+        d0 = result.value(f"{name} delay0")
+        d8 = result.value(f"{name} delay8")
+        # Resistant: delay8 keeps a substantial share of the delay0 gain.
+        assert d8 > max(5.0, 0.4 * d0), name
+
+
+def test_fig17_port_insensitivity(benchmark, window):
+    result = run_experiment(benchmark, fig17_ports, window)
+    for name in PREFETCH_WORKLOADS:
+        port_all = result.value(f"{name} portALL")
+        port_ls1 = result.value(f"{name} portLS1")
+        assert port_ls1 > port_all - max(20.0, 0.3 * abs(port_all)), name

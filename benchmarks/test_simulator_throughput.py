@@ -1,0 +1,76 @@
+"""Simulator throughput: instructions per second of the cycle engine.
+
+Not a paper figure — engineering benchmarks for the reproduction itself,
+so regressions in the one-pass engine or the fabric co-simulation are
+visible.  pytest-benchmark reports wall time for a fixed 10k-instruction
+window; divide to get instructions/second.
+"""
+
+from repro.core import PFMParams, SimConfig, simulate
+from repro.workloads.astar import build_astar_workload
+from repro.workloads.bfs import build_bfs_workload
+from repro.workloads.graphs import road_graph
+from repro.workloads.libquantum import build_libquantum_workload
+
+WINDOW = 10_000
+_graph = road_graph(side=96)
+
+
+def test_throughput_baseline_astar(benchmark):
+    stats = benchmark.pedantic(
+        lambda: simulate(
+            build_astar_workload(grid_width=128, grid_height=128),
+            SimConfig(max_instructions=WINDOW),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.instructions == WINDOW
+
+
+def test_throughput_pfm_astar(benchmark):
+    stats = benchmark.pedantic(
+        lambda: simulate(
+            build_astar_workload(grid_width=128, grid_height=128),
+            SimConfig(max_instructions=WINDOW, pfm=PFMParams(delay=0)),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.pfm_predicted_branches > 0
+
+
+def test_throughput_pfm_bfs(benchmark):
+    stats = benchmark.pedantic(
+        lambda: simulate(
+            build_bfs_workload(graph=_graph),
+            SimConfig(max_instructions=WINDOW, pfm=PFMParams(delay=0)),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.instructions == WINDOW
+
+
+def test_throughput_prefetcher_libquantum(benchmark):
+    stats = benchmark.pedantic(
+        lambda: simulate(
+            build_libquantum_workload(),
+            SimConfig(max_instructions=WINDOW, pfm=PFMParams(width=1, delay=0)),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.agent_prefetches > 0
+
+
+def test_throughput_functional_executor(benchmark):
+    def run():
+        executor = build_astar_workload(
+            grid_width=128, grid_height=128
+        ).executor()
+        count = sum(1 for _ in executor.run(50_000))
+        return count
+
+    count = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert count == 50_000

@@ -1,0 +1,19 @@
+"""Table 2: astar FST and RST snoop percentages (paper: 15.5% / 20.3%)."""
+
+from conftest import run_experiment
+
+from repro.experiments.astar_sweeps import astar_mpki, table2
+
+
+def test_tab02_snoop_percentages(benchmark, window):
+    result = run_experiment(benchmark, table2, window)
+    assert 8 <= result.value("fetched hit FST") <= 25
+    assert 10 <= result.value("retired hit RST") <= 32
+    # bfs observes more than astar retires-wise (checked in tab03 bench).
+
+
+def test_astar_mpki_collapse(benchmark, window):
+    result = run_experiment(benchmark, astar_mpki, window)
+    # Paper: 31.9 -> 1.04.  The custom predictor removes the bottleneck.
+    assert result.value("baseline") > 20
+    assert result.value("custom") < 5

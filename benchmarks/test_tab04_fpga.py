@@ -1,0 +1,32 @@
+"""Table 4: FPGA hardware overhead estimates vs the paper's rows."""
+
+from conftest import run_experiment
+
+from repro.experiments.fpga_table4 import PAPER_TABLE4, estimates, table4
+
+
+def test_tab04_estimates(benchmark, window):
+    result = run_experiment(benchmark, table4, window)
+    rows = {estimate.design: estimate for estimate in estimates()}
+
+    # astar (4wide) is by far the largest LUT consumer, as in the paper.
+    astar = rows["astar (4wide)"]
+    assert astar.lut == max(e.lut for e in rows.values())
+    assert 0.7 <= astar.lut / PAPER_TABLE4["astar (4wide)"][0] <= 1.4
+
+    # astar-alt moves storage into BRAM: far fewer LUTs, many BRAMs.
+    alt = rows["astar-alt"]
+    assert alt.bram > 10 and astar.bram == 0
+    assert alt.lut < astar.lut / 3
+
+    # Prefetchers are tiny (hundreds of LUTs) and clock fast.
+    for name in ("libq", "lbm", "bwaves"):
+        assert rows[name].lut < 1200, name
+        assert rows[name].freq_mhz > 600, name
+
+    # milc is the only DSP user (paper: 4 DSPs).
+    assert rows["milc"].dsp == 4
+    assert all(rows[n].dsp == 0 for n in rows if n != "milc")
+
+    # Static power is device-dominated (~861-865 mW on the xcvu3p).
+    assert all(855 <= e.static_mw <= 880 for e in rows.values())

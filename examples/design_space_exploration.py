@@ -1,0 +1,63 @@
+"""Design-space exploration: cost vs performance for a PFM deployment.
+
+Sweeps the astar custom predictor across bandwidth (clkC_wW) and scope
+(index_queue entries), then pairs each design point's speedup with its
+estimated FPGA cost and the core+RF energy — the trade-off a deployment
+engineer would study before shipping a configuration bitstream.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core import PFMParams, SimConfig, simulate
+from repro.pfm.component import RFTimings
+from repro.power.core_energy import CoreEnergyModel
+from repro.power.fpga import FPGAModel
+from repro.workloads.astar import build_astar_workload
+
+
+def main() -> None:
+    window = 25_000
+    baseline = simulate(
+        build_astar_workload(), SimConfig(max_instructions=window)
+    )
+    energy_model = CoreEnergyModel()
+    fpga_model = FPGAModel()
+    baseline_energy = energy_model.energy(baseline).total_nj
+
+    print(f"{'design point':<24} {'speedup':>8} {'LUTs':>7} "
+          f"{'RF MHz':>7} {'energy':>7}")
+    for width in (1, 2, 4):
+        for scope in (4, 8, 16):
+            pfm = PFMParams(
+                clk_ratio=4,
+                width=width,
+                delay=4,
+                component_overrides={"index_queue_entries": scope},
+            )
+            stats = simulate(
+                build_astar_workload(),
+                SimConfig(max_instructions=window, pfm=pfm),
+            )
+            workload = build_astar_workload()
+            component = workload.bitstream.component_factory(
+                RFTimings(4, width, 4),
+                workload.memory,
+                {**workload.bitstream.metadata, "index_queue_entries": scope},
+            )
+            estimate = fpga_model.estimate("astar", component.structure())
+            energy = energy_model.energy(
+                stats,
+                rf_dynamic_w=estimate.dyn_logic_mw / 1000.0,
+                rf_static_w=estimate.static_mw / 1000.0,
+            )
+            label = f"w{width}, {scope}-entry scope"
+            print(
+                f"{label:<24} {100 * stats.speedup_over(baseline):>+7.0f}%"
+                f" {estimate.lut:>7} {estimate.freq_mhz:>7}"
+                f" {energy.total_nj / baseline_energy:>7.2f}"
+            )
+    print("\n(energy is core+RF normalized to the baseline core = 1.0)")
+
+
+if __name__ == "__main__":
+    main()

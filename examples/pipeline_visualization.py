@@ -1,0 +1,36 @@
+"""Visualize how PFM reshapes the pipeline.
+
+Uses the tracing core to render classic pipeline timelines for astar's
+hard branches, baseline vs PFM.  In the baseline you can see the long
+refill gaps after each mispredicted waymap/maparp branch; with the custom
+predictor those gaps disappear (and the occasional IntQ-F wait shows up
+as a late F).
+
+Run:  python examples/pipeline_visualization.py
+"""
+
+from repro.core import PFMParams, SimConfig
+from repro.core.pipeview import render_timeline, trace_pipeline
+from repro.workloads.astar import build_astar_workload
+
+
+def show(label: str, pfm: PFMParams | None) -> None:
+    core = trace_pipeline(
+        build_astar_workload(grid_width=128, grid_height=128),
+        SimConfig(max_instructions=6000, pfm=pfm),
+        max_records=6000,
+    )
+    # Pick a window deep in the run (predictor warmed / component synced).
+    print(f"--- {label} (IPC {core.stats.ipc:.2f}, "
+          f"MPKI {core.stats.mpki:.1f}) ---")
+    print(render_timeline(core.records, start_seq=4000, count=24))
+    print()
+
+
+def main() -> None:
+    show("baseline core", None)
+    show("core + custom astar predictor (clk4_w4)", PFMParams(delay=0))
+
+
+if __name__ == "__main__":
+    main()

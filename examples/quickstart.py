@@ -1,0 +1,42 @@
+"""Quickstart: simulate a workload on the baseline core, then with PFM.
+
+Demonstrates the core public API: build a workload, configure the core
+(Table 1 defaults), attach a PFM custom component via its configuration
+bitstream, and compare runs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import PFMParams, SimConfig, simulate
+from repro.workloads.astar import build_astar_workload
+
+
+def main() -> None:
+    window = 30_000
+
+    # 1. Baseline: the plain superscalar core (64KB-class TAGE-SC-L,
+    #    three-level cache hierarchy with next-line + VLDP prefetchers).
+    baseline = simulate(
+        build_astar_workload(), SimConfig(max_instructions=window)
+    )
+    print("--- baseline core ---")
+    print(baseline.summary())
+
+    # 2. PFM: couple the reconfigurable fabric and program the custom
+    #    astar branch predictor (clk4_w4, delay4, queue32, portLS1 — the
+    #    paper's summary configuration).
+    pfm = PFMParams(clk_ratio=4, width=4, delay=4, queue_size=32, port="LS1")
+    custom = simulate(
+        build_astar_workload(),
+        SimConfig(max_instructions=window, pfm=pfm),
+    )
+    print("\n--- core + custom astar branch predictor ---")
+    print(custom.summary())
+
+    speedup = 100 * custom.speedup_over(baseline)
+    print(f"\nIPC improvement: {speedup:+.0f}%  "
+          f"(MPKI {baseline.mpki:.1f} -> {custom.mpki:.1f})")
+
+
+if __name__ == "__main__":
+    main()

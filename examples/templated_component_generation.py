@@ -1,0 +1,56 @@
+"""Generating a custom component from a declarative template (Section 7).
+
+The paper's future-work section notes that the astar and bfs designs
+follow a similar strategy, and "if this could be templated, it suggests a
+path toward automation".  This example instantiates the worklist-sweep
+template with astar's declarative spec — worklist source, the eight
+neighbour expressions, the two guarded table checks, store inference —
+and shows the generated component matching the hand-written design.
+
+Run:  python examples/templated_component_generation.py
+"""
+
+from repro.core import PFMParams, SimConfig, simulate
+from repro.pfm.components.template import (
+    astar_template_spec,
+    make_astar_template_factory,
+)
+from repro.workloads.astar import build_astar_workload
+
+
+def main() -> None:
+    window = 20_000
+    spec = astar_template_spec()
+    print("declarative spec for astar:")
+    print(f"  worklist base tag : {spec.worklist_base_tag}")
+    print(f"  head counter tag  : {spec.head_counter_tag}")
+    print(f"  snooped scalars   : {spec.scalar_tags} + {spec.roi_value_name}")
+    print(f"  derived indices   : {spec.fanout} per worklist item")
+    print(f"  guarded checks    : "
+          f"{' -> '.join(c.name for c in spec.checks)}")
+    print(f"  store inference   : {spec.infer_stores}")
+    print()
+
+    baseline = simulate(
+        build_astar_workload(), SimConfig(max_instructions=window)
+    )
+    hand = simulate(
+        build_astar_workload(),
+        SimConfig(max_instructions=window, pfm=PFMParams(delay=0)),
+    )
+    generated = simulate(
+        build_astar_workload(component_factory=make_astar_template_factory()),
+        SimConfig(max_instructions=window, pfm=PFMParams(delay=0)),
+    )
+
+    print(f"{'design':<22} {'speedup':>9} {'MPKI':>7}")
+    print(f"{'baseline core':<22} {'—':>9} {baseline.mpki:>7.1f}")
+    for label, stats in (("hand-written", hand), ("template-generated", generated)):
+        print(f"{label:<22} {100 * stats.speedup_over(baseline):>+8.0f}%"
+              f" {stats.mpki:>7.1f}")
+    print("\nThe generated component reproduces the hand-written design —")
+    print("the paper's 'path toward automation' made concrete.")
+
+
+if __name__ == "__main__":
+    main()

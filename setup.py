@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured in pyproject.toml; this file exists so that
+``python setup.py develop`` works on minimal environments without the
+``wheel`` package (where PEP 517 editable installs cannot build).
+"""
+
+from setuptools import setup
+
+setup()

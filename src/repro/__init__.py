@@ -1,0 +1,19 @@
+"""Post-Fabrication Microarchitecture (PFM) — MICRO 2021 reproduction.
+
+A superscalar core coupled with an on-chip reconfigurable fabric through
+three programmable Agents (Retire, Fetch, Load), enabling post-fabrication
+deployment of application-specific microarchitecture components.
+
+Public entry points:
+
+* :func:`repro.core.simulate` — run a workload under a
+  :class:`repro.core.SimConfig` (optionally with PFM attached).
+* :mod:`repro.workloads` — the paper's regions of interest as kernels.
+* :mod:`repro.pfm` — the agent interface and the custom components.
+* ``python -m repro.sim`` — command-line simulation driver.
+* ``python -m repro.experiments`` — regenerate the paper's tables/figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

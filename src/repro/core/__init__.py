@@ -1,0 +1,29 @@
+"""Cycle-level superscalar core model (Table 1 configuration).
+
+A 10-stage, 4-fetch/4-retire, 8-issue out-of-order core with 224-entry
+ROB, 100-entry issue queue, 72-entry load and store queues, a 288-entry
+physical register file, and 4 ALU + 2 load/store + 2 FP/complex execution
+lanes, driven by the correct-path dynamic instruction stream from
+:mod:`repro.workloads`.
+
+The engine is *one-pass in program order*: each instruction is bound to
+fetch/dispatch/issue/complete/retire timestamps subject to structural
+capacity (rings/heaps in :mod:`repro.core.resources`), true dependences,
+lane and issue-width contention, branch mispredictions (resolve-and-refill
+penalty), memory-disambiguation squashes, and the memory hierarchy's
+timestamped latencies.  The PFM fabric co-simulates against these
+timestamps (see :mod:`repro.pfm.fabric`).
+"""
+
+from repro.core.params import CoreParams, PFMParams, SimConfig
+from repro.core.stats import SimStats
+from repro.core.core import SuperscalarCore, simulate
+
+__all__ = [
+    "CoreParams",
+    "PFMParams",
+    "SimConfig",
+    "SimStats",
+    "SuperscalarCore",
+    "simulate",
+]

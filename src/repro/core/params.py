@@ -1,0 +1,136 @@
+"""Configuration objects: the Table 1 core, PFM parameters, run config.
+
+PFM parameter notation follows Section 3 of the paper:
+
+* ``clkC_wW`` — C = core-to-RF frequency ratio, W = component width.
+* ``delayD`` — component pipelined latency in RF cycles.
+* ``queueQ`` — observation/intervention queue size.
+* ``portP`` — which PRF read ports the Retire Agent may contend on:
+  ``ALL`` (every lane), ``LS`` (both load/store lanes), ``LS1`` (one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.hierarchy import HierarchyParams
+
+
+@dataclass
+class CoreParams:
+    """Superscalar core configuration (Table 1)."""
+
+    fetch_width: int = 4
+    retire_width: int = 4
+    issue_width: int = 8
+    pipeline_depth: int = 10  # fetch to retire
+    front_depth: int = 6  # fetch to dispatch (rename/decode stages)
+    rob_size: int = 224
+    iq_size: int = 100
+    ldq_size: int = 72
+    stq_size: int = 72
+    prf_size: int = 288
+    fetch_queue_size: int = 32
+    num_alu_lanes: int = 4
+    num_ls_lanes: int = 2
+    num_fp_lanes: int = 2
+
+    # Execution latencies (cycles); division is unpipelined.
+    int_alu_latency: int = 1
+    int_mul_latency: int = 3
+    int_div_latency: int = 12
+    fp_alu_latency: int = 3
+    fp_mul_latency: int = 4
+    fp_div_latency: int = 12
+    branch_latency: int = 1
+
+    @property
+    def num_lanes(self) -> int:
+        return self.num_alu_lanes + self.num_ls_lanes + self.num_fp_lanes
+
+    def alu_lanes(self) -> tuple[int, ...]:
+        return tuple(range(self.num_alu_lanes))
+
+    def ls_lanes(self) -> tuple[int, ...]:
+        start = self.num_alu_lanes
+        return tuple(range(start, start + self.num_ls_lanes))
+
+    def fp_lanes(self) -> tuple[int, ...]:
+        start = self.num_alu_lanes + self.num_ls_lanes
+        return tuple(range(start, start + self.num_fp_lanes))
+
+
+PORT_ALL = "ALL"
+PORT_LS = "LS"
+PORT_LS1 = "LS1"
+
+
+FETCH_POLICY_STALL = "stall"
+FETCH_POLICY_PROCEED = "proceed"
+
+
+@dataclass
+class PFMParams:
+    """Custom component and agent parameters (Section 3 notation).
+
+    ``fetch_policy`` selects between the paper's two Fetch Agent designs
+    (Section 2.4): ``"stall"`` blocks the fetch unit until the prediction
+    packet arrives (the design evaluated in Section 4); ``"proceed"``
+    falls back to the core's own predictor when IntQ-F is empty and keeps
+    count of how many late packets to drop when they eventually arrive.
+    """
+
+    clk_ratio: int = 4  # C: CLK_core / CLK_rf
+    width: int = 4  # W: packets/predictions per RF cycle
+    delay: int = 4  # D: pipelined execution latency in RF cycles
+    queue_size: int = 32  # Q: observation/intervention queue entries
+    port: str = PORT_ALL  # P: PRF port sharing option
+    mlb_entries: int = 64  # missed load buffer (fixed in the paper)
+    mlb_replay_period: int = 8  # core cycles between MLB replay attempts
+    watchdog_rf_cycles: int = 200_000  # chicken-switch threshold (§2.4)
+    fetch_policy: str = FETCH_POLICY_STALL  # §2.4 alternative designs
+    component_overrides: dict = field(default_factory=dict)  # structure sizes
+
+    def label(self) -> str:
+        return (
+            f"clk{self.clk_ratio}_w{self.width}, delay{self.delay}, "
+            f"queue{self.queue_size}, port{self.port}"
+        )
+
+    def __post_init__(self) -> None:
+        if self.clk_ratio < 1:
+            raise ValueError("clk_ratio must be >= 1")
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if self.port not in (PORT_ALL, PORT_LS, PORT_LS1):
+            raise ValueError(f"unknown port option {self.port!r}")
+        if self.fetch_policy not in (FETCH_POLICY_STALL, FETCH_POLICY_PROCEED):
+            raise ValueError(f"unknown fetch policy {self.fetch_policy!r}")
+
+
+@dataclass
+class SimConfig:
+    """One simulation run.
+
+    ``oracle`` plugs an alternative prediction source into the fetch stage
+    (used by the Slipstream 2.0 comparator): an object with
+    ``observe(dyn)`` called for every retired instruction and
+    ``predict(dyn) -> bool | None`` consulted for conditional branches
+    (None = fall through to the core's own predictor).
+    """
+
+    core: CoreParams = field(default_factory=CoreParams)
+    memory: HierarchyParams = field(default_factory=HierarchyParams)
+    pfm: PFMParams | None = None  # None = plain baseline core
+    max_instructions: int = 200_000
+    perfect_branch_prediction: bool = False
+    perfect_dcache: bool = False
+    oracle: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.perfect_dcache:
+            self.memory.perfect_dcache = True

@@ -1,0 +1,136 @@
+"""Pipeline timeline visualization for debugging and teaching.
+
+Renders a classic textual pipeline diagram from an instrumented run::
+
+    seq  pc       instruction              |F.....D..I..C...R
+    12   0x1084   ld t2, t1                |   F...D.IC......R
+
+Stages: F fetch, D dispatch (enters the issue queue), I issue, C complete,
+R retire.  Useful for inspecting how a PFM intervention (a stalled fetch
+waiting on IntQ-F, a squash-sync retire stall) reshapes the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.core import SuperscalarCore
+from repro.core.params import SimConfig
+from repro.isa.instructions import OpClass
+from repro.workloads.base import Workload
+from repro.workloads.trace import DynInst
+
+
+@dataclass(slots=True)
+class StageRecord:
+    """Stage timestamps of one dynamic instruction."""
+
+    seq: int
+    pc: int
+    text: str
+    fetch: int
+    dispatch: int
+    issue: int
+    complete: int
+    retire: int
+
+
+class TracingCore(SuperscalarCore):
+    """SuperscalarCore that records per-instruction stage timestamps."""
+
+    def __init__(self, workload: Workload, config: SimConfig,
+                 max_records: int = 10_000):
+        super().__init__(workload, config)
+        self.records: list[StageRecord] = []
+        self._max_records = max_records
+        self._current: list[int] = []
+
+    def _fetch(self, dyn: DynInst) -> int:
+        fetch = super()._fetch(dyn)
+        self._current = [fetch, fetch, fetch, fetch]
+        return fetch
+
+    def _dispatch(self, dyn: DynInst, fetch_time: int) -> int:
+        dispatch = super()._dispatch(dyn, fetch_time)
+        self._current[1] = dispatch
+        return dispatch
+
+    def _execute(self, dyn: DynInst, dispatch_time: int):
+        issue, complete = super()._execute(dyn, dispatch_time)
+        self._current[2] = issue
+        self._current[3] = complete
+        return issue, complete
+
+    def _retire(self, dyn: DynInst, complete_time: int) -> None:
+        super()._retire(dyn, complete_time)
+        if len(self.records) < self._max_records:
+            fetch, dispatch, issue, complete = self._current
+            self.records.append(
+                StageRecord(
+                    seq=dyn.seq,
+                    pc=dyn.pc,
+                    text=_render_inst(dyn),
+                    fetch=fetch,
+                    dispatch=dispatch,
+                    issue=issue,
+                    complete=complete,
+                    retire=self._prev_retire,
+                )
+            )
+
+
+def _render_inst(dyn: DynInst) -> str:
+    parts = [dyn.mnemonic]
+    if dyn.dst:
+        parts.append(dyn.dst)
+    parts.extend(dyn.srcs)
+    text = " ".join(parts)
+    if dyn.op_class is OpClass.BRANCH:
+        text += " (T)" if dyn.taken else " (NT)"
+    return text
+
+
+def render_timeline(
+    records: list[StageRecord],
+    start_seq: int = 0,
+    count: int = 32,
+    max_width: int = 90,
+) -> str:
+    """Render *count* instructions starting at *start_seq* as a diagram."""
+    window = [r for r in records if r.seq >= start_seq][:count]
+    if not window:
+        return "(no records in range)"
+    origin = min(r.fetch for r in window)
+    lines = [f"{'seq':>6} {'pc':>8}  {'instruction':<24} |timeline (cycle {origin}+)"]
+    for r in window:
+        lane = {}
+        for mark, when in (
+            ("F", r.fetch), ("D", r.dispatch), ("I", r.issue),
+            ("C", r.complete), ("R", r.retire),
+        ):
+            offset = when - origin
+            if offset < max_width:
+                # Later stages overwrite earlier marks landing on the
+                # same cycle (single-cycle flow-through).
+                lane[offset] = mark
+        if not lane:
+            continue
+        width = min(max(lane) + 1, max_width)
+        cells = ["."] * width
+        for offset, mark in lane.items():
+            cells[offset] = mark
+        lines.append(
+            f"{r.seq:>6} {r.pc:>#8x}  {r.text:<24} |{''.join(cells)}"
+        )
+    return "\n".join(lines)
+
+
+def trace_pipeline(
+    workload: Workload,
+    config: SimConfig,
+    max_records: int = 10_000,
+) -> TracingCore:
+    """Run *workload* with stage tracing; returns the core with records."""
+    core = TracingCore(workload, config, max_records=max_records)
+    core.run()
+    return core

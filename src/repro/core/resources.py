@@ -1,0 +1,169 @@
+"""Structural resource models for the one-pass cycle engine.
+
+The cycle model processes the correct-path trace in program order, binding
+each instruction to timestamps (fetch, dispatch, issue, complete, retire).
+These helpers enforce the finite-capacity structures of Table 1 in that
+timestamp domain:
+
+* :class:`RingOccupancy` — in-order-release structures (ROB, LDQ, STQ,
+  fetch queue): entry *i* cannot allocate until entry *i - capacity* has
+  released.
+* :class:`HeapOccupancy` — out-of-order-release structures (the issue
+  queue): allocation waits for the earliest outstanding release.
+* :class:`LaneScheduler` — execution lanes with per-cycle slots, a shared
+  issue-width limiter, unpipelined ops, and the PRF read-port availability
+  queries the Retire Agent's port-sharing (portP) model uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+
+class RingOccupancy:
+    """Capacity-limited structure whose entries release in FIFO order."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._releases: deque[int] = deque()
+        self.alloc_stalls = 0
+
+    def earliest_alloc(self, now: int) -> int:
+        """Earliest time >= *now* a new entry can allocate."""
+        if len(self._releases) < self.capacity:
+            return now
+        oldest = self._releases[0]
+        if oldest > now:
+            self.alloc_stalls += 1
+            return oldest
+        return now
+
+    def allocate(self, release_time: int) -> None:
+        """Record an allocation that will release at *release_time*.
+
+        Call after :meth:`earliest_alloc`; drops the oldest entry once the
+        window slides past capacity.
+        """
+        self._releases.append(release_time)
+        if len(self._releases) > self.capacity:
+            self._releases.popleft()
+
+    @property
+    def tracked(self) -> int:
+        return len(self._releases)
+
+
+class HeapOccupancy:
+    """Capacity-limited structure with out-of-order releases (issue queue)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._releases: list[int] = []
+        self.alloc_stalls = 0
+
+    def earliest_alloc(self, now: int) -> int:
+        heap = self._releases
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        if len(heap) < self.capacity:
+            return now
+        self.alloc_stalls += 1
+        return heap[0]
+
+    def allocate(self, release_time: int) -> None:
+        heapq.heappush(self._releases, release_time)
+
+    @property
+    def tracked(self) -> int:
+        return len(self._releases)
+
+
+class LaneScheduler:
+    """Execution lanes with per-cycle reservations.
+
+    Lanes are numbered globally (ALU lanes first, then load/store, then
+    FP/complex).  Each lane accepts one new operation per cycle; an
+    unpipelined operation additionally blocks its lane for its full
+    latency.  A global per-cycle limiter enforces the core's issue width.
+    """
+
+    def __init__(self, num_lanes: int, issue_width: int):
+        self.num_lanes = num_lanes
+        self.issue_width = issue_width
+        self._reserved: list[dict[int, bool]] = [dict() for _ in range(num_lanes)]
+        self._busy_until = [0] * num_lanes  # for unpipelined ops
+        self._issue_count: dict[int, int] = {}
+        self._prune_floor = 0
+
+    # ------------------------------------------------------------------ #
+
+    def reserve(
+        self,
+        lanes: tuple[int, ...],
+        earliest: int,
+        *,
+        block_cycles: int = 0,
+        max_scan: int = 100_000,
+    ) -> tuple[int, int]:
+        """Reserve the earliest free slot on any of *lanes* at >= *earliest*.
+
+        Returns ``(lane, cycle)``.  *block_cycles* > 0 marks the lane busy
+        beyond the issue cycle (unpipelined dividers).
+        """
+        cycle = earliest
+        for _ in range(max_scan):
+            if self._issue_count.get(cycle, 0) < self.issue_width:
+                for lane in lanes:
+                    if cycle in self._reserved[lane]:
+                        continue
+                    if self._busy_until[lane] > cycle:
+                        continue
+                    self._take(lane, cycle, block_cycles)
+                    return lane, cycle
+            cycle += 1
+        raise RuntimeError("lane scheduler scan exhausted (model bug)")
+
+    def _take(self, lane: int, cycle: int, block_cycles: int) -> None:
+        self._reserved[lane][cycle] = True
+        self._issue_count[cycle] = self._issue_count.get(cycle, 0) + 1
+        if block_cycles:
+            self._busy_until[lane] = max(self._busy_until[lane], cycle + block_cycles)
+
+    def is_lane_free(self, lane: int, cycle: int) -> bool:
+        """True if *lane* issues nothing at *cycle* (its PRF port is idle).
+
+        The Retire Agent uses this to model opportunistic PRF port sharing:
+        "the select for this MUX is a busy signal in the register read
+        stage of the execution lane" (Section 2.1).
+        """
+        return cycle not in self._reserved[lane] and self._busy_until[lane] <= cycle
+
+    def earliest_free_port(
+        self, lanes: tuple[int, ...], earliest: int, max_scan: int = 100_000
+    ) -> int:
+        """Earliest cycle >= *earliest* when any of *lanes* has an idle port."""
+        cycle = earliest
+        for _ in range(max_scan):
+            for lane in lanes:
+                if self.is_lane_free(lane, cycle):
+                    return cycle
+            cycle += 1
+        raise RuntimeError("port scan exhausted (model bug)")
+
+    def prune(self, before_cycle: int) -> None:
+        """Drop reservation state older than *before_cycle* (memory bound)."""
+        if before_cycle <= self._prune_floor:
+            return
+        self._prune_floor = before_cycle
+        for reserved in self._reserved:
+            stale = [c for c in reserved if c < before_cycle]
+            for c in stale:
+                del reserved[c]
+        stale = [c for c in self._issue_count if c < before_cycle]
+        for c in stale:
+            del self._issue_count[c]

@@ -1,0 +1,137 @@
+"""Simulation statistics.
+
+Everything the paper's tables and figures report is derived from these
+counters: IPC (and speedup vs a baseline run), branch MPKI, FST/RST snoop
+percentages inside the ROI (Tables 2 and 3), stall breakdowns, and the
+event counts the energy model (Figure 18) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Counters for one simulation run."""
+
+    instructions: int = 0
+    cycles: int = 0
+
+    # branches
+    conditional_branches: int = 0
+    branch_mispredicts: int = 0
+    pfm_predicted_branches: int = 0
+    pfm_mispredicts: int = 0
+    pfm_fallback_predictions: int = 0
+
+    # memory
+    loads: int = 0
+    stores: int = 0
+    load_hits_by_level: dict[str, int] = field(default_factory=dict)
+    store_forwards: int = 0
+    disambiguation_squashes: int = 0
+
+    ras_mispredicts: int = 0
+    btb_miss_bubbles: int = 0
+
+    # fetch stalls
+    fetch_stall_pfm_cycles: int = 0  # waiting on IntQ-F (§2.2)
+    fetch_stall_icache_cycles: int = 0
+    squash_refill_cycles: int = 0
+
+    # retire / PFM agents
+    retire_stall_squash_sync_cycles: int = 0
+    obs_packets: int = 0
+    obs_dest_value: int = 0
+    obs_store_value: int = 0
+    obs_branch_outcome: int = 0
+    prf_port_delay_cycles: int = 0
+    pipeline_squashes: int = 0
+
+    # ROI accounting (Tables 2 and 3)
+    fetched_in_roi: int = 0
+    fetched_fst_hits: int = 0
+    retired_in_roi: int = 0
+    retired_rst_hits: int = 0
+
+    # Load Agent
+    agent_loads: int = 0
+    agent_prefetches: int = 0
+    agent_load_misses: int = 0
+    mlb_replays: int = 0
+
+    # microarchitectural event counts (energy model inputs)
+    issued_ops: int = 0
+    prf_reads: int = 0
+    prf_writes: int = 0
+
+    memory_levels: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # derived metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """Branch mispredictions per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.branch_mispredicts / self.instructions
+
+    @property
+    def fst_hit_pct(self) -> float:
+        """% of fetched instructions in the ROI that hit the FST (Table 2/3)."""
+        if not self.fetched_in_roi:
+            return 0.0
+        return 100.0 * self.fetched_fst_hits / self.fetched_in_roi
+
+    @property
+    def rst_hit_pct(self) -> float:
+        """% of retired instructions in the ROI that hit the RST (Table 2/3)."""
+        if not self.retired_in_roi:
+            return 0.0
+        return 100.0 * self.retired_rst_hits / self.retired_in_roi
+
+    @property
+    def pfm_accuracy(self) -> float:
+        if not self.pfm_predicted_branches:
+            return 0.0
+        return 1.0 - self.pfm_mispredicts / self.pfm_predicted_branches
+
+    def speedup_over(self, baseline: "SimStats") -> float:
+        """IPC improvement relative to *baseline*, as a fraction.
+
+        The paper normalizes to the plain core at 0%; a return of 1.54
+        means +154% IPC.
+        """
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc - 1.0
+
+    def summary(self) -> str:
+        lines = [
+            f"instructions     {self.instructions}",
+            f"cycles           {self.cycles}",
+            f"IPC              {self.ipc:.3f}",
+            f"branch MPKI      {self.mpki:.2f}",
+            f"cond branches    {self.conditional_branches}"
+            f" (mispredicted {self.branch_mispredicts})",
+            f"loads/stores     {self.loads}/{self.stores}",
+            f"squashes         {self.pipeline_squashes}"
+            f" (disambiguation {self.disambiguation_squashes})",
+        ]
+        if self.pfm_predicted_branches:
+            lines += [
+                f"PFM predictions  {self.pfm_predicted_branches}"
+                f" (mispredicted {self.pfm_mispredicts},"
+                f" fallbacks {self.pfm_fallback_predictions})",
+                f"FST hit % (ROI)  {self.fst_hit_pct:.1f}",
+                f"RST hit % (ROI)  {self.rst_hit_pct:.1f}",
+                f"fetch stall PFM  {self.fetch_stall_pfm_cycles} cycles",
+            ]
+        return "\n".join(lines)

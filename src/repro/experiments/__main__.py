@@ -1,0 +1,110 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig8
+    python -m repro.experiments fig12 --window 80000
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import astar_sweeps, bfs_sweeps, energy_fig18
+from repro.experiments import fpga_table4, prefetch_sweeps, robustness
+from repro.experiments import slipstream_fig2
+from repro.experiments.runner import DEFAULT_WINDOW
+
+EXPERIMENTS = {
+    "fig2": slipstream_fig2.fig2,
+    "fig8": astar_sweeps.fig8,
+    "tab2": astar_sweeps.table2,
+    "fig9": astar_sweeps.fig9,
+    "fig10": astar_sweeps.fig10,
+    "astar-mpki": astar_sweeps.astar_mpki,
+    "fig12": bfs_sweeps.fig12,
+    "tab3": bfs_sweeps.table3,
+    "fig13": bfs_sweeps.fig13,
+    "fig14": bfs_sweeps.fig14,
+    "bfs-mpki": bfs_sweeps.bfs_mpki,
+    "fig17": prefetch_sweeps.fig17,
+    "fig17-delay": prefetch_sweeps.fig17_delay,
+    "fig17-ports": prefetch_sweeps.fig17_ports,
+    "tab4": fpga_table4.table4,
+    "fig18": energy_fig18.fig18,
+    "robust-inputs": robustness.astar_input_robustness,
+    "robust-patterns": robustness.astar_pattern_robustness,
+    "robust-graphs": robustness.bfs_graph_robustness,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all'",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        help=f"dynamic instructions per run (default {DEFAULT_WINDOW})",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the rendered results to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        print("shape  (aggregate shape-agreement metrics)")
+        return 0
+
+    if args.experiment == "shape":
+        from repro.experiments.compare import shape_report
+
+        results = [
+            EXPERIMENTS[name](window=args.window)
+            for name in ("fig2", "fig8", "tab2", "fig12", "tab3", "tab4")
+        ]
+        print(shape_report(results))
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    rendered = []
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {name!r}; use 'list' to see choices"
+            )
+        started = time.time()
+        result = EXPERIMENTS[name](window=args.window)
+        text = result.render()
+        rendered.append(text)
+        print(text)
+        print(f"   [{time.time() - started:.1f}s]\n")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(
+                f"# PFM reproduction results (window={args.window})\n\n"
+            )
+            handle.write("\n\n".join(rendered))
+            handle.write("\n")
+        print(f"results written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

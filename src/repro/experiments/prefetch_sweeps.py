@@ -1,0 +1,62 @@
+"""Figure 17: the five custom prefetchers vs C and W (Section 4.3)."""
+
+from __future__ import annotations
+
+from repro.core import PFMParams
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import (
+    DEFAULT_WINDOW,
+    PREFETCH_WORKLOADS,
+    pfm_speedup_pct,
+)
+
+
+def fig17(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+    """Speedups for different C and W (delay0, queue32, portALL)."""
+    result = ExperimentResult(
+        experiment="Figure 17",
+        title="Custom prefetchers vs clkC_wW",
+        notes=(
+            "paper: performance is very resistant to C, W, and D — partly"
+            " the adaptive prefetch distance, partly that the core never"
+            " stalls waiting for RF packets in prefetch-only use-cases"
+        ),
+    )
+    for name in PREFETCH_WORKLOADS:
+        for clk, width in [(1, 1), (4, 1), (4, 4)]:
+            pfm = PFMParams(clk_ratio=clk, width=width, delay=0)
+            result.add(
+                f"{name} clk{clk}_w{width}",
+                pfm_speedup_pct(name, pfm, window),
+            )
+    return result
+
+
+def fig17_delay(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+    """Delay sensitivity for prefetchers (text: resistant, not shown)."""
+    result = ExperimentResult(
+        experiment="Figure 17 (delay)",
+        title="Custom prefetchers vs delayD (clk4_w1, queue32, portALL)",
+        notes="paper text: performance is resistant to D (not shown)",
+    )
+    for name in PREFETCH_WORKLOADS:
+        for delay in (0, 8):
+            pfm = PFMParams(clk_ratio=4, width=1, delay=delay)
+            result.add(
+                f"{name} delay{delay}", pfm_speedup_pct(name, pfm, window)
+            )
+    return result
+
+
+def fig17_ports(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+    """Port sensitivity (text: portLS1 performs as well as portALL)."""
+    result = ExperimentResult(
+        experiment="Figure 17 (ports)",
+        title="Custom prefetchers: portLS1 vs portALL (clk4_w1, delay0)",
+        notes="paper text: PRF port availability is not an issue",
+    )
+    for name in PREFETCH_WORKLOADS:
+        for port in ("ALL", "LS1"):
+            pfm = PFMParams(clk_ratio=4, width=1, delay=0, port=port)
+            result.add(f"{name} port{port}", pfm_speedup_pct(name, pfm, window))
+    return result

@@ -1,0 +1,51 @@
+"""Result containers and text rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    Rows are ``(label, measured_value)``; ``paper`` maps labels to the
+    value the paper reports (where it states one), so reports show
+    paper-vs-measured side by side.  Values are percentages for speedup
+    figures and raw numbers elsewhere (``unit`` says which).
+    """
+
+    experiment: str  # "Figure 8", "Table 2", ...
+    title: str
+    rows: list[tuple[str, float]] = field(default_factory=list)
+    paper: dict[str, float] = field(default_factory=dict)
+    unit: str = "% IPC improvement"
+    notes: str = ""
+
+    def add(self, label: str, value: float) -> None:
+        self.rows.append((label, value))
+
+    def value(self, label: str) -> float:
+        for row_label, value in self.rows:
+            if row_label == label:
+                return value
+        raise KeyError(label)
+
+    def render(self) -> str:
+        width = max([len(label) for label, _ in self.rows] + [12])
+        lines = [
+            f"== {self.experiment}: {self.title} ==",
+            f"   unit: {self.unit}",
+            f"   {'series':<{width}} {'measured':>10} {'paper':>10}",
+        ]
+        for label, value in self.rows:
+            paper_value = self.paper.get(label)
+            paper_text = f"{paper_value:>10.1f}" if paper_value is not None else f"{'—':>10}"
+            lines.append(f"   {label:<{width}} {value:>10.1f} {paper_text}")
+        if self.notes:
+            lines.append(f"   note: {self.notes}")
+        return "\n".join(lines)
+
+
+def render_all(results: list[ExperimentResult]) -> str:
+    return "\n\n".join(r.render() for r in results)

@@ -1,0 +1,135 @@
+"""Input-robustness sweeps (extension; motivated by Section 5's footnote).
+
+The paper prefers the load-based astar strategy over the table-mimicking
+astar-alt because it is "more robust to different input dataset sizes".
+These sweeps quantify that and the components' sensitivity to input
+*structure*:
+
+* :func:`astar_input_robustness` — main design vs astar-alt across grid
+  sizes (astar-alt's fixed tables alias as the grid outgrows them).
+* :func:`astar_pattern_robustness` — speckle vs maze obstacle maps.
+* :func:`bfs_graph_robustness` — road-like vs power-law graphs.
+"""
+
+from __future__ import annotations
+
+from repro.core import PFMParams, SimConfig, simulate
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import DEFAULT_WINDOW
+from repro.workloads.astar import build_astar_alt_workload, build_astar_workload
+from repro.workloads.bfs import build_bfs_workload
+from repro.workloads.graphs import powerlaw_graph, road_graph
+
+
+def _speedup(builder, window, pfm=PFMParams(delay=0), **kwargs) -> float:
+    baseline = simulate(builder(**kwargs), SimConfig(max_instructions=window))
+    treated = simulate(
+        builder(**kwargs), SimConfig(max_instructions=window, pfm=pfm)
+    )
+    return 100.0 * treated.speedup_over(baseline)
+
+
+def astar_input_robustness(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+    """Main design vs astar-alt as the input outgrows astar-alt's tables.
+
+    The dataset:table ratio is the operative quantity (the paper's
+    robustness footnote); within short windows it is swept by shrinking
+    the tables against a fixed 192x192 grid — the active wavefront set
+    must overflow the direct-mapped tables for aliasing to bite.
+    """
+    result = ExperimentResult(
+        experiment="Robustness A",
+        title="astar: load-based vs table-mimicking vs table capacity",
+        notes=(
+            "the load-based main design reads the program's real arrays"
+            " and is capacity-free; astar-alt degrades once its tables"
+            " alias (the paper's reason for switching strategies)"
+        ),
+    )
+    side = 192
+    result.add(
+        "main (no tables)",
+        _speedup(build_astar_workload, window,
+                 grid_width=side, grid_height=side),
+    )
+    for entries in (16 * 1024, 1024, 256, 64):
+        result.add(
+            f"alt {entries}-entry tables",
+            _speedup(build_astar_alt_workload, window,
+                     grid_width=side, grid_height=side,
+                     table_entries=entries),
+        )
+    return result
+
+
+def astar_pattern_robustness(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+    """Obstacle structure: speckle maps vs corridor mazes."""
+    result = ExperimentResult(
+        experiment="Robustness B",
+        title="astar custom predictor across obstacle patterns",
+        notes=(
+            "maze maps make the baseline predictor stronger (correlated"
+            " outcomes), shrinking — but not erasing — the custom"
+            " component's advantage"
+        ),
+    )
+    for pattern in ("random", "maze"):
+        baseline = simulate(
+            build_astar_workload(pattern=pattern),
+            SimConfig(max_instructions=window),
+        )
+        treated = simulate(
+            build_astar_workload(pattern=pattern),
+            SimConfig(max_instructions=window, pfm=PFMParams(delay=0)),
+        )
+        result.add(f"{pattern} speedup", 100 * treated.speedup_over(baseline))
+        result.add(f"{pattern} baseline MPKI", baseline.mpki)
+    return result
+
+
+def bfs_graph_robustness(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+    """Graph structure: road lattice vs heavy-tailed power law."""
+    result = ExperimentResult(
+        experiment="Robustness C",
+        title="bfs custom component across graph families",
+        notes=(
+            "power-law graphs have small diameters and huge frontier"
+            " reuse: the baseline suffers less, so the component's"
+            " headroom shrinks (the paper's Youtube bars are likewise"
+            " lower than its Roads bars)"
+        ),
+    )
+    graphs = {
+        "roads": road_graph(side=128),
+        "youtube": powerlaw_graph(num_nodes=12_000),
+    }
+    for name, graph in graphs.items():
+        baseline = simulate(
+            build_bfs_workload(graph=graph, graph_name=name),
+            SimConfig(max_instructions=window),
+        )
+        treated = simulate(
+            build_bfs_workload(graph=graph, graph_name=name),
+            SimConfig(max_instructions=window, pfm=PFMParams(delay=0)),
+        )
+        result.add(f"{name} speedup", 100 * treated.speedup_over(baseline))
+        result.add(f"{name} baseline MPKI", baseline.mpki)
+    # When the baseline barely mispredicts (hub-heavy graphs), the
+    # stalling Fetch Agent can turn the component into a net loss; the
+    # §2.4 non-stalling design recovers it — a case for that alternative.
+    proceed = simulate(
+        build_bfs_workload(graph=graphs["youtube"], graph_name="youtube"),
+        SimConfig(
+            max_instructions=window,
+            pfm=PFMParams(delay=0, fetch_policy="proceed"),
+        ),
+    )
+    youtube_baseline = simulate(
+        build_bfs_workload(graph=graphs["youtube"], graph_name="youtube"),
+        SimConfig(max_instructions=window),
+    )
+    result.add(
+        "youtube speedup (non-stalling §2.4)",
+        100 * proceed.speedup_over(youtube_baseline),
+    )
+    return result

@@ -1,0 +1,121 @@
+"""Workload builders and simulation helpers shared by the experiments.
+
+Graphs and grids are deterministic (seeded), so each builder returns a
+fresh workload with identical initial state; baselines are cached per
+(workload, window) to avoid rerunning them for every sweep point.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core import PFMParams, SimConfig, SimStats, simulate
+from repro.workloads.astar import build_astar_workload
+from repro.workloads.bfs import build_bfs_workload
+from repro.workloads.bwaves import build_bwaves_workload
+from repro.workloads.graphs import powerlaw_graph, road_graph
+from repro.workloads.lbm import build_lbm_workload
+from repro.workloads.leslie import build_leslie_workload
+from repro.workloads.libquantum import build_libquantum_workload
+from repro.workloads.milc import build_milc_workload
+
+DEFAULT_WINDOW = 40_000
+
+
+@functools.lru_cache(maxsize=2)
+def _roads_graph():
+    return road_graph()
+
+
+@functools.lru_cache(maxsize=2)
+def _youtube_graph():
+    return powerlaw_graph()
+
+
+def build_workload(name: str, **overrides):
+    """Fresh workload by benchmark name."""
+    if name == "astar":
+        return build_astar_workload(**overrides)
+    if name == "bfs-roads":
+        return build_bfs_workload(graph=_roads_graph(), graph_name="roads", **overrides)
+    if name == "bfs-youtube":
+        return build_bfs_workload(
+            graph=_youtube_graph(), graph_name="youtube", **overrides
+        )
+    if name == "libquantum":
+        return build_libquantum_workload(**overrides)
+    if name == "bwaves":
+        return build_bwaves_workload(**overrides)
+    if name == "lbm":
+        return build_lbm_workload(**overrides)
+    if name == "milc":
+        return build_milc_workload(**overrides)
+    if name == "leslie":
+        return build_leslie_workload(**overrides)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+PREFETCH_WORKLOADS = ("libquantum", "bwaves", "lbm", "milc", "leslie")
+
+
+def run_config(name: str, config: SimConfig, **overrides) -> SimStats:
+    """Simulate workload *name* under *config* (fresh state each call)."""
+    return simulate(build_workload(name, **overrides), config)
+
+
+_baseline_cache: dict[tuple, SimStats] = {}
+
+
+def run_baseline(name: str, window: int = DEFAULT_WINDOW) -> SimStats:
+    """Baseline (plain core) run, cached per (workload, window)."""
+    key = (name, window)
+    if key not in _baseline_cache:
+        _baseline_cache[key] = run_config(name, SimConfig(max_instructions=window))
+    return _baseline_cache[key]
+
+
+def run_pfm(
+    name: str,
+    pfm: PFMParams,
+    window: int = DEFAULT_WINDOW,
+    **overrides,
+) -> SimStats:
+    """PFM-enabled run."""
+    return run_config(
+        name, SimConfig(max_instructions=window, pfm=pfm), **overrides
+    )
+
+
+def speedup_pct(stats: SimStats, baseline: SimStats) -> float:
+    return 100.0 * stats.speedup_over(baseline)
+
+
+def pfm_speedup_pct(
+    name: str,
+    pfm: PFMParams,
+    window: int = DEFAULT_WINDOW,
+    **overrides,
+) -> float:
+    """Speedup of a PFM configuration over the cached baseline, in %."""
+    base = run_baseline(name, window)
+    return speedup_pct(run_pfm(name, pfm, window, **overrides), base)
+
+
+def parse_config_label(label: str) -> PFMParams:
+    """Parse the paper's notation: "clk4_w4, delay4, queue32, portLS1"."""
+    params = PFMParams()
+    for token in label.replace(",", " ").split():
+        if token.startswith("clk"):
+            clk, _, width = token.partition("_w")
+            params.clk_ratio = int(clk.removeprefix("clk"))
+            params.width = int(width)
+        elif token.startswith("delay"):
+            params.delay = int(token.removeprefix("delay"))
+        elif token.startswith("queue"):
+            params.queue_size = int(token.removeprefix("queue"))
+        elif token.startswith("port"):
+            params.port = token.removeprefix("port")
+        else:
+            raise ValueError(f"unknown token {token!r} in config label")
+    params.__post_init__()
+    return params

@@ -1,0 +1,63 @@
+"""Figure 2: PFM vs Slipstream 2.0 speedups (Section 1.1)."""
+
+from __future__ import annotations
+
+from repro.core import PFMParams, SimConfig, simulate
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import (
+    DEFAULT_WINDOW,
+    build_workload,
+    pfm_speedup_pct,
+    run_baseline,
+    speedup_pct,
+)
+from repro.slipstream import make_astar_slipstream, make_bfs_slipstream
+
+
+def fig2(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+    """PFM and Slipstream 2.0 speedups on astar and bfs."""
+    result = ExperimentResult(
+        experiment="Figure 2",
+        title="Speedups of PFM and Slipstream 2.0",
+        paper={"astar slipstream": 18.0, "astar PFM": 154.0, "bfs PFM": 125.0},
+        notes=(
+            "slipstream is modelled with the paper's two tailored"
+            " optimizations (hardwired pruning, local-squash recovery);"
+            " the restart-mode row shows the substantially lower speedup"
+            " the paper notes for leading-thread restarts"
+        ),
+    )
+
+    astar_base = run_baseline("astar", window)
+    workload = build_workload("astar")
+    slipstream = simulate(
+        workload,
+        SimConfig(max_instructions=window, oracle=make_astar_slipstream(workload)),
+    )
+    result.add("astar slipstream", speedup_pct(slipstream, astar_base))
+    workload = build_workload("astar")
+    restarts = simulate(
+        workload,
+        SimConfig(
+            max_instructions=window,
+            oracle=make_astar_slipstream(workload, restart_penalty=64),
+        ),
+    )
+    result.add("astar slipstream (restarts)", speedup_pct(restarts, astar_base))
+    result.add(
+        "astar PFM",
+        pfm_speedup_pct("astar", PFMParams(delay=4, port="LS1"), window),
+    )
+
+    bfs_base = run_baseline("bfs-roads", window)
+    workload = build_workload("bfs-roads")
+    slipstream = simulate(
+        workload,
+        SimConfig(max_instructions=window, oracle=make_bfs_slipstream(workload)),
+    )
+    result.add("bfs slipstream", speedup_pct(slipstream, bfs_base))
+    result.add(
+        "bfs PFM",
+        pfm_speedup_pct("bfs-roads", PFMParams(delay=4, port="LS1"), window),
+    )
+    return result

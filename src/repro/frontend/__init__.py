@@ -1,0 +1,28 @@
+"""Front-end substrate: branch predictors.
+
+The paper's baseline core uses a 64 KB TAGE-SC-L [Seznec 2016] conditional
+branch predictor (Table 1).  This package implements the real TAGE-SC-L
+algorithm — tagged geometric-history tables with usefulness-managed
+allocation, a statistical corrector, and a loop predictor — at reduced
+storage (see DESIGN.md §5), plus bimodal/gshare baselines used in tests and
+ablations, and a perfect predictor for the perfBP idealization.
+"""
+
+from repro.frontend.predictor import BranchPredictor, PerfectPredictor
+from repro.frontend.simple import AlwaysTakenPredictor, BimodalPredictor, GSharePredictor
+from repro.frontend.tage import Tage
+from repro.frontend.loop_predictor import LoopPredictor
+from repro.frontend.statistical_corrector import StatisticalCorrector
+from repro.frontend.tagescl import TageSCL
+
+__all__ = [
+    "BranchPredictor",
+    "PerfectPredictor",
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "Tage",
+    "LoopPredictor",
+    "StatisticalCorrector",
+    "TageSCL",
+]

@@ -1,0 +1,64 @@
+"""Branch target buffer and return address stack.
+
+The fetch unit needs the *target* of taken control flow in the same cycle
+it predicts the direction; a BTB miss costs a fetch bubble while the
+target is computed from the instruction bytes.  Returns (``jalr``) are
+predicted by a return address stack pushed by calls (``jal``); a RAS
+mispredict is a full pipeline squash, resolved at execute.
+"""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """Direct-mapped tagged BTB."""
+
+    def __init__(self, entries: int = 4096):
+        if entries & (entries - 1):
+            raise ValueError("BTB entries must be a power of two")
+        self._mask = entries - 1
+        self._tags = [-1] * entries
+        self._targets = [0] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def predict(self, pc: int) -> int | None:
+        """Predicted target for the control instruction at *pc*."""
+        slot = (pc >> 2) & self._mask
+        if self._tags[slot] != pc:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._targets[slot]
+
+    def update(self, pc: int, target: int) -> None:
+        slot = (pc >> 2) & self._mask
+        self._tags[slot] = pc
+        self._targets[slot] = target
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return address stack."""
+
+    def __init__(self, depth: int = 16):
+        if depth < 1:
+            raise ValueError("RAS depth must be >= 1")
+        self._stack: list[int] = []
+        self._depth = depth
+        self.overflows = 0
+
+    def push(self, return_address: int) -> None:
+        self._stack.append(return_address)
+        if len(self._stack) > self._depth:
+            self._stack.pop(0)  # oldest entry falls off (circular)
+            self.overflows += 1
+
+    def pop(self) -> int | None:
+        """Predicted return target (None when empty)."""
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,59 @@
+"""Folded global history registers, as used by TAGE [Seznec].
+
+A geometric history of length L is consumed through circular-shift-register
+"folds" so that indices and tags over very long histories cost O(1) per
+update instead of O(L).
+"""
+
+from __future__ import annotations
+
+
+class FoldedHistory:
+    """History of *length* bits folded into *width* bits."""
+
+    __slots__ = ("value", "length", "width", "_out_shift")
+
+    def __init__(self, length: int, width: int):
+        if width <= 0:
+            raise ValueError("fold width must be positive")
+        self.value = 0
+        self.length = length
+        self.width = width
+        self._out_shift = length % width
+
+    def push(self, bit: int, outgoing_bit: int) -> None:
+        """Shift *bit* in and *outgoing_bit* (the bit aging out) out."""
+        self.value = (self.value << 1) | bit
+        self.value ^= outgoing_bit << self._out_shift
+        self.value ^= self.value >> self.width
+        self.value &= (1 << self.width) - 1
+
+
+class GlobalHistory:
+    """Global direction history with folded views for each TAGE table."""
+
+    def __init__(self, max_length: int):
+        self.max_length = max_length
+        self.bits = [0] * max_length  # circular buffer, newest at _head
+        self._head = 0
+        self._folds: list[FoldedHistory] = []
+
+    def add_fold(self, length: int, width: int) -> FoldedHistory:
+        fold = FoldedHistory(length, width)
+        self._folds.append(fold)
+        return fold
+
+    def push(self, taken: bool) -> None:
+        bit = int(taken)
+        for fold in self._folds:
+            outgoing = self.bits[(self._head - fold.length) % self.max_length]
+            fold.push(bit, outgoing)
+        self.bits[self._head] = bit
+        self._head = (self._head + 1) % self.max_length
+
+    def recent(self, n: int) -> int:
+        """The most recent *n* history bits as an integer (newest = LSB)."""
+        value = 0
+        for i in range(n):
+            value |= self.bits[(self._head - 1 - i) % self.max_length] << i
+        return value

@@ -1,0 +1,81 @@
+"""Loop predictor (the L in TAGE-SC-L).
+
+Identifies branches with regular trip counts and predicts the loop exit
+after a confidence threshold of identical trip counts.  This is the
+component that lets the baseline core handle *regular* loop branches —
+which is exactly why the paper's bfs neighbor-loop branch (irregular,
+per-node trip counts) defeats it and needs a custom component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class LoopEntry:
+    tag: int = -1
+    trip_count: int = 0  # learned iterations between exits
+    current: int = 0  # iterations seen since last exit
+    confidence: int = 0  # exits observed with the same trip count
+    age: int = 0
+
+
+@dataclass(slots=True)
+class LoopPrediction:
+    valid: bool
+    taken: bool
+    index: int
+
+
+class LoopPredictor:
+    """Small set-associative table of loop trip counts."""
+
+    CONFIDENCE_THRESHOLD = 3
+    MAX_AGE = 31
+
+    def __init__(self, log_entries: int = 6, tag_bits: int = 10):
+        self._mask = (1 << log_entries) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._entries = [LoopEntry() for _ in range(1 << log_entries)]
+
+    def _index_tag(self, pc: int) -> tuple[int, int]:
+        return (pc >> 2) & self._mask, (pc >> 2) & self._tag_mask
+
+    def lookup(self, pc: int) -> LoopPrediction:
+        index, tag = self._index_tag(pc)
+        entry = self._entries[index]
+        if entry.tag != tag or entry.confidence < self.CONFIDENCE_THRESHOLD:
+            return LoopPrediction(valid=False, taken=False, index=index)
+        # Predict not-taken (exit) on the iteration matching the learned
+        # trip count; taken (continue) otherwise.  Loop branches here are
+        # taken to continue, matching the kernels' bottom-test loops.
+        taken = entry.current + 1 < entry.trip_count
+        return LoopPrediction(valid=True, taken=taken, index=index)
+
+    def update(self, pc: int, taken: bool) -> None:
+        index, tag = self._index_tag(pc)
+        entry = self._entries[index]
+        if entry.tag != tag:
+            # Replacement: only steal aged-out entries.
+            if entry.age > 0:
+                entry.age -= 1
+                return
+            entry.tag = tag
+            entry.trip_count = 0
+            entry.current = 0
+            entry.confidence = 0
+            entry.age = self.MAX_AGE
+
+        if taken:
+            entry.current += 1
+            return
+        # Loop exit observed: check trip count stability.
+        observed = entry.current + 1
+        if observed == entry.trip_count:
+            entry.confidence = min(self.CONFIDENCE_THRESHOLD, entry.confidence + 1)
+            entry.age = self.MAX_AGE
+        else:
+            entry.trip_count = observed
+            entry.confidence = 0
+        entry.current = 0

@@ -1,0 +1,79 @@
+"""Simple baseline predictors: static, bimodal, gshare.
+
+These are not part of the paper's configuration (its baseline is
+TAGE-SC-L) but serve as reference points in tests and ablation benchmarks,
+and as the cheap fallback predictor behind the Fetch Agent's chicken
+switch.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.predictor import BranchPredictor
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Static always-taken."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        return None
+
+
+class SaturatingCounter:
+    """An n-bit saturating up/down counter."""
+
+    __slots__ = ("value", "_max")
+
+    def __init__(self, bits: int = 2, initial: int | None = None):
+        self._max = (1 << bits) - 1
+        self.value = initial if initial is not None else (self._max + 1) // 2
+
+    @property
+    def taken(self) -> bool:
+        return self.value > self._max // 2
+
+    def train(self, taken: bool) -> None:
+        if taken:
+            if self.value < self._max:
+                self.value += 1
+        elif self.value > 0:
+            self.value -= 1
+
+
+class BimodalPredictor(BranchPredictor):
+    """PC-indexed table of 2-bit counters."""
+
+    def __init__(self, log_entries: int = 13, counter_bits: int = 2):
+        self._mask = (1 << log_entries) - 1
+        self._table = [SaturatingCounter(counter_bits) for _ in range(1 << log_entries)]
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)].taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table[self._index(pc)].train(taken)
+
+
+class GSharePredictor(BranchPredictor):
+    """Global-history XOR PC indexed table of 2-bit counters."""
+
+    def __init__(self, log_entries: int = 14, history_bits: int = 14):
+        self._mask = (1 << log_entries) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._table = [SaturatingCounter(2) for _ in range(1 << log_entries)]
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)].taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table[self._index(pc)].train(taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,105 @@
+"""Statistical corrector (the SC in TAGE-SC-L).
+
+A GEHL-style perceptron-sum over several global-history-length tables plus
+a bias table, gated by a dynamic confidence threshold.  The SC revises the
+TAGE prediction when TAGE is statistically weak for a branch — e.g. biased
+branches that TAGE keeps flip-flopping on.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.history import GlobalHistory
+
+_CTR_MAX = 31  # 6-bit signed weights
+_CTR_MIN = -32
+
+
+class StatisticalCorrector:
+    """GEHL tables + bias, with a self-adjusting use threshold."""
+
+    HISTORY_LENGTHS = (0, 3, 8, 16, 27)
+
+    def __init__(self, log_entries: int = 9):
+        self._mask = (1 << log_entries) - 1
+        self._tables = [
+            [0] * (1 << log_entries) for _ in self.HISTORY_LENGTHS
+        ]
+        self._bias = [0] * (1 << log_entries)
+        self._history = GlobalHistory(max(self.HISTORY_LENGTHS) + 2)
+        self._threshold = 6
+        self._threshold_ctr = 0
+
+    def _indices(self, pc: int, tage_taken: bool) -> list[int]:
+        base = (pc >> 2) ^ (int(tage_taken) << 1)
+        out = []
+        for length in self.HISTORY_LENGTHS:
+            h = self._history.recent(length) if length else 0
+            out.append((base ^ h ^ (h >> 3)) & self._mask)
+        return out
+
+    def _sum(self, pc: int, tage_taken: bool, indices: list[int]) -> int:
+        total = 2 * self._bias[(pc >> 2) & self._mask] + 1
+        for table, index in zip(self._tables, indices):
+            total += 2 * table[index] + 1
+        total += (len(self._tables) + 1) * (1 if tage_taken else -1)
+        return total
+
+    def lookup(self, pc: int, tage_taken: bool) -> tuple[bool, list[int], int]:
+        """Final direction given TAGE's prediction, plus train-time state.
+
+        Returns ``(direction, indices, sum)``; pass *indices*/*sum* back to
+        :meth:`train` so training uses prediction-time state (the history
+        advances between fetch-time prediction and retire-time training).
+        """
+        indices = self._indices(pc, tage_taken)
+        total = self._sum(pc, tage_taken, indices)
+        if abs(total) >= self._threshold:
+            return total >= 0, indices, total
+        return tage_taken, indices, total
+
+    def predict(self, pc: int, tage_taken: bool) -> bool:
+        """Final direction given TAGE's prediction (stateless convenience)."""
+        return self.lookup(pc, tage_taken)[0]
+
+    def train(
+        self,
+        pc: int,
+        tage_taken: bool,
+        taken: bool,
+        indices: list[int],
+        total: int,
+    ) -> None:
+        """Train with prediction-time *indices*/*total* state."""
+        sc_taken = total >= 0 if abs(total) >= self._threshold else tage_taken
+
+        # Dynamic threshold (Seznec): adapt when SC and TAGE disagree.
+        if sc_taken != tage_taken:
+            if sc_taken == taken:
+                self._threshold_ctr = max(-127, self._threshold_ctr - 1)
+            else:
+                self._threshold_ctr = min(127, self._threshold_ctr + 1)
+            if self._threshold_ctr >= 64:
+                self._threshold = min(31, self._threshold + 1)
+                self._threshold_ctr = 0
+            elif self._threshold_ctr <= -64:
+                self._threshold = max(4, self._threshold - 1)
+                self._threshold_ctr = 0
+
+        # Train weights when wrong or weak.
+        if sc_taken != taken or abs(total) < self._threshold * 2:
+            delta = 1 if taken else -1
+            bias_index = (pc >> 2) & self._mask
+            self._bias[bias_index] = _clamp(self._bias[bias_index] + delta)
+            for table, index in zip(self._tables, indices):
+                table[index] = _clamp(table[index] + delta)
+
+        self._history.push(taken)
+
+    def update(self, pc: int, tage_taken: bool, taken: bool) -> None:
+        """Train using current-history indices (tests / standalone use)."""
+        _, indices, total = self.lookup(pc, tage_taken)
+        self.train(pc, tage_taken, taken, indices, total)
+
+
+def _clamp(value: int) -> int:
+    return max(_CTR_MIN, min(_CTR_MAX, value))

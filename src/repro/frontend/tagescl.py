@@ -1,0 +1,100 @@
+"""TAGE-SC-L: the paper's baseline conditional branch predictor (Table 1).
+
+Composition (Seznec, CBP-5 2016): TAGE provides the primary prediction;
+the loop predictor overrides it for high-confidence regular loops; the
+statistical corrector revises the result when its perceptron sum is
+confident.  All three train at retirement with prediction-time state
+carried in a pending queue (the hardware analogue is the branch queue the
+paper's fetch unit keeps for in-flight branches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.loop_predictor import LoopPredictor
+from repro.frontend.predictor import BranchPredictor
+from repro.frontend.statistical_corrector import StatisticalCorrector
+from repro.frontend.tage import Tage, TagePrediction
+
+
+@dataclass(slots=True)
+class _PendingRecord:
+    pc: int
+    final_taken: bool
+    tage_pred: TagePrediction
+    sc_indices: list[int]
+    sc_sum: int
+    loop_overrode: bool
+
+
+class TageSCL(BranchPredictor):
+    """TAGE + Statistical Corrector + Loop predictor."""
+
+    def __init__(
+        self,
+        tage: Tage | None = None,
+        corrector: StatisticalCorrector | None = None,
+        loop: LoopPredictor | None = None,
+    ):
+        self.tage = tage or Tage()
+        self.corrector = corrector or StatisticalCorrector()
+        self.loop = loop or LoopPredictor()
+        self._pending: list[_PendingRecord] = []
+
+    def predict(self, pc: int) -> bool:
+        tage_pred = self.tage.lookup(pc)
+        taken = tage_pred.taken
+
+        loop_pred = self.loop.lookup(pc)
+        loop_overrode = False
+        if loop_pred.valid:
+            taken = loop_pred.taken
+            loop_overrode = True
+
+        sc_taken, sc_indices, sc_sum = self.corrector.lookup(pc, taken)
+        if not loop_overrode:
+            taken = sc_taken
+
+        self._pending.append(
+            _PendingRecord(
+                pc=pc,
+                final_taken=taken,
+                tage_pred=tage_pred,
+                sc_indices=sc_indices,
+                sc_sum=sc_sum,
+                loop_overrode=loop_overrode,
+            )
+        )
+        # Speculative history update with the final prediction; the stale
+        # bit self-corrects on the (rare) mispredict via the update path.
+        self.tage._history.push(taken)
+        return taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        if not self._pending:
+            raise RuntimeError("TAGE-SC-L update without matching predict")
+        record = self._pending.pop(0)
+        if record.pc != pc:
+            raise RuntimeError(
+                f"TAGE-SC-L update pc mismatch: {record.pc:#x} vs {pc:#x}"
+            )
+        if record.final_taken != taken:
+            self.tage._history.push(taken)  # correct the speculative bit
+        self.tage.train(record.tage_pred, taken)
+        self.corrector.train(
+            pc,
+            record.tage_pred.taken,
+            taken,
+            record.sc_indices,
+            record.sc_sum,
+        )
+        self.loop.update(pc, taken)
+
+    def on_taken_control(self, pc: int, target: int) -> None:
+        self.tage.on_taken_control(pc, target)
+
+    @property
+    def pending_depth(self) -> int:
+        """In-flight (predicted, not yet trained) branch count."""
+        return len(self._pending)

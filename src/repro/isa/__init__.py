@@ -1,0 +1,36 @@
+"""Mini RISC-V-like instruction set used by the PFM reproduction.
+
+The paper evaluates on a RISC-V, execution-driven, cycle-level simulator.
+This package provides the instruction-set layer of that substrate: register
+names, instruction records, program containers with label resolution, and a
+small builder DSL used to express the paper's regions of interest (astar's
+``makebound2``, GAP BFS's top-down step, libquantum's ``quantum_toffoli``,
+and the bwaves/lbm/milc/leslie loop nests) as runnable kernels.
+
+The ISA is modelled at the semantic level (mnemonic + operands), not at the
+bit-encoding level; the cycle model only needs operand dependences, operation
+classes, memory addresses, and branch outcomes.
+"""
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import Program
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import (
+    INT_REGISTERS,
+    FP_REGISTERS,
+    ZERO_REGISTER,
+    is_fp_register,
+    is_int_register,
+)
+
+__all__ = [
+    "Instruction",
+    "OpClass",
+    "Program",
+    "ProgramBuilder",
+    "INT_REGISTERS",
+    "FP_REGISTERS",
+    "ZERO_REGISTER",
+    "is_fp_register",
+    "is_int_register",
+]

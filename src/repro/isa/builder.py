@@ -1,0 +1,228 @@
+"""Builder DSL for assembling kernel programs.
+
+Workload kernels (the paper's regions of interest) are written against this
+builder.  Example::
+
+    b = ProgramBuilder()
+    b.label("loop")
+    b.ld("t0", base="a0", offset=0, comment="index=bound1p[i]")
+    b.addi("a0", "a0", 8)
+    b.bne("t0", "zero", "loop")
+    b.halt()
+    program = b.build()
+
+Every emit method accepts a ``comment`` keyword; comments act as searchable
+annotations that the PFM configuration layer uses to locate snoop PCs
+(standing in for the symbol/debug information a real toolchain would ship
+with the configuration bitstream).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import INSTRUCTION_BYTES, Program
+
+
+class ProgramBuilder:
+    """Incrementally assemble a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self, base_pc: int = 0x1000):
+        self._base_pc = base_pc
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # layout
+    # ------------------------------------------------------------------ #
+
+    @property
+    def next_pc(self) -> int:
+        return self._base_pc + len(self._instructions) * INSTRUCTION_BYTES
+
+    def label(self, name: str) -> str:
+        """Attach *name* to the next emitted instruction's PC."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = self.next_pc
+        return name
+
+    def _emit(self, inst: Instruction) -> int:
+        pc = self.next_pc
+        self._instructions.append(inst.with_pc(pc))
+        return pc
+
+    def build(self) -> Program:
+        return Program(
+            instructions=list(self._instructions),
+            labels=dict(self._labels),
+            base_pc=self._base_pc,
+        )
+
+    # ------------------------------------------------------------------ #
+    # integer ALU
+    # ------------------------------------------------------------------ #
+
+    def _rrr(self, mnemonic: str, dst: str, s1: str, s2: str, comment: str) -> int:
+        return self._emit(
+            Instruction(mnemonic, dst=dst, srcs=(s1, s2), comment=comment)
+        )
+
+    def _rri(self, mnemonic: str, dst: str, s1: str, imm: int, comment: str) -> int:
+        return self._emit(
+            Instruction(mnemonic, dst=dst, srcs=(s1,), imm=imm, comment=comment)
+        )
+
+    def add(self, dst, s1, s2, comment=""):
+        return self._rrr("add", dst, s1, s2, comment)
+
+    def sub(self, dst, s1, s2, comment=""):
+        return self._rrr("sub", dst, s1, s2, comment)
+
+    def and_(self, dst, s1, s2, comment=""):
+        return self._rrr("and_", dst, s1, s2, comment)
+
+    def or_(self, dst, s1, s2, comment=""):
+        return self._rrr("or_", dst, s1, s2, comment)
+
+    def xor(self, dst, s1, s2, comment=""):
+        return self._rrr("xor", dst, s1, s2, comment)
+
+    def sll(self, dst, s1, s2, comment=""):
+        return self._rrr("sll", dst, s1, s2, comment)
+
+    def srl(self, dst, s1, s2, comment=""):
+        return self._rrr("srl", dst, s1, s2, comment)
+
+    def slt(self, dst, s1, s2, comment=""):
+        return self._rrr("slt", dst, s1, s2, comment)
+
+    def mul(self, dst, s1, s2, comment=""):
+        return self._rrr("mul", dst, s1, s2, comment)
+
+    def div(self, dst, s1, s2, comment=""):
+        return self._rrr("div", dst, s1, s2, comment)
+
+    def rem(self, dst, s1, s2, comment=""):
+        return self._rrr("rem", dst, s1, s2, comment)
+
+    def addi(self, dst, s1, imm, comment=""):
+        return self._rri("addi", dst, s1, imm, comment)
+
+    def andi(self, dst, s1, imm, comment=""):
+        return self._rri("andi", dst, s1, imm, comment)
+
+    def ori(self, dst, s1, imm, comment=""):
+        return self._rri("ori", dst, s1, imm, comment)
+
+    def xori(self, dst, s1, imm, comment=""):
+        return self._rri("xori", dst, s1, imm, comment)
+
+    def slli(self, dst, s1, imm, comment=""):
+        return self._rri("slli", dst, s1, imm, comment)
+
+    def srli(self, dst, s1, imm, comment=""):
+        return self._rri("srli", dst, s1, imm, comment)
+
+    def slti(self, dst, s1, imm, comment=""):
+        return self._rri("slti", dst, s1, imm, comment)
+
+    def muli(self, dst, s1, imm, comment=""):
+        return self._rri("muli", dst, s1, imm, comment)
+
+    def li(self, dst, imm, comment=""):
+        return self._emit(Instruction("li", dst=dst, imm=imm, comment=comment))
+
+    def mv(self, dst, src, comment=""):
+        return self._emit(Instruction("mv", dst=dst, srcs=(src,), comment=comment))
+
+    # ------------------------------------------------------------------ #
+    # floating point
+    # ------------------------------------------------------------------ #
+
+    def fadd(self, dst, s1, s2, comment=""):
+        return self._rrr("fadd", dst, s1, s2, comment)
+
+    def fsub(self, dst, s1, s2, comment=""):
+        return self._rrr("fsub", dst, s1, s2, comment)
+
+    def fmul(self, dst, s1, s2, comment=""):
+        return self._rrr("fmul", dst, s1, s2, comment)
+
+    def fdiv(self, dst, s1, s2, comment=""):
+        return self._rrr("fdiv", dst, s1, s2, comment)
+
+    def fmv(self, dst, src, comment=""):
+        return self._emit(Instruction("fmv", dst=dst, srcs=(src,), comment=comment))
+
+    def fli(self, dst, imm, comment=""):
+        return self._emit(Instruction("fli", dst=dst, imm=imm, comment=comment))
+
+    def fcvt(self, dst, src, comment=""):
+        return self._emit(Instruction("fcvt", dst=dst, srcs=(src,), comment=comment))
+
+    # ------------------------------------------------------------------ #
+    # memory (doubleword)
+    # ------------------------------------------------------------------ #
+
+    def ld(self, dst, base, offset=0, comment=""):
+        return self._emit(
+            Instruction("ld", dst=dst, srcs=(base,), imm=offset, comment=comment)
+        )
+
+    def fld(self, dst, base, offset=0, comment=""):
+        return self._emit(
+            Instruction("fld", dst=dst, srcs=(base,), imm=offset, comment=comment)
+        )
+
+    def sd(self, src, base, offset=0, comment=""):
+        return self._emit(
+            Instruction("sd", srcs=(base, src), imm=offset, comment=comment)
+        )
+
+    def fsd(self, src, base, offset=0, comment=""):
+        return self._emit(
+            Instruction("fsd", srcs=(base, src), imm=offset, comment=comment)
+        )
+
+    # ------------------------------------------------------------------ #
+    # control
+    # ------------------------------------------------------------------ #
+
+    def _branch(self, mnemonic, s1, s2, target, comment):
+        return self._emit(
+            Instruction(mnemonic, srcs=(s1, s2), target=target, comment=comment)
+        )
+
+    def beq(self, s1, s2, target, comment=""):
+        return self._branch("beq", s1, s2, target, comment)
+
+    def bne(self, s1, s2, target, comment=""):
+        return self._branch("bne", s1, s2, target, comment)
+
+    def blt(self, s1, s2, target, comment=""):
+        return self._branch("blt", s1, s2, target, comment)
+
+    def bge(self, s1, s2, target, comment=""):
+        return self._branch("bge", s1, s2, target, comment)
+
+    def bltu(self, s1, s2, target, comment=""):
+        return self._branch("bltu", s1, s2, target, comment)
+
+    def bgeu(self, s1, s2, target, comment=""):
+        return self._branch("bgeu", s1, s2, target, comment)
+
+    def j(self, target, comment=""):
+        return self._emit(Instruction("j", target=target, comment=comment))
+
+    def jal(self, target, dst="ra", comment=""):
+        return self._emit(
+            Instruction("jal", dst=dst, target=target, comment=comment)
+        )
+
+    def jalr(self, src="ra", dst=None, comment=""):
+        return self._emit(
+            Instruction("jalr", dst=dst, srcs=(src,), comment=comment)
+        )
+
+    def halt(self, comment=""):
+        return self._emit(Instruction("halt", comment=comment))

@@ -1,0 +1,159 @@
+"""Instruction records and operation classes.
+
+Instructions carry only what the functional executor and the cycle model
+need: a mnemonic, an operation class (which determines the execution lane
+and latency in :mod:`repro.core`), register operands, an immediate, and a
+branch/jump target label.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.registers import is_fp_register, is_int_register
+
+
+class OpClass(enum.Enum):
+    """Coarse operation classes, mapped to execution lanes by the core.
+
+    The paper's core (Table 1) has 4 simple-ALU lanes, 2 load/store lanes,
+    and 2 FP/complex-ALU lanes; ``INT_MUL``/``INT_DIV``/``FP_*`` issue to
+    the FP/complex lanes.
+    """
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ALU = "fp_alu"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    HALT = "halt"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self in (OpClass.BRANCH, OpClass.JUMP)
+
+
+# Mnemonic -> OpClass.  The builder validates mnemonics against this table.
+MNEMONIC_CLASS: dict[str, OpClass] = {
+    # integer ALU (register-register and register-immediate forms)
+    "add": OpClass.INT_ALU, "addi": OpClass.INT_ALU,
+    "sub": OpClass.INT_ALU,
+    "and_": OpClass.INT_ALU, "andi": OpClass.INT_ALU,
+    "or_": OpClass.INT_ALU, "ori": OpClass.INT_ALU,
+    "xor": OpClass.INT_ALU, "xori": OpClass.INT_ALU,
+    "sll": OpClass.INT_ALU, "slli": OpClass.INT_ALU,
+    "srl": OpClass.INT_ALU, "srli": OpClass.INT_ALU,
+    "sra": OpClass.INT_ALU, "srai": OpClass.INT_ALU,
+    "slt": OpClass.INT_ALU, "slti": OpClass.INT_ALU,
+    "sltu": OpClass.INT_ALU,
+    "li": OpClass.INT_ALU, "mv": OpClass.INT_ALU,
+    # integer multiply / divide
+    "mul": OpClass.INT_MUL, "muli": OpClass.INT_MUL,
+    "div": OpClass.INT_DIV, "rem": OpClass.INT_DIV,
+    # floating point
+    "fadd": OpClass.FP_ALU, "fsub": OpClass.FP_ALU,
+    "fmul": OpClass.FP_MUL, "fdiv": OpClass.FP_DIV,
+    "fmv": OpClass.FP_ALU, "fli": OpClass.FP_ALU,
+    "fcvt": OpClass.FP_ALU,
+    # memory (doubleword granularity; fld/fsd move FP data)
+    "ld": OpClass.LOAD, "fld": OpClass.LOAD,
+    "sd": OpClass.STORE, "fsd": OpClass.STORE,
+    # control
+    "beq": OpClass.BRANCH, "bne": OpClass.BRANCH,
+    "blt": OpClass.BRANCH, "bge": OpClass.BRANCH,
+    "bltu": OpClass.BRANCH, "bgeu": OpClass.BRANCH,
+    "j": OpClass.JUMP, "jal": OpClass.JUMP, "jalr": OpClass.JUMP,
+    "halt": OpClass.HALT,
+}
+
+CONDITIONAL_BRANCHES = frozenset(
+    m for m, c in MNEMONIC_CLASS.items() if c is OpClass.BRANCH
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One static instruction.
+
+    Attributes:
+        mnemonic: operation name; must be a key of :data:`MNEMONIC_CLASS`.
+        dst: destination register name, or None.
+        srcs: source register names (base register first for memory ops,
+            store-data register second for stores).
+        imm: immediate operand (also the address offset for memory ops).
+        target: label name for branch/jump targets; resolved to a PC by
+            :class:`repro.isa.program.Program`.
+        comment: free-form annotation carried through to traces, used by
+            tests and by snoop-table construction helpers.
+    """
+
+    mnemonic: str
+    dst: str | None = None
+    srcs: tuple[str, ...] = ()
+    imm: int = 0
+    target: str | None = None
+    comment: str = ""
+    pc: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in MNEMONIC_CLASS:
+            raise ValueError(f"unknown mnemonic: {self.mnemonic!r}")
+        for reg in self.srcs:
+            if not (is_int_register(reg) or is_fp_register(reg)):
+                raise ValueError(f"unknown source register: {reg!r}")
+        if self.dst is not None and not (
+            is_int_register(self.dst) or is_fp_register(self.dst)
+        ):
+            raise ValueError(f"unknown destination register: {self.dst!r}")
+
+    @property
+    def op_class(self) -> OpClass:
+        return MNEMONIC_CLASS[self.mnemonic]
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.mnemonic in CONDITIONAL_BRANCHES
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class is OpClass.STORE
+
+    def with_pc(self, pc: int) -> "Instruction":
+        """Return a copy of this instruction bound to program counter *pc*."""
+        return Instruction(
+            mnemonic=self.mnemonic,
+            dst=self.dst,
+            srcs=self.srcs,
+            imm=self.imm,
+            target=self.target,
+            comment=self.comment,
+            pc=pc,
+        )
+
+    def __str__(self) -> str:
+        parts = [self.mnemonic]
+        if self.dst:
+            parts.append(self.dst)
+        parts.extend(self.srcs)
+        if self.imm:
+            parts.append(str(self.imm))
+        if self.target:
+            parts.append(f"-> {self.target}")
+        text = " ".join(parts)
+        if self.comment:
+            text += f"  # {self.comment}"
+        return text

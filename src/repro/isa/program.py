@@ -1,0 +1,84 @@
+"""Program container with label resolution.
+
+A :class:`Program` is an ordered list of instructions laid out at 4-byte
+spacing from a base address, plus a label -> PC map.  Branch/jump targets
+written as label names in the builder are resolved here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction, OpClass
+
+INSTRUCTION_BYTES = 4
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Attributes:
+        instructions: instructions in layout order, each bound to its PC.
+        labels: label name -> PC.
+        base_pc: PC of the first instruction.
+    """
+
+    instructions: list[Instruction]
+    labels: dict[str, int]
+    base_pc: int = 0x1000
+
+    def __post_init__(self) -> None:
+        self._by_pc = {inst.pc: inst for inst in self.instructions}
+        self._targets = {}
+        for inst in self.instructions:
+            if inst.target is not None:
+                if inst.target not in self.labels:
+                    raise ValueError(
+                        f"unresolved label {inst.target!r} at pc={inst.pc:#x}"
+                    )
+                self._targets[inst.pc] = self.labels[inst.target]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def at(self, pc: int) -> Instruction:
+        """Return the instruction at *pc* (KeyError if none)."""
+        return self._by_pc[pc]
+
+    def has_pc(self, pc: int) -> bool:
+        return pc in self._by_pc
+
+    def target_of(self, pc: int) -> int:
+        """Resolved branch/jump target PC of the instruction at *pc*."""
+        return self._targets[pc]
+
+    def pc_of_label(self, label: str) -> int:
+        return self.labels[label]
+
+    def next_pc(self, pc: int) -> int:
+        """Fall-through successor of *pc*."""
+        return pc + INSTRUCTION_BYTES
+
+    def pcs_matching(self, predicate) -> list[int]:
+        """PCs of instructions for which ``predicate(inst)`` is true.
+
+        Used by the PFM configuration layer to build snoop tables from
+        instruction annotations, mimicking how a real deployment would
+        derive RST/FST contents from the binary's symbol information.
+        """
+        return [i.pc for i in self.instructions if predicate(i)]
+
+    def pcs_with_comment(self, tag: str) -> list[int]:
+        """PCs whose instruction comment contains *tag*."""
+        return self.pcs_matching(lambda i: tag in i.comment)
+
+    def conditional_branch_pcs(self) -> list[int]:
+        return self.pcs_matching(lambda i: i.is_conditional_branch)
+
+    def static_mix(self) -> dict[OpClass, int]:
+        """Static instruction mix by operation class."""
+        mix: dict[OpClass, int] = {}
+        for inst in self.instructions:
+            mix[inst.op_class] = mix.get(inst.op_class, 0) + 1
+        return mix

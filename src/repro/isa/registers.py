@@ -1,0 +1,60 @@
+"""Architectural register names.
+
+The register file follows RISC-V conventions: 32 integer registers with the
+usual ABI aliases and 32 floating-point registers.  ``zero`` is hardwired to
+zero — writes to it are discarded, reads always return 0 — which the
+functional executor and the renamer both honour.
+"""
+
+from __future__ import annotations
+
+# ABI names for the 32 integer registers, in x0..x31 order.
+INT_REGISTERS: tuple[str, ...] = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+# ABI names for the 32 floating-point registers, in f0..f31 order.
+FP_REGISTERS: tuple[str, ...] = tuple(
+    name
+    for group in (
+        [f"ft{i}" for i in range(8)],
+        ["fs0", "fs1"],
+        [f"fa{i}" for i in range(8)],
+        [f"fs{i}" for i in range(2, 12)],
+        [f"ft{i}" for i in range(8, 12)],
+    )
+    for name in group
+)
+
+ZERO_REGISTER = "zero"
+
+_INT_SET = frozenset(INT_REGISTERS)
+_FP_SET = frozenset(FP_REGISTERS)
+
+
+def is_int_register(name: str) -> bool:
+    """Return True if *name* is one of the 32 integer registers."""
+    return name in _INT_SET
+
+
+def is_fp_register(name: str) -> bool:
+    """Return True if *name* is one of the 32 floating-point registers."""
+    return name in _FP_SET
+
+
+def register_index(name: str) -> int:
+    """Map a register name to a dense index (ints 0-31, floats 32-63).
+
+    The physical-register-file model in :mod:`repro.core` uses these dense
+    indices for its rename map.
+    """
+    if name in _INT_SET:
+        return INT_REGISTERS.index(name)
+    if name in _FP_SET:
+        return 32 + FP_REGISTERS.index(name)
+    raise ValueError(f"unknown register: {name!r}")

@@ -1,0 +1,28 @@
+"""Memory hierarchy substrate (Table 1 configuration).
+
+32 KB 8-way L1I and L1D (3-cycle L1D load-to-use), 256 KB 8-way L2
+(12 cycles), 8 MB 16-way L3 (42 cycles), 250-cycle DRAM; a next-2-line L1D
+prefetcher and a VLDP [Shevgoor et al., MICRO-48] L2/L3 prefetcher.
+
+Caches operate in the timestamp domain of the one-pass cycle model: each
+resident line carries its fill time, so an access that races an in-flight
+fill observes the remaining latency (MSHR hit-under-miss), and prefetch
+timeliness — the property the paper's adaptive-prefetch-distance feedback
+controls — is modelled rather than assumed.
+"""
+
+from repro.memory.cache import Cache, AccessResult
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+from repro.memory.prefetch_nextline import NextNLinePrefetcher
+from repro.memory.prefetch_vldp import VLDPPrefetcher
+from repro.memory.tlb import TLB
+
+__all__ = [
+    "Cache",
+    "AccessResult",
+    "HierarchyParams",
+    "MemoryHierarchy",
+    "NextNLinePrefetcher",
+    "VLDPPrefetcher",
+    "TLB",
+]

@@ -1,0 +1,148 @@
+"""Set-associative cache with timestamped lines and LRU replacement.
+
+Lines are tracked at 64-byte granularity.  Each resident line records its
+fill time; a probe at time *t* against a line with ``fill_time > t`` is an
+in-flight (MSHR) hit and observes the residual fill latency rather than a
+fresh miss.  A bounded miss heap models MSHR occupancy: when all MSHRs are
+busy, a new miss is delayed until the earliest outstanding fill returns.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+LINE_BYTES = 64
+LINE_SHIFT = 6
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of a cache probe."""
+
+    hit: bool  # resident (even if the fill is still in flight)
+    ready_time: int  # when the line's data is available at this level
+    in_flight: bool  # hit on a line whose fill has not completed yet
+
+
+class Cache:
+    """One cache level.
+
+    Args:
+        name: for statistics ("L1D", "L2", ...).
+        size_bytes / assoc: geometry; sets = size / (assoc * 64).
+        mshrs: max outstanding misses; further misses queue behind the
+            earliest outstanding fill.
+    """
+
+    def __init__(self, name: str, size_bytes: int, assoc: int, mshrs: int = 16):
+        self.name = name
+        self.assoc = assoc
+        self.num_sets = size_bytes // (assoc * LINE_BYTES)
+        if self.num_sets < 1 or self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: sets must be a positive power of two")
+        self._set_mask = self.num_sets - 1
+        # set index -> {tag: [last_use, fill_time, was_prefetch]}
+        self._sets: list[dict[int, list]] = [dict() for _ in range(self.num_sets)]
+        self._mshr_limit = mshrs
+        self._miss_heap: list[int] = []  # outstanding fill times
+        self.accesses = 0
+        self.misses = 0
+        self.prefetch_fills = 0
+        self.prefetch_useful = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _locate(self, line: int) -> tuple[dict, int]:
+        return self._sets[line & self._set_mask], line >> 0
+
+    def probe(self, line: int, now: int, *, count: bool = True) -> AccessResult | None:
+        """Look up *line* at time *now*; None on a true miss.
+
+        Updates LRU and prefetch-usefulness state on hits.
+        """
+        ways, tag = self._locate(line)
+        if count:
+            self.accesses += 1
+        entry = ways.get(tag)
+        if entry is None:
+            if count:
+                self.misses += 1
+            return None
+        entry[0] = max(entry[0], now)
+        if entry[2]:  # first demand touch of a prefetched line
+            entry[2] = False
+            self.prefetch_useful += 1
+        if entry[1] > now:
+            return AccessResult(hit=True, ready_time=entry[1], in_flight=True)
+        return AccessResult(hit=True, ready_time=now, in_flight=False)
+
+    def mshr_delay(self, now: int) -> int:
+        """Extra delay a new miss suffers at *now* from full MSHRs."""
+        heap = self._miss_heap
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        if len(heap) < self._mshr_limit:
+            return 0
+        return max(0, heap[0] - now)
+
+    def register_miss(self, fill_time: int) -> None:
+        heapq.heappush(self._miss_heap, fill_time)
+
+    def insert(
+        self,
+        line: int,
+        now: int,
+        fill_time: int,
+        prefetch: bool = False,
+        low_priority: bool = False,
+    ) -> None:
+        """Install *line*, evicting LRU if the set is full.
+
+        ``low_priority`` inserts at the LRU position (classic prefetch
+        anti-pollution insertion): the line is the set's first eviction
+        candidate until a demand access promotes it.
+        """
+        ways, tag = self._locate(line)
+        if tag not in ways and len(ways) >= self.assoc:
+            victim = min(ways, key=lambda t: ways[t][0])
+            del ways[victim]
+        use_time = now - (1 << 20) if low_priority else now
+        ways[tag] = [use_time, fill_time, prefetch]
+        if prefetch:
+            self.prefetch_fills += 1
+
+    def cap_fill(self, line: int, max_fill: int) -> None:
+        """Clamp *line*'s in-flight fill time to *max_fill*.
+
+        One-pass artifact repair: a prefetch processed earlier in program
+        order can carry a *later* timestamp than a demand access to the
+        same line; the demand would have issued the request first in real
+        time, so its miss latency bounds the line's fill.
+        """
+        ways, tag = self._locate(line)
+        entry = ways.get(tag)
+        if entry is not None and entry[1] > max_fill:
+            entry[1] = max_fill
+
+    def contains(self, line: int) -> bool:
+        ways, tag = self._locate(line)
+        return tag in ways
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+        self._miss_heap.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "prefetch_fills": self.prefetch_fills,
+            "prefetch_useful": self.prefetch_useful,
+        }

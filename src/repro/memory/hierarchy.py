@@ -1,0 +1,266 @@
+"""The full memory hierarchy: L1I/L1D + L2 + L3 + DRAM with prefetchers.
+
+Latencies follow Table 1 (load-to-use 3/12/42/250 cycles; the 1-cycle
+address generation lives in the core, the remainder here).  Demand
+accesses train the next-2-line L1D prefetcher; L1D misses (the L2 access
+stream) train VLDP, which prefetches into L2.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from dataclasses import dataclass, field
+
+from repro.memory.cache import Cache, LINE_SHIFT
+from repro.memory.prefetch_nextline import NextNLinePrefetcher
+from repro.memory.prefetch_vldp import VLDPPrefetcher
+from repro.memory.tlb import TLB
+
+
+@dataclass
+class HierarchyParams:
+    """Table 1 memory configuration."""
+
+    l1i_size: int = 32 * 1024
+    l1i_assoc: int = 8
+    l1d_size: int = 32 * 1024
+    l1d_assoc: int = 8
+    l2_size: int = 256 * 1024
+    l2_assoc: int = 8
+    l3_size: int = 8 * 1024 * 1024
+    l3_assoc: int = 16
+    # Load-to-use latencies (cycle 1 of a load is address generation,
+    # modelled in the core; the hierarchy contributes latency - 1).
+    l1_latency: int = 3
+    l2_latency: int = 12
+    l3_latency: int = 42
+    dram_latency: int = 250
+    l1d_mshrs: int = 16
+    l2_mshrs: int = 32
+    l3_mshrs: int = 64
+    # DRAM channel service rate: one 64B line every N cycles (bandwidth).
+    dram_service_interval: int = 2
+    nextline_degree: int = 2
+    vldp_degree: int = 4
+    enable_l1_prefetcher: bool = True
+    enable_vldp: bool = True
+    perfect_dcache: bool = False
+    tlb_entries: int = 1024
+    tlb_walk_latency: int = 50
+
+
+@dataclass
+class HierarchyStats:
+    demand_loads: int = 0
+    demand_stores: int = 0
+    agent_loads: int = 0
+    agent_prefetches: int = 0
+    ifetches: int = 0
+    dram_accesses: int = 0
+
+
+class MemoryHierarchy:
+    """Timestamp-domain cache hierarchy shared by core and Load Agent."""
+
+    def __init__(self, params: HierarchyParams | None = None):
+        self.params = params or HierarchyParams()
+        p = self.params
+        self.l1i = Cache("L1I", p.l1i_size, p.l1i_assoc, mshrs=8)
+        self.l1d = Cache("L1D", p.l1d_size, p.l1d_assoc, mshrs=p.l1d_mshrs)
+        self.l2 = Cache("L2", p.l2_size, p.l2_assoc, mshrs=p.l2_mshrs)
+        self.l3 = Cache("L3", p.l3_size, p.l3_assoc, mshrs=p.l3_mshrs)
+        self.tlb = TLB(p.tlb_entries, p.tlb_walk_latency)
+        self.nextline = NextNLinePrefetcher(p.nextline_degree)
+        self.vldp = VLDPPrefetcher(degree=p.vldp_degree)
+        self.stats = HierarchyStats()
+        # Dedicated outstanding-prefetch buffer for Load-Agent prefetch
+        # OPs: they neither consume demand MSHRs nor stall behind them;
+        # when the buffer is full new prefetches are dropped.
+        self._agent_pf_fills: list[int] = []
+        self._agent_pf_limit = 64
+        self.agent_prefetch_drops = 0
+        self._dram_next_slot = 0
+
+    # ------------------------------------------------------------------ #
+    # data side
+    # ------------------------------------------------------------------ #
+
+    def data_access(
+        self,
+        addr: int,
+        now: int,
+        *,
+        is_store: bool = False,
+        from_agent: bool = False,
+        is_prefetch: bool = False,
+    ) -> tuple[int, str]:
+        """Access the data hierarchy; return ``(data_ready_time, level)``.
+
+        *level* names where the access was satisfied ("L1D", "L2", "L3",
+        "DRAM") for statistics.  Agent prefetches install lines but their
+        ready time is only used for MLB/queue occupancy modelling.
+        """
+        p = self.params
+        if is_prefetch:
+            self.stats.agent_prefetches += 1
+        elif from_agent:
+            self.stats.agent_loads += 1
+        elif is_store:
+            self.stats.demand_stores += 1
+        else:
+            self.stats.demand_loads += 1
+
+        if p.perfect_dcache and not from_agent and not is_prefetch:
+            return now + p.l1_latency - 1, "L1D"
+
+        now += self.tlb.translate(addr, now)
+        line = addr >> LINE_SHIFT
+
+        result = self.l1d.probe(line, now)
+        if result is not None:
+            if result.in_flight:
+                # A fresh demand miss at *now* would complete within the
+                # DRAM latency; an in-flight fill requested "later" (a
+                # one-pass processing-order artifact) cannot be slower
+                # than that (see Cache.cap_fill).
+                cap = now + p.dram_latency - 1
+                if not is_prefetch and result.ready_time > cap:
+                    self.l1d.cap_fill(line, cap)
+                    ready = cap + 1
+                else:
+                    ready = result.ready_time + 1
+            else:
+                ready = now + p.l1_latency - 1
+            level = "L1D"
+        elif is_prefetch and self._prefetch_saturated(now):
+            # Prefetch request queue full: drop rather than queue a fill
+            # that would land later than a demand miss would.
+            self.agent_prefetch_drops += 1
+            return now, "DROP"
+        else:
+            ready, level = self._fill_from_l2(line, now, prefetch=is_prefetch)
+            if is_prefetch:
+                heapq.heappush(self._agent_pf_fills, ready)
+
+        if p.enable_l1_prefetcher and not is_prefetch and not from_agent:
+            for target in self.nextline.on_access(line, now):
+                self.prefetch_into_l1d(target, now)
+        return ready, level
+
+    def _prefetch_saturated(self, now: int) -> bool:
+        """True when the agent-prefetch request queue is full at *now*."""
+        heap = self._agent_pf_fills
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        return len(heap) >= self._agent_pf_limit
+
+    def _fill_from_l2(self, line: int, now: int, *, prefetch: bool) -> tuple[int, str]:
+        """L1D miss path: fetch *line* from L2/L3/DRAM, fill L1D.
+
+        Prefetches bypass the L1D demand MSHRs (they sit in a separate
+        prefetch request queue in hardware); L2/L3 MSHRs still bound total
+        outstanding traffic.
+        """
+        p = self.params
+        if not prefetch:
+            now += self.l1d.mshr_delay(now)
+
+        result = self.l2.probe(line, now)
+        if result is not None:
+            ready = (
+                result.ready_time + 1
+                if result.in_flight
+                else now + p.l2_latency - 1
+            )
+            level = "L2"
+        else:
+            ready, level = self._fill_from_l3(line, now)
+            self.l2.insert(line, now, ready)
+        if p.enable_vldp and not prefetch:
+            # VLDP trains on the demand L1-miss stream only; training it on
+            # agent run-ahead accesses would double-prefetch every line.
+            for target in self.vldp.on_access(line, now):
+                self.prefetch_into_l2(target, now)
+
+        if not prefetch:
+            self.l1d.register_miss(ready)
+        # Agent prefetch fills insert at LRU priority so far-ahead streams
+        # cannot thrash demand-near lines; first demand touch promotes.
+        self.l1d.insert(line, now, ready, prefetch=prefetch, low_priority=prefetch)
+        return ready, level
+
+    def _fill_from_l3(self, line: int, now: int) -> tuple[int, str]:
+        p = self.params
+        result = self.l3.probe(line, now)
+        if result is not None:
+            if result.in_flight:
+                return result.ready_time + 1, "L3"
+            return now + p.l3_latency - 1, "L3"
+        ready = self._dram_access(now)
+        self.stats.dram_accesses += 1
+        self.l3.insert(line, now, ready)
+        return ready, "DRAM"
+
+    def _dram_access(self, now: int) -> int:
+        """Issue one line fetch to the DRAM channel.
+
+        Fixed access latency plus a fixed per-line service interval — the
+        channel serves at most one line per interval, so saturation shows
+        up as graceful queuing delay for demand and prefetch alike.
+        """
+        slot = max(now, self._dram_next_slot)
+        self._dram_next_slot = slot + self.params.dram_service_interval
+        return slot + self.params.dram_latency - 1
+
+    # ------------------------------------------------------------------ #
+    # prefetch fills
+    # ------------------------------------------------------------------ #
+
+    def prefetch_into_l1d(self, line: int, now: int) -> None:
+        """Hardware-prefetcher fill into L1D (no demand statistics)."""
+        if self.l1d.contains(line):
+            return
+        result = self.l2.probe(line, now, count=False)
+        if result is not None:
+            ready = max(result.ready_time, now) + self.params.l2_latency - 1
+        else:
+            ready, _ = self._fill_from_l3(line, now)
+            self.l2.insert(line, now, ready)
+        self.l1d.insert(line, now, ready, prefetch=True)
+
+    def prefetch_into_l2(self, line: int, now: int) -> None:
+        """VLDP fill into L2."""
+        if self.l2.contains(line):
+            return
+        ready, _ = self._fill_from_l3(line, now)
+        self.l2.insert(line, now, ready, prefetch=True)
+
+    # ------------------------------------------------------------------ #
+    # instruction side
+    # ------------------------------------------------------------------ #
+
+    def inst_access(self, pc: int, now: int) -> int:
+        """Fetch the line holding *pc*; return its ready time."""
+        self.stats.ifetches += 1
+        line = pc >> LINE_SHIFT
+        result = self.l1i.probe(line, now)
+        if result is not None:
+            return result.ready_time if result.in_flight else now
+        l2_result = self.l2.probe(line, now)
+        if l2_result is not None:
+            base = l2_result.ready_time if l2_result.in_flight else now
+            ready = base + self.params.l2_latency - 1
+        else:
+            ready, _ = self._fill_from_l3(line, now)
+            self.l2.insert(line, now, ready)
+        self.l1i.insert(line, now, ready)
+        return ready
+
+    # ------------------------------------------------------------------ #
+
+    def level_stats(self) -> dict[str, dict[str, float]]:
+        return {
+            cache.name: cache.stats()
+            for cache in (self.l1i, self.l1d, self.l2, self.l3)
+        }

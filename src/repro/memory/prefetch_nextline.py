@@ -1,0 +1,24 @@
+"""Next-N-line L1D prefetcher (Table 1: next-N-line with N=2).
+
+On every demand access to line X it requests lines X+1..X+N.  Issued
+prefetches are returned to the hierarchy, which fetches them from wherever
+they currently live and installs them in L1D.
+"""
+
+from __future__ import annotations
+
+
+class NextNLinePrefetcher:
+    """Sequential next-line prefetcher."""
+
+    def __init__(self, degree: int = 2):
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        self.degree = degree
+        self.issued = 0
+
+    def on_access(self, line: int, now: int) -> list[int]:
+        """Lines to prefetch in response to a demand access to *line*."""
+        targets = [line + i for i in range(1, self.degree + 1)]
+        self.issued += len(targets)
+        return targets

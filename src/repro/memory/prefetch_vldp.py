@@ -1,0 +1,117 @@
+"""VLDP: Variable Length Delta Prefetcher [Shevgoor et al., MICRO-48 2015].
+
+The paper's L2/L3 prefetcher (Table 1, 5.5 Kb budget).  Per-page delta
+histories (DHB) feed a cascade of Delta Prediction Tables keyed by the
+last 1, 2, and 3 deltas; the longest-history matching DPT wins.  An Offset
+Prediction Table predicts the first delta of a freshly-touched page from
+its first-access offset.  Sizes follow the small hardware budget.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+LINES_PER_PAGE = 64  # 4 KB page / 64 B lines
+PAGE_SHIFT_LINES = 6
+
+
+class _DeltaTable:
+    """One DPT level: delta-sequence key -> (predicted delta, accuracy)."""
+
+    def __init__(self, entries: int):
+        self._entries = entries
+        self._table: OrderedDict[tuple, list] = OrderedDict()
+
+    def predict(self, key: tuple) -> int | None:
+        entry = self._table.get(key)
+        if entry is None:
+            return None
+        self._table.move_to_end(key)
+        return entry[0] if entry[1] >= 0 else None
+
+    def train(self, key: tuple, actual_delta: int) -> None:
+        entry = self._table.get(key)
+        if entry is None:
+            if len(self._table) >= self._entries:
+                self._table.popitem(last=False)
+            self._table[key] = [actual_delta, 0]
+            return
+        self._table.move_to_end(key)
+        if entry[0] == actual_delta:
+            entry[1] = min(3, entry[1] + 1)
+        else:
+            entry[1] -= 1
+            if entry[1] < -1:
+                entry[0] = actual_delta
+                entry[1] = 0
+
+
+class VLDPPrefetcher:
+    """Multi-level delta prefetcher operating on L2 (L1-miss) streams."""
+
+    def __init__(self, dhb_entries: int = 16, dpt_entries: int = 64, degree: int = 4):
+        self.degree = degree
+        # DHB: page -> [last_line_offset_global, deltas(list, newest last)]
+        self._dhb: OrderedDict[int, list] = OrderedDict()
+        self._dhb_entries = dhb_entries
+        self._dpts = [_DeltaTable(dpt_entries) for _ in range(3)]
+        self._opt: dict[int, int] = {}  # first offset -> first delta
+        self.issued = 0
+
+    def on_access(self, line: int, now: int) -> list[int]:
+        """Train on the L2 access to *line*; return lines to prefetch."""
+        page = line >> PAGE_SHIFT_LINES
+        entry = self._dhb.get(page)
+
+        if entry is None:
+            if len(self._dhb) >= self._dhb_entries:
+                self._dhb.popitem(last=False)
+            self._dhb[page] = [line, []]
+            offset = line & (LINES_PER_PAGE - 1)
+            first_delta = self._opt.get(offset)
+            if first_delta:
+                target = line + first_delta
+                self.issued += 1
+                return [target]
+            return []
+
+        self._dhb.move_to_end(page)
+        last_line, deltas = entry
+        delta = line - last_line
+        if delta == 0:
+            return []
+        entry[0] = line
+
+        if not deltas:
+            self._opt[last_line & (LINES_PER_PAGE - 1)] = delta
+        # Train each DPT on its history-length key.
+        for depth, dpt in enumerate(self._dpts, start=1):
+            if len(deltas) >= depth:
+                dpt.train(tuple(deltas[-depth:]), delta)
+        deltas.append(delta)
+        if len(deltas) > 4:
+            del deltas[0]
+
+        # Predict a chain of future deltas with the deepest matching DPT.
+        targets: list[int] = []
+        chain = list(deltas)
+        current = line
+        for _ in range(self.degree):
+            predicted = self._predict(chain)
+            if predicted is None:
+                break
+            current += predicted
+            targets.append(current)
+            chain.append(predicted)
+            if len(chain) > 4:
+                del chain[0]
+        self.issued += len(targets)
+        return targets
+
+    def _predict(self, deltas: list[int]) -> int | None:
+        for depth in (3, 2, 1):
+            if len(deltas) >= depth:
+                predicted = self._dpts[depth - 1].predict(tuple(deltas[-depth:]))
+                if predicted is not None:
+                    return predicted
+        return None

@@ -1,0 +1,40 @@
+"""TLB model.
+
+Both demand loads/stores and Load-Agent-injected loads "go through
+translation in the load/store execution lane" (Section 2.4), so agent
+loads pay TLB-miss walks exactly like demand accesses.
+"""
+
+from __future__ import annotations
+
+PAGE_BYTES = 4096
+PAGE_SHIFT = 12
+
+
+class TLB:
+    """Fully-associative LRU TLB with a fixed page-walk latency."""
+
+    def __init__(self, entries: int = 1024, walk_latency: int = 50):
+        self._entries = entries
+        self._walk_latency = walk_latency
+        self._pages: dict[int, int] = {}  # page -> last_use
+        self.accesses = 0
+        self.misses = 0
+
+    def translate(self, addr: int, now: int) -> int:
+        """Translate; return extra latency (0 on hit, walk latency on miss)."""
+        page = addr >> PAGE_SHIFT
+        self.accesses += 1
+        if page in self._pages:
+            self._pages[page] = now
+            return 0
+        self.misses += 1
+        if len(self._pages) >= self._entries:
+            victim = min(self._pages, key=self._pages.get)
+            del self._pages[victim]
+        self._pages[page] = now
+        return self._walk_latency
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

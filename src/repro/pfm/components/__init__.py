@@ -1,0 +1,36 @@
+"""The paper's custom components (Sections 4.1–4.3).
+
+* :mod:`repro.pfm.components.astar_bp` — the custom astar branch
+  predictor: three decoupled engines (T0–T2) over index_queue /
+  pred_queue / index1_queue / index1_CAM with inferred-store overrides.
+* :mod:`repro.pfm.components.bfs_engine` — bfs's combined
+  prefetcher/predictor: four decoupled engines (T0–T3) over frontier /
+  begin-address / trip-count / neighbor queues.
+* :mod:`repro.pfm.components.prefetchers` — the five custom prefetch
+  FSMs (libquantum, bwaves, lbm, milc, leslie) with the sampling-based
+  adaptive prefetch-distance feedback mechanism.
+"""
+
+from repro.pfm.components.astar_bp import AstarBranchPredictor
+from repro.pfm.components.bfs_engine import BfsEngine
+from repro.pfm.components.prefetchers import (
+    AdaptiveDistanceController,
+    BwavesPrefetcher,
+    LbmPrefetcher,
+    LesliePrefetcher,
+    LibquantumPrefetcher,
+    MilcPrefetcher,
+    StridePrefetchEngine,
+)
+
+__all__ = [
+    "AstarBranchPredictor",
+    "BfsEngine",
+    "AdaptiveDistanceController",
+    "StridePrefetchEngine",
+    "LibquantumPrefetcher",
+    "BwavesPrefetcher",
+    "LbmPrefetcher",
+    "MilcPrefetcher",
+    "LesliePrefetcher",
+]

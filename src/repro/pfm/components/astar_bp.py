@@ -1,0 +1,346 @@
+"""The custom astar branch predictor (Section 4.1.2, Figure 7).
+
+Three decoupled engines, "threads" in fixed hardware:
+
+* **T0** pre-allocates index_queue tail entries and issues loads to the
+  input worklist (one per RF cycle), tagging each load with its entry
+  number so out-of-order returns land in the right slot.
+* **T1** consumes valid index_queue entries in order at the speculative
+  head, computes the eight neighbour ``index1`` values with the snooped
+  ``yoffset``, records them in index1_queue, and issues the waymap and
+  maparp loads (two index1 / four loads per RF cycle at W=4).
+* **T2** converts returned predicate pairs into final predictions: an
+  ``index1`` hitting the index1_CAM means an older in-scope visit logically
+  stored ``fillnum`` (the loop-carried dependency automated pre-execution
+  misses), so the raw pair is overridden with [T, -]; a final [NT, NT]
+  writes ``index1`` into the CAM.
+
+Deviation from the figure (documented in DESIGN.md §5): T2 pushes the
+maparp prediction even when the waymap prediction is taken; the Fetch
+Agent discards predictions for branches the core never fetches.  This
+moves the paper's T2-side discard to the agent, costing strictly more
+IntQ-F bandwidth while making squash realignment exact.
+
+Commit-side windows (index_queue head H, pred_queue head H, CAM scope)
+advance on retire observations: ``iter_inc`` destination packets advance
+the iteration head; difficult-branch outcome packets and waymap store
+packets are consumed for the commit-side bookkeeping the real design
+uses to reconcile its replay queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pfm.component import CustomComponent, RFIo
+from repro.pfm.packets import ObsPacket, SquashPacket
+from repro.pfm.snoop import SnoopKind
+
+#: Neighbour plans: (row multiplier on yoffset, column delta).
+NEIGHBOUR_OFFSETS = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+
+_T1_ID_FLAG = 1 << 20
+
+
+@dataclass(slots=True)
+class _IterationSlot:
+    """One index_queue entry plus its pred_queue / index1_queue segment."""
+
+    iteration: int = -1
+    index_valid: bool = False
+    index: int = 0
+    t1_next_k: int = 0  # T1 progress through the 8 neighbours
+    index1: list = field(default_factory=lambda: [0] * 8)
+    way_value: list = field(default_factory=lambda: [None] * 8)
+    map_value: list = field(default_factory=lambda: [None] * 8)
+    t2_next_k: int = 0  # T2 progress converting pairs to finals
+    t2_way_pushed: bool = False  # waymap half of the current pair emitted
+
+
+class AstarBranchPredictor(CustomComponent):
+    """Figure 7's design as an RF-cycle-stepped model."""
+
+    name = "astar-custom-bp"
+
+    def __init__(self, timings, memory, metadata=None):
+        super().__init__(timings, memory, metadata)
+        meta = self.metadata
+        self.scope = int(meta.get("index_queue_entries", 8))
+        self.waymap_stride = int(meta.get("waymap_stride", 16))
+
+        # snooped values
+        self.fillnum: int | None = None
+        self.yoffset: int | None = None
+        self.worklist_base: int | None = None
+        self.waymap_base: int | None = None
+        self.maparp_base: int | None = None
+
+        self.enabled = False
+        self._slots = [_IterationSlot() for _ in range(self.scope)]
+        self._head = 0  # H: oldest unretired iteration (commit head)
+        self._spec_head = 0  # H': next iteration T1 consumes
+        self._t2_head = 0  # iteration T2 converts predictions for
+        self._tail = 0  # T: next iteration T0 allocates
+        # index1_CAM: index1 -> iteration that inferred a store, scoped to
+        # iterations in [H, tail).  64 entries at the default scope 8.
+        self._cam: dict[int, int] = {}
+        self._retired_branches = 0
+        self._call_gen = 0  # distinguishes in-flight loads across calls
+        self.predictions_made = 0
+        self.store_inferences = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _slot(self, iteration: int) -> _IterationSlot:
+        return self._slots[iteration % self.scope]
+
+    def _reset_call(self) -> None:
+        for slot in self._slots:
+            slot.iteration = -1
+            slot.index_valid = False
+            slot.t1_next_k = 0
+            slot.t2_next_k = 0
+            slot.t2_way_pushed = False
+            slot.way_value = [None] * 8
+            slot.map_value = [None] * 8
+        self._head = 0
+        self._spec_head = 0
+        self._t2_head = 0
+        self._tail = 0
+        self._cam.clear()
+        self._call_gen = (self._call_gen + 1) & 0xF
+
+    # ------------------------------------------------------------------ #
+    # observation handling
+    # ------------------------------------------------------------------ #
+
+    def _handle_obs(self, packet: ObsPacket, io: RFIo) -> None:
+        kind = packet.kind
+        if kind is SnoopKind.ROI_BEGIN:
+            self.enabled = True
+            self.fillnum = int(packet.value or 0)
+            return
+        tag = packet.tag
+        if kind is SnoopKind.DEST_VALUE:
+            if tag == "yoffset":
+                self.yoffset = int(packet.value)
+            elif tag == "worklist_base":
+                self.worklist_base = int(packet.value)
+                self._reset_call()
+                io.begin_new_call()
+            elif tag == "waymap_base":
+                self.waymap_base = int(packet.value)
+            elif tag == "maparp_base":
+                self.maparp_base = int(packet.value)
+            elif tag == "iter_inc":
+                # The snooped value is the loop induction variable after
+                # increment — the number of fully retired iterations.  An
+                # absolute count tolerates dropped packets.
+                self._advance_head_to(int(packet.value))
+        elif kind is SnoopKind.BRANCH_OUTCOME:
+            # pred_queue commit-head bookkeeping (replay-queue window).
+            self._retired_branches += 1
+        elif kind is SnoopKind.STORE_VALUE:
+            # Visited-marking store committed; commit-side reconciliation.
+            pass
+
+    def _advance_head_to(self, retired: int) -> None:
+        """Retired iterations: free index_queue entries and CAM scope."""
+        while self._head < min(retired, self._tail):
+            retiring = self._head
+            slot = self._slot(retiring)
+            stale = [i1 for i1, it in self._cam.items() if it == retiring]
+            for i1 in stale:
+                del self._cam[i1]
+            slot.iteration = -1
+            slot.index_valid = False
+            self._head += 1
+
+    # ------------------------------------------------------------------ #
+    # engines
+    # ------------------------------------------------------------------ #
+
+    def _t0(self, io: RFIo) -> None:
+        """Allocate the tail entry and load the next worklist index."""
+        if self.worklist_base is None:
+            return
+        if self._tail - self._head >= self.scope:
+            return  # index_queue full: wait for the commit head
+        iteration = self._tail
+        ident = (self._call_gen << 24) | (iteration % self.scope)
+        if not io.push_load(ident, self.worklist_base + iteration * 8):
+            return
+        slot = self._slot(iteration)
+        slot.iteration = iteration
+        slot.index_valid = False
+        slot.t1_next_k = 0
+        slot.t2_next_k = 0
+        slot.t2_way_pushed = False
+        slot.way_value = [None] * 8
+        slot.map_value = [None] * 8
+        self._tail += 1
+
+    def _t1(self, io: RFIo) -> None:
+        """Compute index1's for the speculative head; issue predicate loads."""
+        if self.yoffset is None or self.waymap_base is None or self.maparp_base is None:
+            return
+        pairs_budget = max(1, self.timings.width // 2)
+        while pairs_budget > 0:
+            if self._spec_head >= self._tail:
+                return
+            slot = self._slot(self._spec_head)
+            if not slot.index_valid:
+                return  # in-order consumption at H'
+            k = slot.t1_next_k
+            if k >= 8:
+                self._spec_head += 1
+                continue
+            if io.load_budget < 2 or not io.can_push_load():
+                return  # issue the pair atomically next cycle
+            row, col = NEIGHBOUR_OFFSETS[k]
+            index1 = slot.index + row * self.yoffset + col
+            way_addr = self.waymap_base + index1 * self.waymap_stride
+            map_addr = self.maparp_base + index1 * 8
+            ident_base = (
+                (self._call_gen << 24)
+                | _T1_ID_FLAG
+                | ((self._spec_head % self.scope) << 8)
+                | (k << 1)
+            )
+            if not io.push_load(ident_base, way_addr):
+                return
+            if not io.push_load(ident_base | 1, map_addr):
+                # IntQ-IS filled between the two pushes: re-issue the whole
+                # pair next cycle (the duplicate waymap load is harmless —
+                # the later return overwrites the same slot).
+                return
+            slot.index1[k] = index1
+            slot.t1_next_k = k + 1
+            pairs_budget -= 1
+
+    def _t2(self, io: RFIo) -> None:
+        """Convert complete predicate pairs to final predictions, in order."""
+        if self.fillnum is None:
+            return
+        while True:
+            if self._t2_head >= self._tail:
+                return
+            slot = self._slot(self._t2_head)
+            if slot.iteration != self._t2_head:
+                return
+            k = slot.t2_next_k
+            if k >= 8:
+                self._t2_head += 1
+                continue
+            way_val = slot.way_value[k]
+            map_val = slot.map_value[k]
+            if way_val is None or map_val is None:
+                return  # predicates not back yet
+            index1 = slot.index1[k]
+
+            way_taken = int(way_val) == self.fillnum  # visited -> skip
+            map_taken = int(map_val) != 0  # blocked -> skip
+            if not way_taken and index1 in self._cam:
+                # Inferred store: an older in-scope visit marked index1.
+                way_taken = True
+                self.store_inferences += 1
+
+            # The pair may straddle RF cycles at narrow widths (W=1): emit
+            # the waymap half first and remember it was pushed.
+            if not slot.t2_way_pushed:
+                if not io.push_pred(way_taken, tag=f"waymap:{k}"):
+                    return
+                self.predictions_made += 1
+                slot.t2_way_pushed = True
+            if not io.push_pred(map_taken, tag=f"maparp:{k}"):
+                return
+            self.predictions_made += 1
+            if not way_taken and not map_taken:
+                self._cam[index1] = self._t2_head
+            slot.t2_way_pushed = False
+            slot.t2_next_k = k + 1
+
+    # ------------------------------------------------------------------ #
+
+    def step(self, io: RFIo) -> None:
+        for _ in range(self.timings.width):
+            packet = io.pop_obs()
+            if packet is None:
+                break
+            if isinstance(packet, ObsPacket):
+                self._handle_obs(packet, io)
+        while True:
+            ret = io.pop_return()
+            if ret is None:
+                break
+            self._route_return(ret)
+        if not self.enabled:
+            return
+        self._t0(io)
+        self._t1(io)
+        self._t2(io)
+
+    def _route_return(self, ret) -> None:
+        ident = ret.ident
+        if (ident >> 24) & 0xF != self._call_gen:
+            return  # stale in-flight load from a previous call
+        if ident & _T1_ID_FLAG:
+            slot_idx = (ident >> 8) & 0xFF
+            k = (ident >> 1) & 0x7
+            is_maparp = ident & 1
+            slot = self._slots[slot_idx]
+            if is_maparp:
+                slot.map_value[k] = ret.value
+            else:
+                slot.way_value[k] = ret.value
+        else:
+            slot = self._slots[ident & 0xFF]
+            slot.index = int(ret.value)
+            slot.index_valid = True
+
+    def on_squash(self, packet: SquashPacket) -> None:
+        # T2's rollback/replay is a timing effect (the fabric floors the
+        # unconsumed prediction stream); value state needs no rewind in the
+        # correct-path model.
+        return None
+
+    def is_idle(self) -> bool:
+        if not self.enabled or self.worklist_base is None:
+            return True
+        if self._tail - self._head < self.scope:
+            return False  # T0 can allocate
+        for it in range(self._spec_head, self._tail):
+            slot = self._slot(it)
+            if slot.index_valid and slot.t1_next_k < 8:
+                return False
+        if self._t2_head < self._tail:
+            slot = self._slot(self._t2_head)
+            k = slot.t2_next_k
+            if (
+                slot.iteration == self._t2_head
+                and k < 8
+                and slot.way_value[k] is not None
+                and slot.map_value[k] is not None
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+
+    def structure(self) -> dict[str, int]:
+        """Structural inventory for the Table 4 cost model."""
+        scope = self.scope
+        return {
+            "queue_bits": scope * 33 + scope * 16 * 2 + scope * 8 * 24,
+            "cam_bits": scope * 8 * 24,
+            "comparators": 2 * self.timings.width + scope * 8 // 4,
+            "adders": 3 * self.timings.width,
+            "multipliers": 0,
+            "fsm_states": 12,
+            "table_bits": 0,
+            "width": self.timings.width,
+        }

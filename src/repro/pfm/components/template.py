@@ -1,0 +1,397 @@
+"""Templated run-ahead predictor generation (Section 7, future work).
+
+The paper observes that "the astar and bfs designs presented in this paper
+follow a similar strategy.  If this could be templated, it suggests a path
+toward automation."  This module implements that template for the
+worklist-sweep family: a declarative :class:`TemplateSpec` describes
+
+* where the input worklist lives and which retired counter advances its
+  commit head,
+* how each worklist item derives its checked indices (astar: the eight
+  neighbour ``index1`` expressions over the snooped ``yoffset``),
+* an ordered chain of guarded table checks per derived index (astar: the
+  waymap test then the maparp test), each naming the snooped table base,
+  element stride, predicate, and FST tag pattern,
+* whether entering the fully-not-taken path implies a store that must be
+  inferred for later in-window visits to the same derived index (the
+  index1_CAM behaviour).
+
+``TemplatedRunaheadPredictor`` synthesizes the T0/T1/T2 machinery from the
+spec.  ``astar_template_spec()`` reproduces the hand-written astar design;
+``tests/test_component_template.py`` shows it matches the hand-written
+component's accuracy and speedup — the "path toward automation" made
+concrete.  (bfs additionally needs a variable-fanout stage fed by the
+offsets array; that extension is future work here too.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.pfm.component import CustomComponent, RFIo
+from repro.pfm.packets import ObsPacket, SquashPacket
+from repro.pfm.snoop import SnoopKind
+
+_T1_ID_FLAG = 1 << 20
+
+
+@dataclass(frozen=True)
+class GuardedCheck:
+    """One guarded table check in the per-index chain.
+
+    The branch is predicted *taken* (skip the rest of the chain) when
+    ``predicate(loaded_value, env)`` is true; ``env`` holds the snooped
+    scalar values by tag.
+    """
+
+    name: str
+    base_tag: str  # snooped table base address (DEST_VALUE tag)
+    stride: int  # element stride in bytes
+    predicate: Callable[[float, dict], bool]
+    fst_tag: str  # format string with {k}: e.g. "waymap:{k}"
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    """Declarative description of a worklist-sweep run-ahead predictor."""
+
+    worklist_base_tag: str  # per-call input worklist base (resets the call)
+    head_counter_tag: str  # absolute retired-iteration counter
+    scalar_tags: tuple[str, ...]  # other snooped scalars (e.g. yoffset)
+    roi_value_name: str  # env name for the ROI-begin packet's value
+    derive: Callable[[int, dict], list[int]]  # item -> derived indices
+    checks: tuple[GuardedCheck, ...]
+    infer_stores: bool = True  # CAM over fully-not-taken derived indices
+    scope: int = 8  # worklist run-ahead entries
+
+    @property
+    def fanout(self) -> int:
+        # Derived-index count must be fixed for the template (v1).
+        return len(self.derive(0, _probe_env(self)))
+
+
+def _probe_env(spec: TemplateSpec) -> dict:
+    env = {tag: 0 for tag in spec.scalar_tags}
+    env[spec.roi_value_name] = 0
+    return env
+
+
+@dataclass(slots=True)
+class _Slot:
+    iteration: int = -1
+    item_valid: bool = False
+    item: int = 0
+    t1_next: int = 0  # next derived index to issue loads for
+    indices: list = field(default_factory=list)
+    values: list = field(default_factory=list)  # per index: list per check
+    t2_next: int = 0
+    t2_check_pushed: int = 0  # checks of the current index already pushed
+
+
+class TemplatedRunaheadPredictor(CustomComponent):
+    """Generic T0/T1/T2 run-ahead predictor generated from a spec.
+
+    Pass the :class:`TemplateSpec` as ``metadata["spec"]``.
+    """
+
+    name = "templated-runahead"
+
+    def __init__(self, timings, memory, metadata=None):
+        super().__init__(timings, memory, metadata)
+        self.spec: TemplateSpec = self.metadata["spec"]
+        self.scope = int(self.metadata.get("scope", self.spec.scope))
+        self.env: dict = {}
+        self.bases: dict[str, int] = {}
+        self.worklist_base: int | None = None
+        self.enabled = False
+
+        fanout = self.spec.fanout
+        nchecks = len(self.spec.checks)
+        self._fanout = fanout
+        self._nchecks = nchecks
+        self._slots = [self._fresh_slot() for _ in range(self.scope)]
+        self._head = 0
+        self._spec_head = 0
+        self._t2_head = 0
+        self._tail = 0
+        self._cam: dict[int, int] = {}
+        self._call_gen = 0
+        self.predictions_made = 0
+        self.store_inferences = 0
+
+    def _fresh_slot(self) -> _Slot:
+        return _Slot(
+            indices=[0] * self._fanout,
+            values=[[None] * self._nchecks for _ in range(self._fanout)],
+        )
+
+    def _slot(self, iteration: int) -> _Slot:
+        return self._slots[iteration % self.scope]
+
+    def _reset_call(self) -> None:
+        for i in range(self.scope):
+            self._slots[i] = self._fresh_slot()
+        self._head = self._spec_head = self._t2_head = self._tail = 0
+        self._cam.clear()
+        self._call_gen = (self._call_gen + 1) & 0xF
+
+    def _ready(self) -> bool:
+        return (
+            self.enabled
+            and self.worklist_base is not None
+            and all(tag in self.env for tag in self.spec.scalar_tags)
+            and all(check.base_tag in self.bases for check in self.spec.checks)
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _handle_obs(self, packet: ObsPacket, io: RFIo) -> None:
+        spec = self.spec
+        if packet.kind is SnoopKind.ROI_BEGIN:
+            self.enabled = True
+            self.env[spec.roi_value_name] = int(packet.value or 0)
+            return
+        if packet.kind is not SnoopKind.DEST_VALUE:
+            return
+        tag = packet.tag
+        if tag == spec.worklist_base_tag:
+            self.worklist_base = int(packet.value)
+            self._reset_call()
+            io.begin_new_call()
+        elif tag == spec.head_counter_tag:
+            self._advance_head_to(int(packet.value))
+        elif tag in spec.scalar_tags:
+            self.env[tag] = int(packet.value)
+        else:
+            for check in spec.checks:
+                if tag == check.base_tag:
+                    self.bases[tag] = int(packet.value)
+
+    def _advance_head_to(self, retired: int) -> None:
+        while self._head < min(retired, self._tail):
+            retiring = self._head
+            stale = [key for key, it in self._cam.items() if it == retiring]
+            for key in stale:
+                del self._cam[key]
+            slot = self._slot(retiring)
+            slot.iteration = -1
+            slot.item_valid = False
+            self._head += 1
+
+    # ------------------------------------------------------------------ #
+    # engines
+    # ------------------------------------------------------------------ #
+
+    def _t0(self, io: RFIo) -> None:
+        if self.worklist_base is None or self._tail - self._head >= self.scope:
+            return
+        iteration = self._tail
+        ident = (self._call_gen << 24) | (iteration % self.scope)
+        if not io.push_load(ident, self.worklist_base + iteration * 8):
+            return
+        self._slots[iteration % self.scope] = self._fresh_slot()
+        slot = self._slot(iteration)
+        slot.iteration = iteration
+        self._tail += 1
+
+    def _t1(self, io: RFIo) -> None:
+        if not self._ready():
+            return
+        budget = max(1, self.timings.width // max(1, self._nchecks))
+        while budget > 0:
+            if self._spec_head >= self._tail:
+                return
+            slot = self._slot(self._spec_head)
+            if not slot.item_valid:
+                return
+            position = slot.t1_next
+            if position >= self._fanout:
+                self._spec_head += 1
+                continue
+            if slot.t1_next == 0 and position == 0:
+                slot.indices = self.spec.derive(slot.item, self.env)
+            if io.load_budget < self._nchecks or not io.can_push_load():
+                return
+            index = slot.indices[position]
+            base_ident = (
+                (self._call_gen << 24)
+                | _T1_ID_FLAG
+                | ((self._spec_head % self.scope) << 8)
+                | (position << 2)
+            )
+            for check_idx, check in enumerate(self.spec.checks):
+                address = self.bases[check.base_tag] + index * check.stride
+                if not io.push_load(base_ident | check_idx, address):
+                    return  # reissue the group next cycle
+            slot.t1_next = position + 1
+            budget -= 1
+
+    def _t2(self, io: RFIo) -> None:
+        if not self._ready():
+            return
+        while True:
+            if self._t2_head >= self._tail:
+                return
+            slot = self._slot(self._t2_head)
+            if slot.iteration != self._t2_head:
+                return
+            position = slot.t2_next
+            if position >= self._fanout:
+                self._t2_head += 1
+                continue
+            values = slot.values[position]
+            if any(v is None for v in values):
+                return
+            index = slot.indices[position]
+
+            taken_chain = [
+                check.predicate(value, self.env)
+                for check, value in zip(self.spec.checks, values)
+            ]
+            if self.spec.infer_stores and not taken_chain[0] and index in self._cam:
+                taken_chain[0] = True
+                self.store_inferences += 1
+
+            while slot.t2_check_pushed < self._nchecks:
+                check_idx = slot.t2_check_pushed
+                check = self.spec.checks[check_idx]
+                if not io.push_pred(
+                    taken_chain[check_idx], tag=check.fst_tag.format(k=position)
+                ):
+                    return
+                self.predictions_made += 1
+                slot.t2_check_pushed += 1
+
+            if self.spec.infer_stores and not any(taken_chain):
+                self._cam[index] = self._t2_head
+            slot.t2_check_pushed = 0
+            slot.t2_next = position + 1
+
+    # ------------------------------------------------------------------ #
+
+    def step(self, io: RFIo) -> None:
+        for _ in range(self.timings.width):
+            packet = io.pop_obs()
+            if packet is None:
+                break
+            if isinstance(packet, ObsPacket):
+                self._handle_obs(packet, io)
+        while True:
+            ret = io.pop_return()
+            if ret is None:
+                break
+            self._route_return(ret)
+        if not self.enabled:
+            return
+        self._t0(io)
+        self._t1(io)
+        self._t2(io)
+
+    def _route_return(self, ret) -> None:
+        ident = ret.ident
+        if (ident >> 24) & 0xF != self._call_gen:
+            return
+        if ident & _T1_ID_FLAG:
+            slot = self._slots[(ident >> 8) & 0xFF]
+            position = (ident >> 2) & 0x3F
+            check_idx = ident & 0x3
+            if position < self._fanout and check_idx < self._nchecks:
+                slot.values[position][check_idx] = ret.value
+        else:
+            slot = self._slots[ident & 0xFF]
+            slot.item = int(ret.value)
+            slot.item_valid = True
+
+    def on_squash(self, packet: SquashPacket) -> None:
+        return None
+
+    def is_idle(self) -> bool:
+        if not self.enabled or self.worklist_base is None:
+            return True
+        if self._tail - self._head < self.scope:
+            return False
+        for it in range(self._spec_head, self._tail):
+            slot = self._slot(it)
+            if slot.item_valid and slot.t1_next < self._fanout:
+                return False
+        if self._t2_head < self._tail:
+            slot = self._slot(self._t2_head)
+            if (
+                slot.iteration == self._t2_head
+                and slot.t2_next < self._fanout
+                and all(v is not None for v in slot.values[slot.t2_next])
+            ):
+                return False
+        return True
+
+    def structure(self) -> dict[str, int]:
+        scope = self.scope
+        fanout = self._fanout
+        nchecks = self._nchecks
+        return {
+            "queue_bits": scope * 33 + scope * fanout * (nchecks + 24),
+            "cam_bits": scope * fanout * 24 if self.spec.infer_stores else 0,
+            "comparators": nchecks * self.timings.width + scope,
+            "adders": (1 + nchecks) * self.timings.width,
+            "multipliers": 0,
+            "fsm_states": 8 + 2 * nchecks,
+            "table_bits": 0,
+            "width": self.timings.width,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# the astar instantiation
+# ---------------------------------------------------------------------- #
+
+def astar_template_spec(scope: int = 8) -> TemplateSpec:
+    """The hand-written astar predictor, expressed declaratively."""
+
+    def derive(index: int, env: dict) -> list[int]:
+        yoffset = env["yoffset"]
+        return [
+            index - yoffset - 1, index - yoffset, index - yoffset + 1,
+            index - 1, index + 1,
+            index + yoffset - 1, index + yoffset, index + yoffset + 1,
+        ]
+
+    return TemplateSpec(
+        worklist_base_tag="worklist_base",
+        head_counter_tag="iter_inc",
+        scalar_tags=("yoffset",),
+        roi_value_name="fillnum",
+        derive=derive,
+        checks=(
+            GuardedCheck(
+                name="waymap",
+                base_tag="waymap_base",
+                stride=16,
+                predicate=lambda value, env: int(value) == env["fillnum"],
+                fst_tag="waymap:{k}",
+            ),
+            GuardedCheck(
+                name="maparp",
+                base_tag="maparp_base",
+                stride=8,
+                predicate=lambda value, env: int(value) != 0,
+                fst_tag="maparp:{k}",
+            ),
+        ),
+        infer_stores=True,
+        scope=scope,
+    )
+
+
+def make_astar_template_factory(scope: int = 8):
+    """Component factory for ``build_astar_workload(component_factory=...)``."""
+
+    def factory(timings, memory, metadata=None):
+        merged = dict(metadata or {})
+        merged["spec"] = astar_template_spec(
+            scope=int(merged.get("index_queue_entries", scope))
+        )
+        merged.setdefault("scope", merged["spec"].scope)
+        return TemplatedRunaheadPredictor(timings, memory, merged)
+
+    return factory

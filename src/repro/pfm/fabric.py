@@ -1,0 +1,324 @@
+"""PFM fabric: co-simulation of the RF component with the core.
+
+The cycle model is one-pass in program order (see :mod:`repro.core.core`);
+the fabric advances the component's RF clock lazily: when the core's fetch
+stage needs a prediction it advances RF cycles until the matching packet
+exists (or the component is provably quiescent — the §2.4 watchdog /
+chicken-switch path); observation pushes advance the component to keep it
+current.  All causality flows forward: every observation a component can
+need to predict a branch comes from instructions older than that branch,
+which the one-pass engine has already processed and timestamped.
+
+Squash/squash-done handshake cost: ``(D + 3) * C`` core cycles — one RF
+cycle for the squash packet crossing, ``D + 1`` RF cycles for rollback
+through the component pipeline, one RF cycle for the squash-done signal
+back through IntQ-F (Section 2.1); the Retire Agent stalls the retire unit
+until then, and unconsumed predictions are replayed at W per RF cycle.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import CoreParams, PFMParams
+from repro.core.resources import LaneScheduler
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pfm.component import CustomComponent, RFIo, RFTimings
+from repro.pfm.fetch_agent import FetchAgent
+from repro.pfm.load_agent import LoadAgent
+from repro.pfm.packets import ObsPacket, SquashPacket
+from repro.pfm.queues import TimedQueue
+from repro.pfm.retire_agent import RetireAgent
+from repro.pfm.snoop import Bitstream, SnoopKind
+from repro.workloads.mem import MemoryImage
+
+
+class PFMFabric:
+    """Everything on the RF side of the pipeline interface."""
+
+    def __init__(
+        self,
+        bitstream: Bitstream,
+        pfm: PFMParams,
+        core_params: CoreParams,
+        lanes: LaneScheduler,
+        hierarchy: MemoryHierarchy,
+        memory: MemoryImage,
+    ):
+        self.bitstream = bitstream
+        self.params = pfm
+        self.timings = RFTimings(pfm.clk_ratio, pfm.width, pfm.delay)
+        self.rst = bitstream.make_rst()
+        self.fst = bitstream.make_fst()
+        metadata = dict(bitstream.metadata)
+        metadata.update(pfm.component_overrides)
+        self.component: CustomComponent = bitstream.component_factory(
+            self.timings, memory, metadata
+        )
+        self.call_marker_pcs: frozenset[int] = frozenset(
+            metadata.get("call_marker_pcs", ())
+        )
+
+        c = pfm.clk_ratio
+        self.obs_q = TimedQueue("ObsQ-R", pfm.queue_size, crossing_latency=c)
+        self.intq_is = TimedQueue("IntQ-IS", pfm.queue_size)
+        self.retq = TimedQueue("ObsQ-EX", pfm.queue_size, crossing_latency=c)
+        self.fetch_agent = FetchAgent(pfm.queue_size, c, pfm.width)
+        self.retire_agent = RetireAgent(core_params, lanes, pfm.port)
+        self.load_agent = LoadAgent(
+            self.intq_is,
+            self.retq,
+            hierarchy,
+            memory,
+            lanes,
+            core_params.ls_lanes(),
+            mlb_entries=pfm.mlb_entries,
+            replay_period=pfm.mlb_replay_period,
+        )
+
+        self._io = RFIo(self.timings, self)
+        self.rf_cycle = 0
+        self.roi_active = False  # retire-side (component enabled)
+        self.roi_fetch_active = False  # fetch-side (stats / markers)
+        self.enabled = True  # chicken switch
+        self._pending_squashes: list[int] = []  # visible times
+        self._watchdog_budget = pfm.watchdog_rf_cycles
+        self.obs_dropped = 0
+        self.squashes_signalled = 0
+
+    # ------------------------------------------------------------------ #
+    # RF clock
+    # ------------------------------------------------------------------ #
+
+    def _now(self) -> int:
+        return self.timings.core_time(self.rf_cycle)
+
+    def _next_event_time(self) -> int | None:
+        times = []
+        if self._pending_squashes:
+            times.append(self._pending_squashes[0])
+        head = self.obs_q.head_visible_time()
+        if head is not None:
+            times.append(head)
+        head = self.retq.head_visible_time()
+        if head is not None:
+            times.append(head)
+        agent = self.load_agent.next_event_time()
+        if agent is not None:
+            times.append(agent)
+        return min(times) if times else None
+
+    def _step_rf(self) -> bool:
+        """Run one RF cycle; returns False when provably quiescent."""
+        if self.component.is_idle():
+            nxt = self._next_event_time()
+            if nxt is None:
+                return False
+            # Fast-forward dead RF cycles up to the next event.
+            c = self.timings.clk_ratio
+            target_cycle = max(self.rf_cycle, nxt // c)
+            self.rf_cycle = target_cycle
+        self._io.begin_cycle(self.rf_cycle)
+        self.load_agent.tick(self._io.now)
+        self.component.step(self._io)
+        self.rf_cycle += 1
+        return True
+
+    def advance_to(self, core_time: int) -> None:
+        """Run RF cycles whose window ends at or before *core_time*."""
+        if not self.enabled:
+            return
+        c = self.timings.clk_ratio
+        guard = self._watchdog_budget
+        while (self.rf_cycle + 1) * c <= core_time and guard > 0:
+            if not self._step_rf():
+                break
+            guard -= 1
+
+    # ------------------------------------------------------------------ #
+    # fetch side
+    # ------------------------------------------------------------------ #
+
+    def on_fetch(self, pc: int) -> None:
+        """Fetch-stage bookkeeping: ROI entry and per-call markers."""
+        if not self.roi_fetch_active:
+            entry = self.rst.lookup(pc)
+            if entry is not None and entry.kind is SnoopKind.ROI_BEGIN:
+                self.roi_fetch_active = True
+            return
+        if pc in self.call_marker_pcs:
+            self.fetch_agent.on_call_marker()
+
+    def predict(self, fst_tag: str, fetch_time: int) -> tuple[bool, int] | None:
+        """Supply the custom prediction for an FST-hit branch.
+
+        Returns ``(taken, effective_fetch_time)``, or None when the
+        watchdog fired or the component is quiescent — the caller then
+        uses the core's own predictor (§2.4).
+        """
+        if not self.enabled or not self.roi_active:
+            return None
+        self.advance_to(fetch_time)
+        if self.params.fetch_policy == "proceed":
+            # §2.4 non-stalling design: use the packet only if it is
+            # already waiting in IntQ-F; otherwise the fetch unit proceeds
+            # with the core's predictor (the caller records the drop debt).
+            return self.fetch_agent.try_pop(fst_tag, fetch_time, only_ready=True)
+        guard = self._watchdog_budget
+        while guard > 0:
+            result = self.fetch_agent.try_pop(fst_tag, fetch_time)
+            if result is not None:
+                return result
+            if not self._step_rf():
+                return None  # quiescent: prediction will never arrive
+            guard -= 1
+        self.enabled = False  # watchdog fired: chicken switch (§2.4)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # retire side
+    # ------------------------------------------------------------------ #
+
+    def on_retire(self, dyn, retire_time: int) -> int:
+        """Retire-stage hook; returns the (possibly stalled) retire time."""
+        if not self.enabled:
+            return retire_time
+        entry = self.rst.lookup(dyn.pc)
+        if entry is None:
+            return retire_time
+        if entry.kind is SnoopKind.ROI_BEGIN:
+            return self._begin_roi(dyn, entry, retire_time)
+        if not self.roi_active:
+            return retire_time
+        packet, send_time = self.retire_agent.build_packet(dyn, entry, retire_time)
+        self._obs_push(packet, send_time, droppable=entry.droppable)
+        return retire_time
+
+    def _begin_roi(self, dyn, entry, retire_time: int) -> int:
+        """Beginning of ROI (Section 2.1): squash, enable, begin packet."""
+        self.roi_active = True
+        packet, send_time = self.retire_agent.build_packet(dyn, entry, retire_time)
+        self._obs_push(packet, send_time, droppable=False)
+        return retire_time  # the core applies the pipeline squash
+
+    # Drop decision latency: a droppable packet waits at most this many RF
+    # cycles for ObsQ-R space before the Retire Agent discards it.
+    _DROP_PATIENCE_RF = 8
+
+    def _obs_push(self, packet: ObsPacket, send_time: int, droppable: bool) -> None:
+        self.advance_to(send_time)
+        guard = self._DROP_PATIENCE_RF if droppable else self._watchdog_budget
+        while not self.obs_q.can_push() and guard > 0:
+            if not self._step_rf():
+                break
+            guard -= 1
+        if not self.obs_q.can_push():
+            self.obs_dropped += 1
+            return
+        send_time = max(send_time, self.obs_q.earliest_push(send_time))
+        self.obs_q.push(send_time, packet)
+
+    def on_core_squash(self, squash_time: int, reason: str) -> int:
+        """Pipeline squash: run the squash/squash-done protocol.
+
+        Returns the squash-done time; the core floors subsequent retire
+        times to it (the Retire Agent stalls the retire unit, §2.1).
+        """
+        if not self.enabled or not self.roi_active:
+            return squash_time
+        self.squashes_signalled += 1
+        c = self.timings.clk_ratio
+        self._pending_squashes.append(squash_time + c)
+        squash_done = squash_time + (self.timings.delay + 3) * c
+        self.fetch_agent.apply_squash(squash_done)
+        return squash_done
+
+    # ------------------------------------------------------------------ #
+    # component-facing callbacks (used by RFIo)
+    # ------------------------------------------------------------------ #
+
+    def obs_peek(self, now: int):
+        if self._pending_squashes and self._pending_squashes[0] <= now:
+            return SquashPacket(core_time=self._pending_squashes[0], reason="squash")
+        return self.obs_q.peek_visible(now)
+
+    def obs_pop(self, now: int):
+        if self._pending_squashes and self._pending_squashes[0] <= now:
+            t = self._pending_squashes.pop(0)
+            packet = SquashPacket(core_time=t, reason="squash")
+            self.component.on_squash(packet)
+            return packet
+        if self.obs_q.peek_visible(now) is None:
+            return None
+        return self.obs_q.pop(now)
+
+    def return_pop(self, now: int):
+        if self.retq.peek_visible(now) is None:
+            return None
+        return self.retq.pop(now)
+
+    def pred_can_push(self) -> bool:
+        # Occupancy is evaluated at the packet's pipe-exit time by push();
+        # here just bound the total in-flight stream.
+        return self.fetch_agent.pending_count() < self.params.queue_size * 4
+
+    def pred_push(self, taken: bool, ready: int, tag: str) -> bool:
+        if not self.fetch_agent.can_push(ready):
+            return False
+        return self.fetch_agent.push(taken, ready, tag)
+
+    def pred_new_call(self) -> None:
+        self.fetch_agent.new_call()
+
+    def load_can_push(self) -> bool:
+        return self.intq_is.can_push()
+
+    def load_push(self, packet, ready: int) -> bool:
+        if not self.intq_is.can_push():
+            return False
+        self.intq_is.push(ready, packet)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # context isolation (Section 2.4)
+    # ------------------------------------------------------------------ #
+
+    def deprogram(self, now: int) -> None:
+        """Remove the context's component from RF and the Agents.
+
+        Section 2.4: "The system must not allow one context's custom
+        component in RF to observe another context in the core.  This can
+        be enforced by removing a context's custom component from RF and
+        the Agents when that context is swapped out."  Every queue is
+        flushed (nothing may be observed later) and the fabric disables
+        until :meth:`reprogram`.
+        """
+        self.enabled = False
+        self.roi_active = False
+        self.roi_fetch_active = False
+        self.obs_q.clear(now)
+        self.intq_is.clear(now)
+        self.retq.clear(now)
+        self.fetch_agent.new_call()  # drop all pending predictions
+        self._pending_squashes.clear()
+
+    def reprogram(self, now: int) -> None:
+        """Re-synthesize the component when the context is swapped back in.
+
+        The configuration bitstream rebuilds the component from scratch —
+        no state survives a context switch (that is the isolation
+        guarantee).  The ROI must be re-entered before the component
+        intervenes again.
+        """
+        metadata = dict(self.bitstream.metadata)
+        metadata.update(self.params.component_overrides)
+        self.component = self.bitstream.component_factory(
+            self.timings, self.load_agent._memory, metadata
+        )
+        self.rf_cycle = max(self.rf_cycle, now // self.timings.clk_ratio)
+        self.enabled = True
+
+    # ------------------------------------------------------------------ #
+
+    def queue_stats(self) -> dict[str, dict[str, int]]:
+        return {
+            q.name: q.stats() for q in (self.obs_q, self.intq_is, self.retq)
+        }

@@ -1,0 +1,185 @@
+"""Fetch Agent (Section 2.2).
+
+Sits between the core's fetch unit and the RF component.  PCs in the fetch
+bundle that hit the Fetch Snoop Table are supplied conditional branch
+predictions popped from the Intervention Queue at Fetch (IntQ-F); if the
+queue is empty because the component is running late, the fetch unit
+stalls until the packet arrives (the fetch-stall cycles the clkC_wW
+sensitivity studies measure).
+
+Stream alignment: every prediction carries ``(call_id, tag)``.  The agent
+drops packets from earlier calls and packets whose branch was skipped on
+the actual path (the component pushes a prediction for every *potential*
+FST branch; the agent discards those not encountered — a Fetch-Agent-side
+variant of the paper's T2-side discard, equivalent in outcome and simpler
+to realign after squashes; see DESIGN.md §5).  After a pipeline squash the
+squash/squash-done protocol re-floors the ready times of unconsumed
+packets, modelling the rollback + replay of Section 4.1.2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class _PendEntry:
+    call: int
+    seq: int
+    tag: str
+    taken: bool
+    ready: int
+
+
+class FetchAgentError(RuntimeError):
+    """Alignment invariant violated (model bug, not a workload condition)."""
+
+
+class FetchAgent:
+    """IntQ-F consumer side plus producer bookkeeping."""
+
+    # Max packets we allow dropping while searching for a tag match; the
+    # astar stream can legitimately skip up to a full iteration of pairs.
+    MAX_DROP_RUN = 64
+
+    def __init__(self, queue_size: int, clk_ratio: int, width: int):
+        self.queue_size = queue_size
+        self.clk_ratio = clk_ratio
+        self.width = width
+        self._pending: deque[_PendEntry] = deque()
+        self.producer_call = 0
+        self.producer_seq = 0
+        self.consumer_call = 0
+        self.predictions_supplied = 0
+        self.packets_dropped = 0
+        self.stall_cycles = 0
+        self.enabled = True  # chicken switch (§2.4)
+        self._fallback_debt: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # producer side (called from the component via the fabric)
+    # ------------------------------------------------------------------ #
+
+    def occupancy_at(self, now: int) -> int:
+        """IntQ-F entries resident at *now* (exited the delay pipeline)."""
+        return sum(1 for e in self._pending if e.ready <= now)
+
+    def can_push(self, now: int) -> bool:
+        return self.occupancy_at(now) < self.queue_size
+
+    def push(self, taken: bool, ready: int, tag: str) -> bool:
+        if not self.can_push(ready):
+            return False
+        self._pending.append(
+            _PendEntry(
+                call=self.producer_call,
+                seq=self.producer_seq,
+                tag=tag,
+                taken=taken,
+                ready=ready,
+            )
+        )
+        self.producer_seq += 1
+        return True
+
+    def new_call(self) -> None:
+        """Component signalled a new ROI call: flush the previous stream."""
+        self.packets_dropped += len(self._pending)
+        self._pending.clear()
+        self.producer_call += 1
+        self.producer_seq = 0
+
+    # ------------------------------------------------------------------ #
+    # consumer side (called from the core's fetch stage via the fabric)
+    # ------------------------------------------------------------------ #
+
+    def on_call_marker(self) -> None:
+        """Fetch unit reached a per-call marker PC: expect the next call."""
+        self.consumer_call += 1
+        self._fallback_debt.clear()
+
+    def note_fallback(self, tag: str) -> None:
+        """The core predicted FST branch *tag* itself (watchdog fallback).
+
+        The matching packet, if produced late, must be dropped instead of
+        consumed by a later instance of the same static branch — the
+        "count of how many late packets to drop" of Section 2.4.
+        """
+        self._fallback_debt[tag] = self._fallback_debt.get(tag, 0) + 1
+
+    def _drop_stale(self, fst_tag: str) -> None:
+        dropped_run = 0
+        while self._pending:
+            head = self._pending[0]
+            if head.call < self.consumer_call:
+                self._pending.popleft()
+                self.packets_dropped += 1
+                continue
+            debt = self._fallback_debt.get(head.tag, 0)
+            if debt and head.call == self.consumer_call:
+                self._fallback_debt[head.tag] = debt - 1
+                self._pending.popleft()
+                self.packets_dropped += 1
+                continue
+            if head.call == self.consumer_call and head.tag != fst_tag:
+                self._pending.popleft()
+                self.packets_dropped += 1
+                dropped_run += 1
+                if dropped_run > self.MAX_DROP_RUN:
+                    raise FetchAgentError(
+                        f"dropped {dropped_run} packets without matching "
+                        f"tag {fst_tag!r}: prediction stream misaligned"
+                    )
+                continue
+            break
+
+    def try_pop(
+        self, fst_tag: str, fetch_time: int, only_ready: bool = False
+    ) -> tuple[bool, int] | None:
+        """Pop the prediction for the FST branch *fst_tag*.
+
+        Returns ``(taken, effective_time)`` where effective_time >=
+        fetch_time reflects any stall waiting for the packet, or None if
+        the matching packet has not been produced yet (caller advances the
+        component and retries).
+
+        With ``only_ready`` (the §2.4 non-stalling Fetch Agent), a packet
+        whose ready time is in the future is left in place and None is
+        returned — the fetch unit proceeds with the core's predictor and
+        the late packet is dropped via the fallback-debt counter.
+        """
+        self._drop_stale(fst_tag)
+        if not self._pending:
+            return None
+        head = self._pending[0]
+        if head.call > self.consumer_call:
+            # Producer is already in a later call than the fetch unit —
+            # cannot happen with the marker ordering (model invariant).
+            raise FetchAgentError("producer call ahead of consumer call")
+        if head.tag != fst_tag:
+            return None
+        if only_ready and head.ready > fetch_time:
+            return None
+        self._pending.popleft()
+        effective = max(fetch_time, head.ready)
+        self.stall_cycles += effective - fetch_time
+        self.predictions_supplied += 1
+        return head.taken, effective
+
+    # ------------------------------------------------------------------ #
+    # squash protocol
+    # ------------------------------------------------------------------ #
+
+    def apply_squash(self, squash_done: int) -> None:
+        """Re-floor unconsumed packet timing after a pipeline squash.
+
+        The component replays recorded final predictions at W per RF cycle
+        once its rollback completes (Section 4.1.2).
+        """
+        for idx, entry in enumerate(self._pending):
+            replay_ready = squash_done + (idx // self.width + 1) * self.clk_ratio
+            entry.ready = max(entry.ready, replay_ready)
+
+    def pending_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,131 @@
+"""Load Agent (Section 2.3, Figure 5).
+
+Pops prefetch/load packets from the Intervention Queue at Issue (IntQ-IS)
+and injects them into a load/store execution lane when its issue port is
+idle.  Injected loads are handled specially by the core: no store-queue
+search, no wakeup/bypass, no PRF write — they only translate through the
+TLB and access the data cache, and their results steer back to the agent.
+
+Loads that miss are parked in the 64-entry Missed Load Buffer and replayed
+periodically until they hit; values return to the component via the
+Observation Queue at Execute (ObsQ-EX), possibly out of order, tagged with
+the component's unique identifier.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pfm.packets import LoadPacket, LoadReturn
+from repro.pfm.queues import TimedQueue
+from repro.workloads.mem import MemoryImage
+
+
+class LoadAgent:
+    """IntQ-IS consumer; ObsQ-EX producer."""
+
+    def __init__(
+        self,
+        intq: TimedQueue,
+        retq: TimedQueue,
+        hierarchy: MemoryHierarchy,
+        memory: MemoryImage,
+        lanes,
+        ls_lanes: tuple[int, ...],
+        mlb_entries: int = 64,
+        replay_period: int = 8,
+    ):
+        self._intq = intq
+        self._retq = retq
+        self._hierarchy = hierarchy
+        self._memory = memory
+        self._lanes = lanes
+        self._ls_lanes = ls_lanes
+        self._mlb_entries = mlb_entries
+        self._replay_period = replay_period
+        self._mlb_fills: list[int] = []  # outstanding missed-load fill times
+        self._pending_returns: list[tuple[int, LoadReturn]] = []  # (ready, ret)
+        self.loads_issued = 0
+        self.prefetches_issued = 0
+        self.load_misses = 0
+        self.replays = 0
+
+    # ------------------------------------------------------------------ #
+
+    def tick(self, now: int) -> None:
+        """Process IntQ-IS packets and return completions visible by *now*."""
+        while True:
+            packet = self._intq.peek_visible(now)
+            if packet is None:
+                break
+            visible = self._intq.head_visible_time()
+            self._intq.pop(now)
+            self._issue(packet, max(visible, 0))
+        self._flush_returns(now)
+
+    def _issue(self, packet: LoadPacket, earliest: int) -> None:
+        lane, issue_cycle = self._lanes.reserve(self._ls_lanes, earliest)
+        access_time = issue_cycle + 1  # address generation / translation
+        ready, level = self._hierarchy.data_access(
+            packet.address,
+            access_time,
+            from_agent=True,
+            is_prefetch=packet.is_prefetch,
+        )
+        if packet.is_prefetch:
+            self.prefetches_issued += 1
+            return
+        self.loads_issued += 1
+        if level != "L1D" or ready > access_time + 2:
+            ready = self._mlb_schedule(access_time, ready)
+        value = self._memory.load(packet.address)
+        ret = LoadReturn(ident=packet.ident, value=value, address=packet.address)
+        self._pending_returns.append((ready, ret))
+
+    def _mlb_schedule(self, issue_time: int, fill_time: int) -> int:
+        """Missed load: park in the MLB and replay until it hits.
+
+        The replay loop quantizes the effective latency to the replay
+        period; a full MLB delays acceptance until the earliest
+        outstanding fill drains.
+        """
+        self.load_misses += 1
+        heap = self._mlb_fills
+        while heap and heap[0] <= issue_time:
+            heapq.heappop(heap)
+        if len(heap) >= self._mlb_entries:
+            issue_time = max(issue_time, heap[0])
+        wait = max(0, fill_time - issue_time)
+        rounds = (wait + self._replay_period - 1) // self._replay_period
+        self.replays += rounds
+        ready = issue_time + rounds * self._replay_period + 1
+        heapq.heappush(heap, ready)
+        return ready
+
+    def _flush_returns(self, now: int) -> None:
+        """Push completed load values into ObsQ-EX, oldest-completion first."""
+        if not self._pending_returns:
+            return
+        self._pending_returns.sort(key=lambda item: item[0])
+        remaining: list[tuple[int, LoadReturn]] = []
+        for ready, ret in self._pending_returns:
+            if ready <= now and self._retq.can_push():
+                self._retq.push(ready, ret)
+            else:
+                remaining.append((ready, ret))
+        self._pending_returns = remaining
+
+    # ------------------------------------------------------------------ #
+
+    def next_event_time(self) -> int | None:
+        """Earliest future time at which this agent has work (fast-forward)."""
+        times = [ready for ready, _ in self._pending_returns]
+        head = self._intq.head_visible_time()
+        if head is not None:
+            times.append(head)
+        return min(times) if times else None
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending_returns) + self._intq.occupancy

@@ -1,0 +1,127 @@
+"""Finite communication queues in the timestamp domain.
+
+The one-pass cycle model binds events to timestamps rather than stepping
+every queue every cycle.  A :class:`TimedQueue` therefore tracks, for each
+entry, when it was pushed and when it was popped; capacity back-pressure
+falls out of the invariant that push *n* cannot complete before pop
+*n - capacity* has happened.
+
+A fixed crossing latency models the core/RF clock-domain synchronizers on
+each queue's read side.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class QueueFullError(RuntimeError):
+    """Push attempted while the consumer has not freed an entry yet."""
+
+
+class TimedQueue:
+    """Bounded FIFO whose pushes and pops carry timestamps.
+
+    Entries become visible to the consumer ``crossing_latency`` time units
+    after their push time.
+    """
+
+    def __init__(self, name: str, capacity: int, crossing_latency: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.crossing_latency = crossing_latency
+        self._entries: deque[tuple[int, object]] = deque()  # (visible_time, item)
+        self._pop_times: deque[int] = deque(maxlen=capacity)
+        self.pushes = 0
+        self.pops = 0
+        self.push_backpressure = 0
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def can_push(self) -> bool:
+        return len(self._entries) < self.capacity
+
+    def earliest_push(self, now: int) -> int:
+        """Earliest time >= *now* a push can take effect.
+
+        If the queue is full, that is the pop time of the oldest entry
+        still occupying space — which requires the consumer to have popped
+        (advance the consumer first if this returns a past-full condition).
+        """
+        if len(self._entries) < self.capacity:
+            return now
+        if not self._pop_times:
+            raise QueueFullError(f"{self.name}: full and consumer never popped")
+        return max(now, self._pop_times[0])
+
+    def push(self, now: int, item) -> int:
+        """Push at time *now*; return the effective push time."""
+        if len(self._entries) >= self.capacity:
+            self.push_backpressure += 1
+            raise QueueFullError(f"{self.name}: push while full")
+        self._entries.append((now + self.crossing_latency, item))
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        return now
+
+    # ------------------------------------------------------------------ #
+
+    def peek_visible(self, now: int):
+        """Head item if visible at *now*, else None."""
+        if not self._entries:
+            return None
+        visible_time, item = self._entries[0]
+        if visible_time > now:
+            return None
+        return item
+
+    def head_visible_time(self) -> int | None:
+        """Visible time of the head entry, or None if empty."""
+        if not self._entries:
+            return None
+        return self._entries[0][0]
+
+    def pop(self, now: int):
+        """Pop the head entry at time *now* (must be visible)."""
+        if not self._entries:
+            raise IndexError(f"{self.name}: pop from empty queue")
+        visible_time, item = self._entries[0]
+        if visible_time > now:
+            raise IndexError(f"{self.name}: head not visible until {visible_time}")
+        self._entries.popleft()
+        self._pop_times.append(now)
+        self.pops += 1
+        return item
+
+    def drain(self, now: int) -> list:
+        """Pop every entry visible at *now*."""
+        out = []
+        while self._entries and self._entries[0][0] <= now:
+            out.append(self.pop(now))
+        return out
+
+    def clear(self, now: int) -> int:
+        """Drop all entries (squash recovery); returns how many were dropped.
+
+        Dropped entries count as popped for capacity purposes.
+        """
+        dropped = len(self._entries)
+        for _ in range(dropped):
+            self._entries.popleft()
+            self._pop_times.append(now)
+        return dropped
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "max_occupancy": self.max_occupancy,
+            "backpressure": self.push_backpressure,
+        }

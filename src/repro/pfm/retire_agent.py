@@ -1,0 +1,83 @@
+"""Retire Agent (Section 2.1).
+
+Matches retiring PCs against the Retire Snoop Table and constructs
+observation packets for the component:
+
+* destination value packets read the physical register file through ports
+  shared with the execution lanes (the ``portP`` sweep).  The controller
+  holds the retiring instruction's tag at a 2:1 mux on the shared port
+  until the owning lane has an idle cycle.
+* store value packets come from the head of the store queue — no port.
+* branch outcome packets come from the head of the fetch unit's branch
+  queue — no port.
+
+It also runs the squash / squash-done synchronization protocol: on a
+pipeline squash the agent sends a squash packet and stalls the retire
+unit until the component's squash-done arrives via the Fetch Agent.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import PORT_ALL, PORT_LS, PORT_LS1, CoreParams
+from repro.core.resources import LaneScheduler
+from repro.pfm.packets import ObsPacket
+from repro.pfm.snoop import RSTEntry, SnoopKind
+from repro.workloads.trace import DynInst
+
+
+class RetireAgent:
+    """Observation-packet construction with PRF port contention."""
+
+    def __init__(self, core_params: CoreParams, lanes: LaneScheduler, port: str):
+        self._lanes = lanes
+        if port == PORT_ALL:
+            self._port_lanes = tuple(range(core_params.num_lanes))
+        elif port == PORT_LS:
+            self._port_lanes = core_params.ls_lanes()
+        elif port == PORT_LS1:
+            self._port_lanes = core_params.ls_lanes()[:1]
+        else:
+            raise ValueError(f"unknown port option {port!r}")
+        self.port_delay_cycles = 0
+        self.packets_built = 0
+
+    def build_packet(
+        self, dyn: DynInst, entry: RSTEntry, retire_time: int
+    ) -> tuple[ObsPacket, int]:
+        """Construct the observation packet; return it with its send time."""
+        kind = entry.kind
+        if kind is SnoopKind.DEST_VALUE:
+            send_time = self._lanes.earliest_free_port(self._port_lanes, retire_time)
+            self.port_delay_cycles += send_time - retire_time
+            packet = ObsPacket(
+                kind=kind,
+                tag=entry.tag,
+                pc=dyn.pc,
+                value=dyn.dst_value,
+                # Loads carry their effective address: table-mimicking
+                # components (astar-alt) key their active updates on it.
+                address=dyn.mem_addr,
+            )
+        elif kind is SnoopKind.STORE_VALUE:
+            send_time = retire_time
+            packet = ObsPacket(
+                kind=kind,
+                tag=entry.tag,
+                pc=dyn.pc,
+                value=dyn.store_value,
+                address=dyn.mem_addr,
+            )
+        elif kind is SnoopKind.BRANCH_OUTCOME:
+            send_time = retire_time
+            packet = ObsPacket(kind=kind, tag=entry.tag, pc=dyn.pc, taken=dyn.taken)
+        elif kind in (SnoopKind.ROI_BEGIN, SnoopKind.ROI_END):
+            # ROI markers may double as value snoops (astar's line 1 both
+            # begins the ROI and produces fillnum), so carry the value.
+            send_time = retire_time
+            packet = ObsPacket(
+                kind=kind, tag=entry.tag, pc=dyn.pc, value=dyn.dst_value
+            )
+        else:  # pragma: no cover - exhaustive over SnoopKind
+            raise ValueError(f"unhandled snoop kind {kind}")
+        self.packets_built += 1
+        return packet, send_time

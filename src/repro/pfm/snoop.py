@@ -1,0 +1,119 @@
+"""Snoop tables and the configuration bitstream.
+
+The paper (Section 2, Figure 4): "A configuration bitstream shipped with the
+executable synthesizes the custom microarchitecture component in the FPGA
+and configures the Fetch Snoop Table (FST) and Retire Snoop Table (RST)".
+
+Here the bitstream is an object bundling RST/FST entries with a component
+factory.  RST entries carry a *kind* — which of the paper's three
+observation packet types the Retire Agent constructs on a hit (plus the
+begin-of-ROI marker) — and a *tag* naming the snooped quantity so the
+component knows what it received (standing in for the entry index a real
+design would use).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class SnoopKind(enum.Enum):
+    """RST entry kinds (Section 2.1)."""
+
+    ROI_BEGIN = "roi_begin"
+    ROI_END = "roi_end"
+    DEST_VALUE = "dest_value"
+    STORE_VALUE = "store_value"
+    BRANCH_OUTCOME = "branch_outcome"
+
+
+@dataclass(frozen=True, slots=True)
+class RSTEntry:
+    """One Retire Snoop Table entry: match PC, packet kind, semantic tag.
+
+    ``droppable`` marks high-rate packets the Retire Agent may drop when
+    ObsQ-R is full (absolute-valued counters, commit-side bookkeeping);
+    configuration values (bases, yoffset) are never dropped — the agent
+    delays them until the component frees queue space.
+    """
+
+    pc: int
+    kind: SnoopKind
+    tag: str
+    droppable: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class FSTEntry:
+    """One Fetch Snoop Table entry: match PC and semantic tag."""
+
+    pc: int
+    tag: str
+
+
+class RetireSnoopTable:
+    """PC-indexed lookup of RST entries."""
+
+    def __init__(self, entries: list[RSTEntry]):
+        self._by_pc: dict[int, RSTEntry] = {}
+        for entry in entries:
+            if entry.pc in self._by_pc:
+                raise ValueError(f"duplicate RST pc {entry.pc:#x}")
+            self._by_pc[entry.pc] = entry
+        self.entries = list(entries)
+
+    def lookup(self, pc: int) -> RSTEntry | None:
+        return self._by_pc.get(pc)
+
+    def __len__(self) -> int:
+        return len(self._by_pc)
+
+
+class FetchSnoopTable:
+    """PC-indexed lookup of FST entries."""
+
+    def __init__(self, entries: list[FSTEntry]):
+        self._by_pc: dict[int, FSTEntry] = {}
+        for entry in entries:
+            if entry.pc in self._by_pc:
+                raise ValueError(f"duplicate FST pc {entry.pc:#x}")
+            self._by_pc[entry.pc] = entry
+        self.entries = list(entries)
+
+    def lookup(self, pc: int) -> FSTEntry | None:
+        return self._by_pc.get(pc)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._by_pc
+
+    def __len__(self) -> int:
+        return len(self._by_pc)
+
+
+@dataclass
+class Bitstream:
+    """Configuration shipped with an executable.
+
+    Attributes:
+        name: human-readable component name.
+        rst_entries / fst_entries: snoop table contents.
+        component_factory: builds the custom component; called with the RF
+            timing parameters and the shared memory image when the fabric
+            is programmed.
+        metadata: component-specific structural parameters (queue depths,
+            strides, ...), the knobs the sensitivity studies sweep.
+    """
+
+    name: str
+    rst_entries: list[RSTEntry]
+    fst_entries: list[FSTEntry]
+    component_factory: Callable
+    metadata: dict = field(default_factory=dict)
+
+    def make_rst(self) -> RetireSnoopTable:
+        return RetireSnoopTable(self.rst_entries)
+
+    def make_fst(self) -> FetchSnoopTable:
+        return FetchSnoopTable(self.fst_entries)

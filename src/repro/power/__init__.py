@@ -1,0 +1,24 @@
+"""Power, energy, and FPGA cost models (Section 5).
+
+The paper uses McPAT for core energy and Vivado post-place-and-route
+analysis for the FPGA-synthesized components.  Neither tool is available
+here, so this package substitutes analytic models (DESIGN.md §3):
+
+* :mod:`repro.power.core_energy` — event-based core energy (per-event
+  energies for fetch/rename/issue/PRF/cache/DRAM activity plus static
+  power), sufficient for the *relative* core+RF comparison of Figure 18.
+* :mod:`repro.power.fpga` — structural resource estimator (LUT/FF/BRAM/
+  DSP/frequency/power) driven by each component's structural inventory,
+  with coefficients calibrated against the paper's Table 4.
+"""
+
+from repro.power.core_energy import CoreEnergyModel, EnergyBreakdown
+from repro.power.fpga import FPGAEstimate, FPGAModel, ASTAR_ALT_STRUCTURE
+
+__all__ = [
+    "CoreEnergyModel",
+    "EnergyBreakdown",
+    "FPGAEstimate",
+    "FPGAModel",
+    "ASTAR_ALT_STRUCTURE",
+]

@@ -1,0 +1,131 @@
+"""Command-line simulation driver.
+
+Examples::
+
+    python -m repro.sim --workload astar --window 30000
+    python -m repro.sim --workload astar --pfm "clk4_w4, delay4, portLS1"
+    python -m repro.sim --workload bfs-roads --perfect-bp --perfect-dcache
+    python -m repro.sim --workload libquantum --pfm clk4_w1 --report
+
+``--pfm`` takes the paper's Section 3 notation; ``--compare`` also runs
+the plain baseline and prints the speedup; ``--report`` adds the detailed
+breakdown (per-level cache stats, stall cycles, agent activity, energy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import SimConfig, SimStats, simulate
+from repro.experiments.runner import build_workload, parse_config_label
+from repro.power.core_energy import CoreEnergyModel
+
+WORKLOADS = (
+    "astar",
+    "astar-alt",
+    "bfs-roads",
+    "bfs-youtube",
+    "libquantum",
+    "bwaves",
+    "lbm",
+    "milc",
+    "leslie",
+)
+
+
+def _build(name: str):
+    if name == "astar-alt":
+        from repro.workloads.astar import build_astar_alt_workload
+
+        return build_astar_alt_workload()
+    return build_workload(name)
+
+
+def detailed_report(stats: SimStats) -> str:
+    lines = [stats.summary(), ""]
+    lines.append("memory hierarchy:")
+    for level, level_stats in (stats.memory_levels or {}).items():
+        lines.append(
+            f"  {level:<4} accesses {level_stats['accesses']:>8.0f}"
+            f"  misses {level_stats['misses']:>8.0f}"
+            f"  miss rate {100 * level_stats['miss_rate']:5.1f}%"
+        )
+    lines.append(f"  load hits by level: {stats.load_hits_by_level}")
+    lines.append("")
+    lines.append("front end:")
+    lines.append(f"  I-cache stall cycles   {stats.fetch_stall_icache_cycles}")
+    lines.append(f"  BTB miss bubbles       {stats.btb_miss_bubbles}")
+    lines.append(f"  RAS mispredicts        {stats.ras_mispredicts}")
+    lines.append(f"  store forwards         {stats.store_forwards}")
+    if stats.agent_loads or stats.agent_prefetches:
+        lines.append("")
+        lines.append("load agent:")
+        lines.append(f"  loads issued           {stats.agent_loads}")
+        lines.append(f"  prefetches issued      {stats.agent_prefetches}")
+        lines.append(f"  missed loads / replays "
+                     f"{stats.agent_load_misses} / {stats.mlb_replays}")
+        lines.append(f"  PRF port delay cycles  {stats.prf_port_delay_cycles}")
+    energy = CoreEnergyModel().energy(stats)
+    lines.append("")
+    lines.append(
+        f"core energy: {energy.total_nj / 1000:.1f} uJ "
+        f"(dynamic {energy.dynamic_nj / 1000:.1f}, "
+        f"speculation {energy.wasted_speculation_nj / 1000:.1f}, "
+        f"static {energy.static_nj / 1000:.1f})"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description="Simulate a workload on the PFM substrate.",
+    )
+    parser.add_argument("--workload", choices=WORKLOADS, required=True)
+    parser.add_argument("--window", type=int, default=40_000,
+                        help="dynamic instructions to simulate")
+    parser.add_argument("--pfm", metavar="CONFIG", default=None,
+                        help='PFM parameters, e.g. "clk4_w4, delay4, portLS1"')
+    parser.add_argument("--perfect-bp", action="store_true",
+                        help="idealize branch prediction")
+    parser.add_argument("--perfect-dcache", action="store_true",
+                        help="idealize the data cache")
+    parser.add_argument("--compare", action="store_true",
+                        help="also run the plain baseline and report speedup")
+    parser.add_argument("--report", action="store_true",
+                        help="print the detailed breakdown")
+    args = parser.parse_args(argv)
+
+    pfm = parse_config_label(args.pfm) if args.pfm else None
+    config = SimConfig(
+        max_instructions=args.window,
+        pfm=pfm,
+        perfect_branch_prediction=args.perfect_bp,
+        perfect_dcache=args.perfect_dcache,
+    )
+
+    started = time.time()
+    stats = simulate(_build(args.workload), config)
+    elapsed = time.time() - started
+
+    print(f"workload {args.workload}, window {args.window} "
+          f"({elapsed:.1f}s wall clock)")
+    if pfm is not None:
+        print(f"PFM: {pfm.label()}")
+    print()
+    print(detailed_report(stats) if args.report else stats.summary())
+
+    if args.compare:
+        baseline = simulate(
+            _build(args.workload), SimConfig(max_instructions=args.window)
+        )
+        print()
+        print(f"baseline IPC {baseline.ipc:.3f} -> {stats.ipc:.3f}: "
+              f"{100 * stats.speedup_over(baseline):+.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

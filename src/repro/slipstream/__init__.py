@@ -1,0 +1,13 @@
+"""Slipstream 2.0 comparator (Srinivasan et al., ISCA 2020).
+
+A simplified model of the state-of-the-art branch pre-execution
+architecture the paper compares against in Figure 2 and Section 1.1.
+"""
+
+from repro.slipstream.model import (
+    SlipstreamOracle,
+    make_astar_slipstream,
+    make_bfs_slipstream,
+)
+
+__all__ = ["SlipstreamOracle", "make_astar_slipstream", "make_bfs_slipstream"]

@@ -1,0 +1,156 @@
+"""Slipstream 2.0 branch pre-execution model (Section 1.1 / Figure 2).
+
+Slipstream runs a pruned *leading* thread ahead of the *trailing* thread;
+the leading thread pre-executes hard branches by removing their
+control-dependent regions and forwards outcomes.  For astar, Section 1.1
+(following Srinivasan et al. §IV.A.1) identifies its two limitations:
+
+1. Branch 2 (*maparp*) cannot be pre-executed because it is skipped-over
+   when branch 1's CD region is pruned — it falls back to the core's own
+   predictor here.
+2. A non-negligible fraction of branch 1 (*waymap*) instances are
+   pre-executed incorrectly because pruning the CD region removes the
+   loop-carried store to ``waymap[index1].fillnum``: the leading thread
+   runs with a stale view of the array, one run-ahead window behind.
+
+The paper evaluates slipstream with two tailored optimizations (hardwired
+pruning predictor, local-squash recovery instead of leading-thread
+restarts); both are modelled — ``restart_penalty=0`` is the local-squash
+variant, a positive value charges a leading-thread rollback per incorrect
+pre-execution (the paper notes the speedup is "substantially lower with
+restarts").
+
+The model plugs into the core as a :class:`SlipstreamOracle`: it observes
+the retired stream (tracking the visited-marking stores with a run-ahead
+delay) and overrides predictions for the pre-executed branch population.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.workloads.base import Workload
+from repro.workloads.trace import DynInst
+
+
+class SlipstreamOracle:
+    """Pre-executed predictions for one population of hard branches.
+
+    Args:
+        branch_pcs: PCs of the pre-executed branches (branch 1 instances).
+        store_pcs: PCs of the pruned loop-carried stores.
+        load_pcs: PCs of the loads feeding the pre-executed branches; the
+            model pairs each branch with its feeding load's address.
+        lead_instructions: leading-thread run-ahead, in dynamic
+            instructions — stores younger than this are invisible to the
+            leading thread's pre-execution.
+        restart_penalty: extra front-end stall cycles charged when a
+            pre-execution is found incorrect (0 = local-squash recovery).
+    """
+
+    def __init__(
+        self,
+        branch_pcs: set[int],
+        store_pcs: set[int],
+        load_pcs: set[int],
+        lead_instructions: int = 400,
+        restart_penalty: int = 0,
+    ):
+        self.branch_pcs = frozenset(branch_pcs)
+        self.store_pcs = frozenset(store_pcs)
+        self.load_pcs = frozenset(load_pcs)
+        self.lead = lead_instructions
+        self.restart_penalty = restart_penalty
+        # Addresses stored-to within the leading thread's blind window.
+        self._recent_stores: deque[tuple[int, int]] = deque()  # (seq, addr)
+        self._recent_set: dict[int, int] = {}  # addr -> count in window
+        self._last_load_addr: int | None = None
+        self._pending_restart = 0
+        self.pre_executed = 0
+        self.incorrect_pre_executions = 0
+
+    # ------------------------------------------------------------------ #
+
+    def observe(self, dyn: DynInst) -> int:
+        """Track pruned stores; return extra stall cycles (restarts)."""
+        if dyn.pc in self.store_pcs:
+            self._recent_stores.append((dyn.seq, dyn.mem_addr))
+            self._recent_set[dyn.mem_addr] = (
+                self._recent_set.get(dyn.mem_addr, 0) + 1
+            )
+        while self._recent_stores and self._recent_stores[0][0] < dyn.seq - self.lead:
+            _, addr = self._recent_stores.popleft()
+            count = self._recent_set[addr] - 1
+            if count:
+                self._recent_set[addr] = count
+            else:
+                del self._recent_set[addr]
+        if dyn.pc in self.load_pcs:
+            self._last_load_addr = dyn.mem_addr
+        penalty, self._pending_restart = self._pending_restart, 0
+        return penalty
+
+    def predict(self, dyn: DynInst) -> bool | None:
+        """Pre-executed outcome for branch-1 instances; None otherwise."""
+        if dyn.pc not in self.branch_pcs:
+            return None
+        self.pre_executed += 1
+        actual = bool(dyn.taken)
+        # The leading thread's view misses stores inside the blind window.
+        # If the feeding load's address was stored-to there, pre-execution
+        # computed the stale (not-visited) outcome.
+        if self._last_load_addr is not None and self._last_load_addr in self._recent_set:
+            predicted = False  # stale view: looks unvisited
+        else:
+            predicted = actual
+        if predicted != actual:
+            self.incorrect_pre_executions += 1
+            self._pending_restart = self.restart_penalty
+        return predicted
+
+
+def make_astar_slipstream(
+    workload: Workload,
+    lead_instructions: int = 400,
+    restart_penalty: int = 0,
+) -> SlipstreamOracle:
+    """Slipstream for astar: pre-execute the 8 waymap branches.
+
+    The maparp branches are skipped-over (limitation 1) and keep using the
+    core's predictor.
+    """
+    program = workload.program
+    branch_pcs = set()
+    store_pcs = set()
+    load_pcs = set()
+    for k in range(8):
+        branch_pcs.update(program.pcs_with_comment(f"fst:waymap:{k}"))
+        store_pcs.update(program.pcs_with_comment(f"waymap_store:{k}"))
+        load_pcs.update(program.pcs_with_comment(f"waymap_load:{k}"))
+    return SlipstreamOracle(
+        branch_pcs,
+        store_pcs,
+        load_pcs,
+        lead_instructions=lead_instructions,
+        restart_penalty=restart_penalty,
+    )
+
+
+def make_bfs_slipstream(
+    workload: Workload,
+    lead_instructions: int = 400,
+    restart_penalty: int = 0,
+) -> SlipstreamOracle:
+    """Slipstream for bfs: pre-execute the visited branch.
+
+    The variable-trip-count neighbour loop branch is not a pruned-CD
+    candidate and keeps using the core's predictor.
+    """
+    program = workload.program
+    return SlipstreamOracle(
+        set(program.pcs_with_comment("fst:visited")),
+        set(program.pcs_with_comment("visited_store")),
+        set(program.pcs_with_comment("prop_load")),
+        lead_instructions=lead_instructions,
+        restart_penalty=restart_penalty,
+    )

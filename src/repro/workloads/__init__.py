@@ -1,0 +1,26 @@
+"""Workloads: the paper's regions of interest as runnable kernels.
+
+The paper evaluates SPEC 2006 benchmarks (astar, libquantum, bwaves, lbm,
+milc, leslie) via SimPoint windows plus GAP BFS on SNAP graphs.  Those
+binaries and inputs are not available here, so each region of interest is
+re-implemented as a kernel against :mod:`repro.isa` and functionally
+executed to produce the dynamic instruction stream the cycle model consumes
+(substitution documented in DESIGN.md §3).
+
+Each workload is packaged as a :class:`~repro.workloads.base.Workload`
+bundle: the program, its initialized memory image, initial registers, and
+the PFM snoop metadata (RST/FST program counters) that a real deployment
+would derive from the binary shipped alongside the configuration bitstream.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.mem import MemoryImage, WORD_BYTES
+from repro.workloads.trace import DynInst, FunctionalExecutor
+
+__all__ = [
+    "Workload",
+    "MemoryImage",
+    "WORD_BYTES",
+    "DynInst",
+    "FunctionalExecutor",
+]

@@ -1,0 +1,364 @@
+"""astar's region of interest: ``wayobj::fill()`` / ``wayobj::makebound2()``.
+
+A faithful kernel of Figure 6: ``fill`` bumps ``fillnum`` and repeatedly
+calls ``makebound2`` with the input/output worklists swapping roles each
+call.  ``makebound2`` walks the input worklist; for each ``index`` it
+examines the eight neighbouring cells (``index1``), testing
+``waymap[index1].fillnum != fillnum`` (the *waymap* branch) and
+``maparp[index1] == 0`` (the *maparp* branch); cells passing both are
+appended to the output worklist and marked visited by storing ``fillnum``
+— the loop-carried memory dependency that defeats automated
+pre-execution.  The nested-if template is unrolled eight times, giving the
+paper's 16 difficult branches.
+
+Inputs substitute a synthetic obstacle grid for the SPEC map (DESIGN.md
+§3): what matters to the predictors is that worklist order is dynamic and
+the visited/blocked patterns are input-dependent.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.builder import ProgramBuilder
+from repro.pfm.snoop import Bitstream, FSTEntry, RSTEntry, SnoopKind
+from repro.workloads.base import Workload
+from repro.workloads.mem import WORD_BYTES, MemoryImage
+
+#: waymap entries are two-field structs {fillnum, num}: 16 bytes each.
+WAYMAP_STRIDE = 2 * WORD_BYTES
+
+
+def build_grid(
+    width: int,
+    height: int,
+    obstacle_density: float,
+    seed: int,
+    pattern: str = "random",
+) -> list[int]:
+    """Obstacle map: 1 = blocked.  The border is always blocked so the
+    eight neighbour offsets never leave the array.
+
+    Patterns:
+        random — independent per-cell obstacles at *obstacle_density*
+            (speckle, like open terrain with scattered blockers).
+        maze — wall rows/columns with door gaps (corridor maps); the
+            wavefront threads through doors, giving runs of highly
+            correlated branch outcomes instead of speckle noise.
+    """
+    if pattern not in ("random", "maze"):
+        raise ValueError(f"unknown grid pattern {pattern!r}")
+    rng = random.Random(seed)
+    maparp = [0] * (width * height)
+    for y in range(height):
+        for x in range(width):
+            border = x == 0 or y == 0 or x == width - 1 or y == height - 1
+            if border or (
+                pattern == "random" and rng.random() < obstacle_density
+            ):
+                maparp[y * width + x] = 1
+    if pattern == "maze":
+        for wall_y in range(4, height - 1, 5):
+            doors = {rng.randrange(1, width - 1) for _ in range(width // 10 + 1)}
+            for x in range(width):
+                if x not in doors:
+                    maparp[wall_y * width + x] = 1
+        for wall_x in range(6, width - 1, 7):
+            doors = {rng.randrange(1, height - 1) for _ in range(height // 10 + 1)}
+            for y in range(height):
+                if y not in doors:
+                    maparp[y * width + wall_x] = 1
+    return maparp
+
+
+def build_astar_workload(
+    grid_width: int = 320,
+    grid_height: int = 320,
+    obstacle_density: float = 0.28,
+    seed: int = 1,
+    fills: int = 1,
+    pattern: str = "random",
+    component_factory=None,
+) -> Workload:
+    """Assemble the astar ROI kernel plus its PFM bitstream.
+
+    The pathfinding driver calls ``wayobj::fill()`` *fills* times with
+    different start cells, as the game's repeated path queries do; each
+    call bumps the ``fillnum`` sentinel, re-enters the ROI (the Retire
+    Agent re-synchronizes the component), and the previous call's visited
+    marks are invalidated by the new sentinel rather than cleared.
+
+    *component_factory* defaults to the custom astar branch predictor
+    (the bitstream is ignored when the core runs without PFM).
+    """
+    ncells = grid_width * grid_height
+    memory = MemoryImage()
+    waymap_base = memory.allocate("waymap", 2 * ncells)
+    maparp_base = memory.store_array(
+        "maparp", build_grid(grid_width, grid_height, obstacle_density, seed, pattern)
+    )
+    bound1_base = memory.allocate("bound1p", ncells)
+    bound2_base = memory.allocate("bound2p", ncells)
+
+    start = (grid_height // 2) * grid_width + grid_width // 2
+    rng = random.Random(seed + 77)
+    starts = [start]
+    while len(starts) < fills:
+        candidate = (
+            rng.randrange(2, grid_height - 2) * grid_width
+            + rng.randrange(2, grid_width - 2)
+        )
+        starts.append(candidate)
+    memory.store_array("starts", starts)
+    end_index = grid_width * (grid_height - 2) + grid_width - 2  # far corner
+
+    b = ProgramBuilder()
+
+    # ------------------------------------------------------------------ #
+    # main: set up invariant bases (snooped once), then run fill().
+    # ------------------------------------------------------------------ #
+    b.li("s2", end_index)
+    b.li("s1", 0, comment="step=0")
+    b.li("a5", bound1_base)
+    b.li("a6", bound2_base)
+    b.li("s0", 7, comment="fillnum initial")
+    b.li("gp", memory.base("starts"), comment="start-cell pointer")
+    b.li("tp", fills, comment="remaining fill() calls")
+
+    # Pathfinding driver: one fill() per path query.
+    b.label("fill_outer")
+    b.beq("tp", "zero", "all_done")
+    b.ld("t0", base="gp", offset=0, comment="next start cell")
+    b.sd("t0", base="a5", offset=0, comment="bound1p[0] = start")
+    b.li("a4", 1, comment="initial worklist length")
+    b.addi("gp", "gp", 8)
+    b.addi("tp", "tp", -1)
+
+    # wayobj::fill()
+    b.label("fill")
+    b.addi("s0", "s0", 1, comment="snoop:fillnum  # fillnum++ (ROI begin)")
+    b.li("t5", 0, comment="flend=false")
+    b.li("a3", 0, comment="flodd=false")
+    b.label("fill_loop")
+    b.beq("a4", "zero", "fill_done", comment="while boundl != 0")
+    b.bne("t5", "zero", "fill_done", comment="&& flend == false")
+    b.bne("a3", "zero", "odd_call")
+    b.mv("a0", "a5", comment="even: in = bound1p")
+    b.mv("a2", "a6", comment="even: out = bound2p")
+    b.li("a3", 1)
+    b.j("do_call")
+    b.label("odd_call")
+    b.mv("a0", "a6", comment="odd: in = bound2p")
+    b.mv("a2", "a5", comment="odd: out = bound1p")
+    b.li("a3", 0)
+    b.label("do_call")
+    b.mv("a1", "a4")
+    b.jal("makebound2")
+    b.mv("a4", "a0", comment="boundl = makebound2(...)")
+    b.addi("s1", "s1", 1, comment="step++")
+    b.j("fill_loop")
+    b.label("fill_done")
+    b.j("fill_outer")
+    b.label("all_done")
+    b.halt()
+
+    # ------------------------------------------------------------------ #
+    # wayobj::makebound2(in=a0, len=a1, out=a2) -> new length
+    # ------------------------------------------------------------------ #
+    b.label("makebound2")
+    b.li("s3", grid_width, comment="snoop:yoffset  # yoffset = maply")
+    b.li("s4", waymap_base, comment="snoop:waymap_base")
+    b.li("s5", maparp_base, comment="snoop:maparp_base")
+    b.mv("s6", "a0", comment="snoop:worklist_base  # input worklist arg")
+    b.mv("s7", "a1")
+    b.mv("s8", "a2")
+    b.li("s9", 0, comment="bound2l = 0")
+    b.li("s10", 0, comment="i = 0")
+
+    b.label("mb2_loop")
+    b.bge("s10", "s7", "mb2_done", comment="loop_back")
+    b.slli("t1", "s10", 3)
+    b.add("t1", "s6", "t1")
+    b.ld("s11", base="t1", offset=0, comment="worklist_load  # index=bound1p[i]")
+
+    # The nested-if template, repeated for the eight neighbours.
+    # offsets: -yoffset-1, -yoffset, -yoffset+1, -1, +1, +yoffset-1,
+    #          +yoffset, +yoffset+1 — computed with the snooped yoffset.
+    neighbour_plans = [
+        ("sub", -1),
+        ("sub", 0),
+        ("sub", 1),
+        (None, -1),
+        (None, 1),
+        ("add", -1),
+        ("add", 0),
+        ("add", 1),
+    ]
+    for k, (row_op, delta) in enumerate(neighbour_plans):
+        skip = f"skip_{k}"
+        if row_op == "sub":
+            b.sub("t0", "s11", "s3", comment=f"index1[{k}]")
+        elif row_op == "add":
+            b.add("t0", "s11", "s3", comment=f"index1[{k}]")
+        else:
+            b.mv("t0", "s11", comment=f"index1[{k}]")
+        if delta:
+            b.addi("t0", "t0", delta)
+        # waymap[index1].fillnum load + branch
+        b.slli("t1", "t0", 4, comment="waymap stride 16B")
+        b.add("t1", "t1", "s4")
+        b.ld("t2", base="t1", offset=0, comment=f"waymap_load:{k}")
+        b.beq("t2", "s0", skip, comment=f"fst:waymap:{k}")
+        # maparp[index1] load + branch
+        b.slli("t4", "t0", 3)
+        b.add("t4", "t4", "s5")
+        b.ld("t3", base="t4", offset=0, comment=f"maparp_load:{k}")
+        b.bne("t3", "zero", skip, comment=f"fst:maparp:{k}")
+        # control-dependent region: append + mark visited
+        b.slli("t6", "s9", 3)
+        b.add("t6", "t6", "s8")
+        b.sd("t0", base="t6", offset=0, comment="worklist_append")
+        b.addi("s9", "s9", 1)
+        b.sd("s0", base="t1", offset=0, comment=f"waymap_store:{k}")
+        b.sd("s1", base="t1", offset=8, comment="waymap_num_store")
+        b.bne("t0", "s2", skip, comment="endindex check")
+        b.li("t5", 1, comment="flend = true")
+        b.label(skip)
+
+    b.addi("s10", "s10", 1, comment="snoop:iter_inc  # i++")
+    b.j("mb2_loop")
+    b.label("mb2_done")
+    b.mv("a0", "s9")
+    b.jalr("ra")
+
+    program = b.build()
+
+    rst_entries = [
+        RSTEntry(program.pcs_with_comment("snoop:fillnum")[0], SnoopKind.ROI_BEGIN, "fillnum"),
+        RSTEntry(program.pcs_with_comment("snoop:yoffset")[0], SnoopKind.DEST_VALUE, "yoffset"),
+        RSTEntry(
+            program.pcs_with_comment("snoop:worklist_base")[0],
+            SnoopKind.DEST_VALUE,
+            "worklist_base",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:waymap_base")[0],
+            SnoopKind.DEST_VALUE,
+            "waymap_base",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:maparp_base")[0],
+            SnoopKind.DEST_VALUE,
+            "maparp_base",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:iter_inc")[0],
+            SnoopKind.DEST_VALUE,
+            "iter_inc",
+            droppable=True,  # absolute counter: later packets resupply it
+        ),
+    ]
+    fst_entries = []
+    for k in range(8):
+        way_pc = program.pcs_with_comment(f"fst:waymap:{k}")[0]
+        map_pc = program.pcs_with_comment(f"fst:maparp:{k}")[0]
+        fst_entries.append(FSTEntry(way_pc, f"waymap:{k}"))
+        fst_entries.append(FSTEntry(map_pc, f"maparp:{k}"))
+        # The component's commit-side windows advance on retired branch
+        # outcomes of the 16 difficult branches (pred_queue head H).
+        rst_entries.append(
+            RSTEntry(way_pc, SnoopKind.BRANCH_OUTCOME, f"waymap:{k}", droppable=True)
+        )
+        rst_entries.append(
+            RSTEntry(map_pc, SnoopKind.BRANCH_OUTCOME, f"maparp:{k}", droppable=True)
+        )
+    # Visited-marking stores are observed so the commit-side index1_CAM
+    # state can be reconciled (store value packets, §2.1).
+    for k in range(8):
+        store_pc = program.pcs_with_comment(f"waymap_store:{k}")[0]
+        rst_entries.append(
+            RSTEntry(store_pc, SnoopKind.STORE_VALUE, f"waymap_store:{k}", droppable=True)
+        )
+
+    if component_factory is None:
+        from repro.pfm.components.astar_bp import AstarBranchPredictor
+
+        component_factory = AstarBranchPredictor
+
+    metadata = {
+        "grid_width": grid_width,
+        "grid_height": grid_height,
+        "waymap_stride": WAYMAP_STRIDE,
+        "call_marker_pcs": [program.pcs_with_comment("snoop:worklist_base")[0]],
+        "index_queue_entries": 8,
+    }
+    bitstream = Bitstream(
+        name="astar-custom-bp",
+        rst_entries=rst_entries,
+        fst_entries=fst_entries,
+        component_factory=component_factory,
+        metadata=metadata,
+    )
+    return Workload(
+        name="astar",
+        program=program,
+        memory=memory,
+        bitstream=bitstream,
+        metadata={"ncells": ncells, "start": start, "end_index": end_index},
+    )
+
+
+def build_astar_alt_workload(
+    table_entries: int = 16 * 1024,
+    **kwargs,
+) -> Workload:
+    """astar with the table-mimicking *astar-alt* component (Section 5).
+
+    Same kernel and grid; the configuration bitstream swaps in
+    :class:`~repro.pfm.components.astar_alt.AstarAltPredictor` and snoops
+    the additional retire-stream values its tables learn from: worklist
+    loads (first-call seeding), worklist-append stores (authoritative
+    output-worklist reconciliation), and the waymap/maparp load values
+    (table corrections).
+    """
+    from repro.pfm.components.astar_alt import AstarAltPredictor
+
+    workload = build_astar_workload(
+        component_factory=AstarAltPredictor, **kwargs
+    )
+    program = workload.program
+    bits = workload.bitstream
+    bits.name = "astar-alt"
+    bits.metadata["table_entries"] = table_entries
+    bits.rst_entries.append(
+        RSTEntry(
+            program.pcs_with_comment("worklist_load")[0],
+            SnoopKind.DEST_VALUE,
+            "worklist_load",
+            droppable=True,
+        )
+    )
+    for pc in program.pcs_with_comment("worklist_append"):
+        # One append site per unrolled neighbour template (8 in all).
+        bits.rst_entries.append(
+            RSTEntry(pc, SnoopKind.STORE_VALUE, "worklist_append")
+        )
+    for k in range(8):
+        bits.rst_entries.append(
+            RSTEntry(
+                program.pcs_with_comment(f"maparp_load:{k}")[0],
+                SnoopKind.DEST_VALUE,
+                "maparp_load",
+                droppable=True,
+            )
+        )
+        bits.rst_entries.append(
+            RSTEntry(
+                program.pcs_with_comment(f"waymap_load:{k}")[0],
+                SnoopKind.DEST_VALUE,
+                "waymap_load",
+                droppable=True,
+            )
+        )
+    workload.name = "astar-alt"
+    return workload

@@ -1,0 +1,44 @@
+"""Workload bundle: program + memory + PFM configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+from repro.pfm.snoop import Bitstream
+from repro.workloads.mem import MemoryImage
+from repro.workloads.trace import FunctionalExecutor
+
+
+@dataclass
+class Workload:
+    """Everything needed to simulate one use-case.
+
+    Attributes:
+        name: benchmark name (astar, bfs, libquantum, ...).
+        program: the assembled kernel.
+        memory: initialized data memory image.
+        initial_regs: architectural register state at entry.
+        entry: label to start execution at (program base if None).
+        bitstream: PFM configuration for this workload's custom component,
+            or None for plain-core workloads.
+        metadata: free-form notes (grid size, graph, array sizes, ...).
+    """
+
+    name: str
+    program: Program
+    memory: MemoryImage
+    initial_regs: dict[str, float] = field(default_factory=dict)
+    entry: str | None = None
+    bitstream: Bitstream | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def executor(self) -> FunctionalExecutor:
+        """Fresh functional executor over this workload's state.
+
+        Note: the memory image is mutated by execution; build a new
+        workload (they are cheap) for every independent simulation run.
+        """
+        return FunctionalExecutor(
+            self.program, self.memory, self.initial_regs, self.entry
+        )

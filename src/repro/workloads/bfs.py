@@ -1,0 +1,213 @@
+"""GAP breadth-first search: the top-down step (Section 4.2, Figure 11).
+
+``TDStep`` walks the current frontier; for each node U it loads
+``offsets[U]``/``offsets[U+1]`` to find U's neighbours, then for each
+neighbour V tests the *visited* property (GAP's parent array, negative =
+unvisited).  Unvisited neighbours are claimed (parent store — the
+loop-carried dependency) and appended to the next frontier.
+
+Two hard branch populations defeat the baseline core: the neighbour-loop
+trip count varies per node (loop predictor useless), and visited-ness is
+data-dependent on the graph (TAGE useless); and the loads are
+load-dependent loads that defeat conventional prefetchers.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.pfm.snoop import Bitstream, FSTEntry, RSTEntry, SnoopKind
+from repro.workloads.base import Workload
+from repro.workloads.graphs import CSRGraph, powerlaw_graph, road_graph
+from repro.workloads.mem import MemoryImage
+
+
+def build_bfs_workload(
+    graph: CSRGraph | None = None,
+    graph_name: str = "roads",
+    source: int = 0,
+    component_factory=None,
+    queue_entries: int = 64,
+) -> Workload:
+    """Assemble the BFS kernel over *graph* (default: the Roads graph)."""
+    if graph is None:
+        graph = road_graph() if graph_name == "roads" else powerlaw_graph()
+
+    memory = MemoryImage()
+    offsets_base = memory.store_array("offsets", graph.offsets)
+    neighbors_base = memory.store_array(
+        "neighbors", graph.neighbors if graph.neighbors else [0]
+    )
+    prop_base = memory.store_array("properties", [-1] * graph.num_nodes)
+    frontier_a = memory.allocate("frontier_a", max(1, graph.num_nodes))
+    frontier_b = memory.allocate("frontier_b", max(1, graph.num_nodes))
+
+    memory.store_index("frontier_a", 0, source)
+    memory.store_index("properties", source, source)  # parent[src] = src
+
+    b = ProgramBuilder()
+
+    # main: bases (snooped in the ROI preamble), then the level loop.
+    b.label("main")
+    b.li("s0", 0, comment="snoop:roi_begin  # bfs_roi_begin")
+    b.li("a5", frontier_a)
+    b.li("a6", frontier_b)
+    b.li("a4", 1, comment="frontier length")
+    b.label("td_loop")
+    b.beq("a4", "zero", "done", comment="level loop")
+    b.mv("a0", "a5")
+    b.mv("a1", "a4")
+    b.mv("a2", "a6")
+    b.jal("td_step")
+    b.mv("a4", "a0")
+    b.mv("t0", "a5", comment="swap frontiers")
+    b.mv("a5", "a6")
+    b.mv("a6", "t0")
+    b.j("td_loop")
+    b.label("done")
+    b.halt()
+
+    # TDStep(frontier=a0, len=a1, out=a2) -> new frontier length
+    b.label("td_step")
+    b.li("s4", offsets_base, comment="snoop:offsets_base")
+    b.li("s5", neighbors_base, comment="snoop:neighbors_base")
+    b.li("s6", prop_base, comment="snoop:prop_base")
+    b.mv("s3", "a0", comment="snoop:frontier_base")
+    b.mv("s7", "a1")
+    b.mv("s8", "a2")
+    b.li("s9", 0, comment="out length")
+    b.li("s10", 0, comment="i = 0")
+
+    b.label("outer")
+    b.bge("s10", "s7", "outer_done", comment="outer loop branch")
+    b.slli("t1", "s10", 3)
+    b.add("t1", "t1", "s3")
+    b.ld("s11", base="t1", offset=0, comment="frontier_load  # u = frontier[i]")
+    b.slli("t1", "s11", 3)
+    b.add("t1", "t1", "s4")
+    b.ld("t2", base="t1", offset=0, comment="offsets_load  # a = offsets[u]")
+    b.ld("t3", base="t1", offset=8, comment="offsets_load2  # b = offsets[u+1]")
+    b.mv("t4", "t2", comment="j = a")
+
+    b.label("inner_check")
+    b.bge("t4", "t3", "inner_done", comment="fst:loop_exit")
+    b.slli("t5", "t4", 3)
+    b.add("t5", "t5", "s5")
+    b.ld("t6", base="t5", offset=0, comment="neighbor_load  # v = neighbors[j]")
+    b.addi("s1", "s1", 1, comment="edges_examined++ (GAP accounting)")
+    b.slli("t5", "t6", 3)
+    b.add("t5", "t5", "s6")
+    b.ld("t0", base="t5", offset=0, comment="prop_load  # curr_val = parent[v]")
+    b.mv("t2", "t0", comment="CAS expected value")
+    b.bge("t0", "zero", "skip_visit", comment="fst:visited")
+    # compare_and_swap(parent[v], curr_val, u) + local queue push_back
+    b.ld("t0", base="t5", offset=0, comment="cas_reload")
+    b.bne("t0", "t2", "skip_visit", comment="cas_fail (single-thread: never)")
+    b.sd("s11", base="t5", offset=0, comment="visited_store  # parent[v] = u")
+    b.slli("t0", "s9", 3)
+    b.add("t0", "t0", "s8")
+    b.sd("t6", base="t0", offset=0, comment="frontier_append")
+    b.addi("s9", "s9", 1)
+    b.label("skip_visit")
+    b.addi("t4", "t4", 1, comment="snoop:inner_inc  # j++")
+    b.j("inner_check")
+    b.label("inner_done")
+    b.addi("s10", "s10", 1, comment="snoop:iter_inc  # i++")
+    b.j("outer")
+    b.label("outer_done")
+    b.mv("a0", "s9")
+    b.jalr("ra")
+
+    program = b.build()
+
+    loop_exit_pc = program.pcs_with_comment("fst:loop_exit")[0]
+    visited_pc = program.pcs_with_comment("fst:visited")[0]
+    rst_entries = [
+        RSTEntry(
+            program.pcs_with_comment("snoop:roi_begin")[0],
+            SnoopKind.ROI_BEGIN,
+            "bfs_roi",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:offsets_base")[0],
+            SnoopKind.DEST_VALUE,
+            "offsets_base",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:neighbors_base")[0],
+            SnoopKind.DEST_VALUE,
+            "neighbors_base",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:prop_base")[0],
+            SnoopKind.DEST_VALUE,
+            "prop_base",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:frontier_base")[0],
+            SnoopKind.DEST_VALUE,
+            "frontier_base",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:inner_inc")[0],
+            SnoopKind.DEST_VALUE,
+            "inner_inc",
+            droppable=True,
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:iter_inc")[0],
+            SnoopKind.DEST_VALUE,
+            "iter_inc",
+            droppable=True,  # absolute counter: later packets resupply it
+        ),
+        # Commit-side bookkeeping: the neighbour-queue commit head and the
+        # inference window reconcile against retired neighbour values,
+        # branch outcomes, and visited stores — this larger observation
+        # population is why bfs's RST fraction exceeds astar's (Table 3).
+        RSTEntry(visited_pc, SnoopKind.BRANCH_OUTCOME, "visited", droppable=True),
+        RSTEntry(loop_exit_pc, SnoopKind.BRANCH_OUTCOME, "loop_exit", droppable=True),
+        RSTEntry(
+            program.pcs_with_comment("neighbor_load")[0],
+            SnoopKind.DEST_VALUE,
+            "neighbor_ret",
+            droppable=True,
+        ),
+        RSTEntry(
+            program.pcs_with_comment("visited_store")[0],
+            SnoopKind.STORE_VALUE,
+            "visited_store",
+            droppable=True,
+        ),
+    ]
+    fst_entries = [
+        FSTEntry(loop_exit_pc, "loop_exit"),
+        FSTEntry(visited_pc, "visited"),
+    ]
+
+    if component_factory is None:
+        from repro.pfm.components.bfs_engine import BfsEngine
+
+        component_factory = BfsEngine
+
+    metadata = {
+        "queue_entries": queue_entries,
+        "call_marker_pcs": [program.pcs_with_comment("snoop:frontier_base")[0]],
+    }
+    bitstream = Bitstream(
+        name="bfs-custom",
+        rst_entries=rst_entries,
+        fst_entries=fst_entries,
+        component_factory=component_factory,
+        metadata=metadata,
+    )
+    return Workload(
+        name=f"bfs-{graph_name}",
+        program=program,
+        memory=memory,
+        bitstream=bitstream,
+        metadata={
+            "graph_name": graph_name,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "source": source,
+        },
+    )

@@ -1,0 +1,144 @@
+"""bwaves' ROI: delinquent loads in a deep loop nest (Section 4.3).
+
+The block-tridiagonal solver's innermost loads sit under five nested
+loops, each load's address depending on a different subset of the
+induction variables, so every load walks a *different* complex pattern.
+The custom prefetcher is "a complex FSM that nevertheless surgically
+follows the patterns": it replicates the loop-nest counters and computes
+each load's next addresses from its coefficient vector.
+
+The kernel here uses a four-deep nest (one outer sweep + a 3-deep block):
+array A streams contiguously; array B walks 4 KB-apart planes (one access
+per page per visit — hostile to VLDP's per-page delta histories).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.pfm.snoop import Bitstream, RSTEntry, SnoopKind
+from repro.workloads.base import Workload
+from repro.workloads.mem import MemoryImage
+
+# Nest extents: outer sweep i is effectively unbounded within the window.
+NJ, NK, NL = 16, 32, 6
+
+
+def build_bwaves_workload(
+    outer_sweeps: int = 64,
+    component_factory=None,
+) -> Workload:
+    memory = MemoryImage()
+    block = NJ * NK * NL  # flat iterations per outer sweep
+    a_base = memory.allocate("A", outer_sweeps * block + block)
+    b_base = memory.allocate("B", outer_sweeps * block + block)
+    out_base = memory.allocate("OUT", outer_sweeps * block + block)
+
+    b = ProgramBuilder()
+    b.label("main")
+    b.li("s0", 0, comment="snoop:roi_begin  # bwaves ROI")
+    b.li("s1", a_base, comment="snoop:base:A")
+    b.li("s2", b_base, comment="snoop:base:B")
+    b.li("s3", out_base)
+    b.li("s4", outer_sweeps)
+    b.li("s5", 0, comment="i = 0")
+    b.li("s10", 0, comment="flat counter")
+
+    b.label("i_loop")
+    b.bge("s5", "s4", "done")
+    b.li("s6", 0, comment="j = 0")
+    b.label("j_loop")
+    b.li("s7", 0, comment="k = 0")
+    b.label("k_loop")
+    b.li("s8", 0, comment="l = 0")
+    b.label("l_loop")
+    # A[(((i*NJ + j)*NK + k)*NL + l)]: contiguous stream == flat counter.
+    b.slli("t1", "s10", 3)
+    b.add("t1", "t1", "s1")
+    b.fld("ft1", base="t1", offset=0, comment="delinquent A")
+    # B[(((i*NL + l)*NK + k)*NJ + j)]: l-major plane walk, 4KB jumps.
+    b.muli("t2", "s5", NL)
+    b.add("t2", "t2", "s8")
+    b.muli("t2", "t2", NK)
+    b.add("t2", "t2", "s7")
+    b.muli("t2", "t2", NJ)
+    b.add("t2", "t2", "s6")
+    b.slli("t2", "t2", 3)
+    b.add("t2", "t2", "s2")
+    b.fld("ft2", base="t2", offset=0, comment="delinquent B")
+    b.fmul("ft1", "ft1", "ft2")
+    b.slli("t3", "s10", 3)
+    b.add("t3", "t3", "s3")
+    b.fsd("ft1", base="t3", offset=0)
+    b.addi("s10", "s10", 1, comment="snoop:iter:all  # flat counter")
+    b.addi("s8", "s8", 1)
+    b.slti("t5", "s8", NL)
+    b.bne("t5", "zero", "l_loop", comment="l loop")
+    b.addi("s7", "s7", 1)
+    b.slti("t5", "s7", NK)
+    b.bne("t5", "zero", "k_loop", comment="k loop")
+    b.addi("s6", "s6", 1)
+    b.slti("t5", "s6", NJ)
+    b.bne("t5", "zero", "j_loop", comment="j loop")
+    b.addi("s5", "s5", 1)
+    b.j("i_loop")
+    b.label("done")
+    b.halt()
+
+    program = b.build()
+
+    rst_entries = [
+        RSTEntry(
+            program.pcs_with_comment("snoop:roi_begin")[0],
+            SnoopKind.ROI_BEGIN,
+            "bwaves_roi",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:base:A")[0],
+            SnoopKind.DEST_VALUE,
+            "base:A",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:base:B")[0],
+            SnoopKind.DEST_VALUE,
+            "base:B",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:iter:all")[0],
+            SnoopKind.DEST_VALUE,
+            "iter:all",
+            droppable=True,
+        ),
+    ]
+
+    if component_factory is None:
+        from repro.pfm.components.prefetchers import BwavesPrefetcher
+
+        component_factory = BwavesPrefetcher
+
+    metadata = {
+        "groups": [
+            {
+                "extents": [1 << 30, NJ, NK, NL],
+                "sites": [
+                    # coeffs are bytes per (i, j, k, l) counter increment.
+                    {"tag": "A", "coeffs": [NJ * NK * NL * 8, NK * NL * 8, NL * 8, 8]},
+                    {"tag": "B", "coeffs": [NL * NK * NJ * 8, 8, NJ * 8, NK * NJ * 8]},
+                ],
+            }
+        ],
+        "initial_distance": 8,
+    }
+    bitstream = Bitstream(
+        name="bwaves-prefetcher",
+        rst_entries=rst_entries,
+        fst_entries=[],
+        component_factory=component_factory,
+        metadata=metadata,
+    )
+    return Workload(
+        name="bwaves",
+        program=program,
+        memory=memory,
+        bitstream=bitstream,
+        metadata={"extents": (outer_sweeps, NJ, NK, NL)},
+    )

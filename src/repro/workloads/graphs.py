@@ -1,0 +1,130 @@
+"""Synthetic input graphs in CSR form.
+
+The paper uses roadNet-CA and com-Youtube from SNAP [Leskovec & Krevl].
+Those datasets are not available offline, so we generate graphs with the
+same qualitative structure (DESIGN.md §3):
+
+* :func:`road_graph` — a 2D lattice with random edge deletions and a few
+  long-range shortcuts: near-constant small degree and large diameter,
+  like a road network.
+* :func:`powerlaw_graph` — preferential attachment: heavy-tailed degree
+  distribution and small diameter, like a social/web graph.
+
+What the bfs use-case exercises — irregular frontier order, variable
+per-node trip counts, and visited-flag reuse — depends only on these
+structural properties, not on the exact datasets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class CSRGraph:
+    """Compressed sparse row graph."""
+
+    num_nodes: int
+    offsets: list[int]  # len num_nodes + 1
+    neighbors: list[int]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.neighbors)
+
+    def degree(self, u: int) -> int:
+        return self.offsets[u + 1] - self.offsets[u]
+
+    def neighbors_of(self, u: int) -> list[int]:
+        return self.neighbors[self.offsets[u]:self.offsets[u + 1]]
+
+
+def _to_csr(num_nodes: int, adjacency: list[set[int]]) -> CSRGraph:
+    offsets = [0]
+    neighbors: list[int] = []
+    for u in range(num_nodes):
+        neighbors.extend(sorted(adjacency[u]))
+        offsets.append(len(neighbors))
+    return CSRGraph(num_nodes=num_nodes, offsets=offsets, neighbors=neighbors)
+
+
+def road_graph(
+    side: int = 224,
+    drop_fraction: float = 0.20,
+    seed: int = 7,
+    shuffle_fraction: float = 0.15,
+) -> CSRGraph:
+    """Road-network-like lattice: side*side nodes, degree mostly 2-4.
+
+    A fraction of node ids is randomly relabelled: SNAP ids correlate only
+    partially with geography, so a tunable share of neighbour/property
+    accesses lose spatial locality — the load-dependent-load behaviour the
+    bfs use-case depends on.
+    """
+    rng = random.Random(seed)
+    n = side * side
+    relabel = list(range(n))
+    swaps = int(n * shuffle_fraction)
+    for _ in range(swaps):
+        i, j = rng.randrange(n), rng.randrange(n)
+        relabel[i], relabel[j] = relabel[j], relabel[i]
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+
+    def add(u: int, v: int) -> None:
+        u, v = relabel[u], relabel[v]
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+    for y in range(side):
+        for x in range(side):
+            u = y * side + x
+            if x + 1 < side and rng.random() >= drop_fraction:
+                add(u, u + 1)
+            if y + 1 < side and rng.random() >= drop_fraction:
+                add(u, u + side)
+    # A few long-range shortcuts (highways) keep the graph connected-ish
+    # and give BFS an occasional jump, like real road networks.
+    for _ in range(n // 200):
+        add(rng.randrange(n), rng.randrange(n))
+    return _to_csr(n, adjacency)
+
+
+def powerlaw_graph(num_nodes: int = 20000, edges_per_node: int = 4, seed: int = 11) -> CSRGraph:
+    """Preferential-attachment graph: heavy-tailed degrees (Youtube-like)."""
+    rng = random.Random(seed)
+    adjacency: list[set[int]] = [set() for _ in range(num_nodes)]
+    # Repeated-endpoint trick: sampling from the flat endpoint list is
+    # proportional to degree (Barabási–Albert).
+    endpoints: list[int] = []
+    seed_nodes = edges_per_node + 1
+    for u in range(seed_nodes):
+        for v in range(u + 1, seed_nodes):
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            endpoints += [u, v]
+    for u in range(seed_nodes, num_nodes):
+        targets = set()
+        while len(targets) < edges_per_node:
+            targets.add(rng.choice(endpoints))
+        for v in targets:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            endpoints += [u, v]
+    return _to_csr(num_nodes, adjacency)
+
+
+def reference_bfs(graph: CSRGraph, source: int) -> list[int]:
+    """Parent array from a plain Python BFS (test oracle)."""
+    parent = [-1] * graph.num_nodes
+    parent[source] = source
+    frontier = [source]
+    while frontier:
+        next_frontier = []
+        for u in frontier:
+            for v in graph.neighbors_of(u):
+                if parent[v] < 0:
+                    parent[v] = u
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return parent

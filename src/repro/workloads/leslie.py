@@ -1,0 +1,200 @@
+"""leslie3d's ROIs: several loop nests with delinquent loads (Section 4.3).
+
+leslie has multiple regions of interest, each contributing significantly
+to run time through load misses; the loads in each ROI sit two to four
+loops deep.  FSMs were designed for three of the ROIs following the
+bwaves strategy: one loop-nest counter group per ROI, each with its own
+flat-iteration snoop and per-load coefficient vectors.
+
+The kernel cycles through the three ROI sweeps (flux assembly, smoothing,
+and an update sweep) repeatedly, as the solver's outer time loop does.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.pfm.snoop import Bitstream, RSTEntry, SnoopKind
+from repro.workloads.base import Workload
+from repro.workloads.mem import MemoryImage
+
+# ROI nest extents (inner dimensions; the outer sweep is unbounded).
+R1_NJ, R1_NK = 24, 40  # flux: 2-deep
+R2_NJ, R2_NK, R2_NL = 8, 16, 10  # smoothing: 3-deep
+R3_NK = 512  # update: long 1-deep rows under the outer sweep
+
+
+def build_leslie_workload(
+    outer_sweeps: int = 48,
+    component_factory=None,
+) -> Workload:
+    memory = MemoryImage()
+    r1_block = R1_NJ * R1_NK
+    r2_block = R2_NJ * R2_NK * R2_NL
+    r1_base = memory.allocate("flux", (outer_sweeps + 1) * r1_block)
+    r1b_base = memory.allocate("flux_aux", (outer_sweeps + 1) * r1_block)
+    r2_base = memory.allocate("smooth", (outer_sweeps + 1) * r2_block)
+    r3_base = memory.allocate("update", (outer_sweeps + 1) * R3_NK * 8)
+    out_base = memory.allocate("residual", (outer_sweeps + 1) * r2_block)
+
+    b = ProgramBuilder()
+    b.label("main")
+    b.li("s0", 0, comment="snoop:roi_begin  # leslie ROI")
+    b.li("s1", r1_base, comment="snoop:base:r1a")
+    b.li("s2", r1b_base, comment="snoop:base:r1b")
+    b.li("s3", r2_base, comment="snoop:base:r2a")
+    b.li("s4", r3_base, comment="snoop:base:r3a")
+    b.li("s5", out_base)
+    b.li("a7", outer_sweeps)
+    b.li("a3", 0, comment="sweep t = 0")
+    b.li("t5", 0, comment="r1 flat")
+    b.li("t6", 0, comment="r2 flat")
+    b.li("a4", 0, comment="r3 flat")
+
+    b.label("time_loop")
+    b.bge("a3", "a7", "done")
+
+    # ROI 1: flux assembly, 2-deep (j, k); A and a transposed companion.
+    b.li("s6", 0)
+    b.label("r1_j")
+    b.li("s7", 0)
+    b.label("r1_k")
+    b.slli("t1", "t5", 3)
+    b.add("t1", "t1", "s1")
+    b.fld("ft1", base="t1", offset=0, comment="r1 stream load")
+    b.muli("t2", "s7", R1_NJ)
+    b.add("t2", "t2", "s6")
+    b.muli("t3", "a3", r1_block)
+    b.add("t2", "t2", "t3")
+    b.slli("t2", "t2", 3)
+    b.add("t2", "t2", "s2")
+    b.fld("ft2", base="t2", offset=0, comment="r1 transposed load")
+    b.fadd("ft1", "ft1", "ft2")
+    b.slli("t4", "t5", 3)
+    b.add("t4", "t4", "s5")
+    b.fsd("ft1", base="t4", offset=0)
+    b.addi("t5", "t5", 1, comment="snoop:iter:r1")
+    b.addi("s7", "s7", 1)
+    b.slti("t0", "s7", R1_NK)
+    b.bne("t0", "zero", "r1_k")
+    b.addi("s6", "s6", 1)
+    b.slti("t0", "s6", R1_NJ)
+    b.bne("t0", "zero", "r1_j")
+
+    # ROI 2: smoothing, 3-deep (j, k, l), contiguous stream.
+    b.li("s6", 0)
+    b.label("r2_j")
+    b.li("s7", 0)
+    b.label("r2_k")
+    b.li("s8", 0)
+    b.label("r2_l")
+    b.slli("t1", "t6", 3)
+    b.add("t1", "t1", "s3")
+    b.fld("ft1", base="t1", offset=0, comment="r2 stream load")
+    b.fmul("ft1", "ft1", "ft1")
+    b.addi("t6", "t6", 1, comment="snoop:iter:r2")
+    b.addi("s8", "s8", 1)
+    b.slti("t0", "s8", R2_NL)
+    b.bne("t0", "zero", "r2_l")
+    b.addi("s7", "s7", 1)
+    b.slti("t0", "s7", R2_NK)
+    b.bne("t0", "zero", "r2_k")
+    b.addi("s6", "s6", 1)
+    b.slti("t0", "s6", R2_NJ)
+    b.bne("t0", "zero", "r2_j")
+
+    # ROI 3: update sweep, strided rows (stride 4 words defeats next-line
+    # at distance).
+    b.li("s7", 0)
+    b.label("r3_k")
+    b.slli("t1", "a4", 6, comment="stride 64B")
+    b.add("t1", "t1", "s4")
+    b.fld("ft1", base="t1", offset=0, comment="r3 strided load")
+    b.fadd("ft1", "ft1", "ft1")
+    b.addi("a4", "a4", 1, comment="snoop:iter:r3")
+    b.addi("s7", "s7", 1)
+    b.slti("t0", "s7", R3_NK)
+    b.bne("t0", "zero", "r3_k")
+
+    b.addi("a3", "a3", 1)
+    b.j("time_loop")
+    b.label("done")
+    b.halt()
+
+    program = b.build()
+
+    rst_entries = [
+        RSTEntry(
+            program.pcs_with_comment("snoop:roi_begin")[0],
+            SnoopKind.ROI_BEGIN,
+            "leslie_roi",
+        ),
+    ]
+    for tag in ("base:r1a", "base:r1b", "base:r2a", "base:r3a"):
+        rst_entries.append(
+            RSTEntry(
+                program.pcs_with_comment(f"snoop:{tag}")[0],
+                SnoopKind.DEST_VALUE,
+                tag,
+            )
+        )
+    for tag in ("iter:r1", "iter:r2", "iter:r3"):
+        rst_entries.append(
+            RSTEntry(
+                program.pcs_with_comment(f"snoop:{tag}")[0],
+                SnoopKind.DEST_VALUE,
+                tag,
+                droppable=True,
+            )
+        )
+
+    if component_factory is None:
+        from repro.pfm.components.prefetchers import LesliePrefetcher
+
+        component_factory = LesliePrefetcher
+
+    metadata = {
+        "groups": [
+            {
+                "extents": [1 << 30, R1_NJ, R1_NK],
+                "sites": [
+                    {"tag": "r1a", "coeffs": [R1_NJ * R1_NK * 8, R1_NK * 8, 8]},
+                    {"tag": "r1b", "coeffs": [R1_NJ * R1_NK * 8, 8, R1_NJ * 8]},
+                ],
+            },
+            {
+                "extents": [1 << 30, R2_NJ, R2_NK, R2_NL],
+                "sites": [
+                    {
+                        "tag": "r2a",
+                        "coeffs": [
+                            R2_NJ * R2_NK * R2_NL * 8,
+                            R2_NK * R2_NL * 8,
+                            R2_NL * 8,
+                            8,
+                        ],
+                    },
+                ],
+            },
+            {
+                "extents": [1 << 30, R3_NK],
+                "sites": [
+                    {"tag": "r3a", "coeffs": [R3_NK * 64, 64]},
+                ],
+            },
+        ],
+        "initial_distance": 8,
+    }
+    bitstream = Bitstream(
+        name="leslie-prefetcher",
+        rst_entries=rst_entries,
+        fst_entries=[],
+        component_factory=component_factory,
+        metadata=metadata,
+    )
+    return Workload(
+        name="leslie",
+        program=program,
+        memory=memory,
+        bitstream=bitstream,
+        metadata={"outer_sweeps": outer_sweeps},
+    )

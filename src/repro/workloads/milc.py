@@ -1,0 +1,130 @@
+"""milc's ROI: a cluster of libquantum-like strided streams (Section 4.3).
+
+The SU(3) matrix loop reads the gauge-link arrays for the four lattice
+directions; each direction's load is a simple stride (like libquantum),
+so the custom prefetch engine is a four-stream variant of libquantum's
+with the same adaptive distance control.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.pfm.snoop import Bitstream, RSTEntry, SnoopKind
+from repro.workloads.base import Workload
+from repro.workloads.mem import MemoryImage
+
+#: su3_matrix: 3x3 complex doubles = 144 bytes.
+LINK_STRIDE = 144
+DIRECTIONS = 4
+
+
+def build_milc_workload(
+    sites: int = 50_000,
+    component_factory=None,
+) -> Workload:
+    """Per-site loop over the four direction links."""
+    memory = MemoryImage()
+    bases = [
+        memory.allocate(f"links_{d}", sites * LINK_STRIDE // 8)
+        for d in range(DIRECTIONS)
+    ]
+    out_base = memory.allocate("result", sites * 2)
+
+    b = ProgramBuilder()
+    b.label("main")
+    b.li("s0", 0, comment="snoop:roi_begin  # milc ROI")
+    for d, base in enumerate(bases):
+        b.li(f"s{d + 1}", base, comment=f"snoop:base:dir{d}")
+    b.li("s8", out_base)
+    b.li("s9", sites)
+    b.li("s10", 0)
+
+    b.label("loop")
+    b.bge("s10", "s9", "done")
+    b.muli("t1", "s10", LINK_STRIDE)
+    b.fli("ft1", 1)
+    for d in range(DIRECTIONS):
+        b.add("t2", "t1", f"s{d + 1}")
+        b.fld("ft2", base="t2", offset=0, comment=f"link load dir{d}")
+        b.fld("ft3", base="t2", offset=64, comment=f"link load dir{d} row2")
+        # One row of the su3 matrix-vector product: complex multiplies
+        # and accumulates (the real loop body runs to hundreds of FLOPs,
+        # which is what keeps the ROB from spanning many iterations).
+        b.fmul("ft4", "ft2", "ft3", comment="re*re")
+        b.fmul("ft5", "ft2", "ft1", comment="re*im")
+        b.fmul("ft6", "ft3", "ft1", comment="im*re")
+        b.fsub("ft4", "ft4", "ft5")
+        b.fadd("ft5", "ft5", "ft6")
+        b.fmul("ft4", "ft4", "ft4")
+        b.fadd("ft5", "ft5", "ft4")
+        b.fmul("ft6", "ft5", "ft2")
+        b.fadd("ft6", "ft6", "ft3")
+        b.fmul("ft7", "ft6", "ft5")
+        b.fadd("ft7", "ft7", "ft4")
+        b.fadd("ft1", "ft1", "ft7", comment="accumulate direction")
+    b.slli("t3", "s10", 4)
+    b.add("t3", "t3", "s8")
+    b.fsd("ft1", base="t3", offset=0)
+    b.addi("s10", "s10", 1, comment="snoop:iter:milc")
+    b.j("loop")
+    b.label("done")
+    b.halt()
+
+    program = b.build()
+
+    rst_entries = [
+        RSTEntry(
+            program.pcs_with_comment("snoop:roi_begin")[0],
+            SnoopKind.ROI_BEGIN,
+            "milc_roi",
+        ),
+        RSTEntry(
+            program.pcs_with_comment("snoop:iter:milc")[0],
+            SnoopKind.DEST_VALUE,
+            "iter:milc",
+            droppable=True,
+        ),
+    ]
+    for d in range(DIRECTIONS):
+        rst_entries.append(
+            RSTEntry(
+                program.pcs_with_comment(f"snoop:base:dir{d}")[0],
+                SnoopKind.DEST_VALUE,
+                f"base:dir{d}",
+            )
+        )
+
+    if component_factory is None:
+        from repro.pfm.components.prefetchers import MilcPrefetcher
+
+        component_factory = MilcPrefetcher
+
+    metadata = {
+        # Each direction's 144-byte link spans three cache lines; two
+        # sub-sites per direction cover both loaded rows.
+        "sites": [
+            {
+                "tag": f"dir{d}+{off}",
+                "stride": LINK_STRIDE,
+                "counter": "milc",
+                "offset": off,
+            }
+            for d in range(DIRECTIONS)
+            for off in (0, 64)
+        ],
+        "initial_distance": 8,
+    }
+    bitstream = Bitstream(
+        name="milc-prefetcher",
+        rst_entries=rst_entries,
+        fst_entries=[],
+        component_factory=component_factory,
+        metadata=metadata,
+    )
+    return Workload(
+        name="milc",
+        program=program,
+        memory=memory,
+        bitstream=bitstream,
+        metadata={"sites": sites},
+    )

@@ -1,0 +1,215 @@
+"""Functional execution: programs -> dynamic instruction streams.
+
+The cycle model in :mod:`repro.core` is trace-driven: it consumes
+:class:`DynInst` records produced here, in correct-path program order, and
+assigns timing.  The executor also keeps the shared
+:class:`~repro.workloads.mem.MemoryImage` up to date as the stream advances,
+which is what Load-Agent-injected loads from custom components read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.program import Program
+from repro.workloads.mem import MemoryImage
+
+
+@dataclass(slots=True)
+class DynInst:
+    """One dynamic (correct-path) instruction with its architectural effects."""
+
+    seq: int
+    pc: int
+    mnemonic: str
+    op_class: OpClass
+    dst: str | None
+    srcs: tuple[str, ...]
+    mem_addr: int | None
+    store_value: float | None
+    dst_value: float | None
+    taken: bool | None
+    next_pc: int
+    comment: str
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class is OpClass.STORE
+
+
+class ExecutionError(RuntimeError):
+    """Raised when the functional executor hits an undefined situation."""
+
+
+class FunctionalExecutor:
+    """Execute a :class:`~repro.isa.program.Program` architecturally.
+
+    Produces the dynamic instruction stream one instruction at a time via
+    :meth:`step` / :meth:`run`.  Register state lives in a plain dict; the
+    ``zero`` register reads as 0 and ignores writes.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        memory: MemoryImage,
+        initial_regs: dict[str, float] | None = None,
+        entry: str | None = None,
+    ):
+        self.program = program
+        self.memory = memory
+        self.regs: dict[str, float] = dict(initial_regs or {})
+        self.pc = program.pc_of_label(entry) if entry else program.base_pc
+        self.seq = 0
+        self.halted = False
+
+    # ------------------------------------------------------------------ #
+
+    def _read(self, reg: str) -> float:
+        if reg == "zero":
+            return 0
+        return self.regs.get(reg, 0)
+
+    def _write(self, reg: str | None, value: float) -> None:
+        if reg is not None and reg != "zero":
+            self.regs[reg] = value
+
+    def step(self) -> DynInst:
+        """Execute one instruction and return its dynamic record."""
+        if self.halted:
+            raise ExecutionError("executor already halted")
+        inst = self.program.at(self.pc)
+        dyn = self._execute(inst)
+        self.pc = dyn.next_pc
+        self.seq += 1
+        return dyn
+
+    def run(self, max_instructions: int) -> Iterator[DynInst]:
+        """Yield up to *max_instructions* dynamic instructions."""
+        for _ in range(max_instructions):
+            if self.halted:
+                return
+            yield self.step()
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, inst: Instruction) -> DynInst:
+        read = self._read
+        mnem = inst.mnemonic
+        srcs = inst.srcs
+        imm = inst.imm
+        dst_value: float | None = None
+        mem_addr: int | None = None
+        store_value: float | None = None
+        taken: bool | None = None
+        next_pc = inst.pc + 4
+        op_class = inst.op_class
+
+        if op_class is OpClass.INT_ALU or op_class in (
+            OpClass.INT_MUL,
+            OpClass.INT_DIV,
+            OpClass.FP_ALU,
+            OpClass.FP_MUL,
+            OpClass.FP_DIV,
+        ):
+            dst_value = _ALU_OPS[mnem](read, srcs, imm)
+            self._write(inst.dst, dst_value)
+        elif op_class is OpClass.LOAD:
+            mem_addr = int(read(srcs[0])) + imm
+            dst_value = self.memory.load(mem_addr)
+            self._write(inst.dst, dst_value)
+        elif op_class is OpClass.STORE:
+            mem_addr = int(read(srcs[0])) + imm
+            store_value = read(srcs[1])
+            self.memory.store(mem_addr, store_value)
+        elif op_class is OpClass.BRANCH:
+            taken = _BRANCH_OPS[mnem](read(srcs[0]), read(srcs[1]))
+            if taken:
+                next_pc = self.program.target_of(inst.pc)
+        elif op_class is OpClass.JUMP:
+            if mnem == "jalr":
+                next_pc = int(read(srcs[0]))
+            else:
+                next_pc = self.program.target_of(inst.pc)
+            if inst.dst is not None:
+                dst_value = inst.pc + 4
+                self._write(inst.dst, dst_value)
+            taken = True
+        elif op_class is OpClass.HALT:
+            self.halted = True
+            next_pc = inst.pc
+        else:  # pragma: no cover - all classes handled above
+            raise ExecutionError(f"unhandled op class {op_class}")
+
+        return DynInst(
+            seq=self.seq,
+            pc=inst.pc,
+            mnemonic=mnem,
+            op_class=op_class,
+            dst=inst.dst,
+            srcs=srcs,
+            mem_addr=mem_addr,
+            store_value=store_value,
+            dst_value=dst_value,
+            taken=taken,
+            next_pc=next_pc,
+            comment=inst.comment,
+        )
+
+
+def _sra(value: int, shift: int) -> int:
+    return value >> shift
+
+
+_ALU_OPS = {
+    "add": lambda r, s, i: int(r(s[0])) + int(r(s[1])),
+    "sub": lambda r, s, i: int(r(s[0])) - int(r(s[1])),
+    "and_": lambda r, s, i: int(r(s[0])) & int(r(s[1])),
+    "or_": lambda r, s, i: int(r(s[0])) | int(r(s[1])),
+    "xor": lambda r, s, i: int(r(s[0])) ^ int(r(s[1])),
+    "sll": lambda r, s, i: int(r(s[0])) << (int(r(s[1])) & 63),
+    "srl": lambda r, s, i: int(r(s[0])) >> (int(r(s[1])) & 63),
+    "sra": lambda r, s, i: _sra(int(r(s[0])), int(r(s[1])) & 63),
+    "slt": lambda r, s, i: int(int(r(s[0])) < int(r(s[1]))),
+    "sltu": lambda r, s, i: int(abs(int(r(s[0]))) < abs(int(r(s[1])))),
+    "addi": lambda r, s, i: int(r(s[0])) + i,
+    "andi": lambda r, s, i: int(r(s[0])) & i,
+    "ori": lambda r, s, i: int(r(s[0])) | i,
+    "xori": lambda r, s, i: int(r(s[0])) ^ i,
+    "slli": lambda r, s, i: int(r(s[0])) << (i & 63),
+    "srli": lambda r, s, i: int(r(s[0])) >> (i & 63),
+    "srai": lambda r, s, i: _sra(int(r(s[0])), i & 63),
+    "slti": lambda r, s, i: int(int(r(s[0])) < i),
+    "li": lambda r, s, i: i,
+    "mv": lambda r, s, i: r(s[0]),
+    "mul": lambda r, s, i: int(r(s[0])) * int(r(s[1])),
+    "muli": lambda r, s, i: int(r(s[0])) * i,
+    "div": lambda r, s, i: int(r(s[0])) // max(1, int(r(s[1]))),
+    "rem": lambda r, s, i: int(r(s[0])) % max(1, int(r(s[1]))),
+    "fadd": lambda r, s, i: r(s[0]) + r(s[1]),
+    "fsub": lambda r, s, i: r(s[0]) - r(s[1]),
+    "fmul": lambda r, s, i: r(s[0]) * r(s[1]),
+    "fdiv": lambda r, s, i: r(s[0]) / (r(s[1]) or 1.0),
+    "fmv": lambda r, s, i: r(s[0]),
+    "fli": lambda r, s, i: float(i),
+    "fcvt": lambda r, s, i: float(r(s[0])),
+}
+
+_BRANCH_OPS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: a < b,
+    "bge": lambda a, b: a >= b,
+    "bltu": lambda a, b: abs(a) < abs(b),
+    "bgeu": lambda a, b: abs(a) >= abs(b),
+}

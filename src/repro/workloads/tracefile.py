@@ -1,0 +1,167 @@
+"""Dynamic-trace recording and replay.
+
+Records a workload's correct-path dynamic stream into a compressed numpy
+archive and replays it later — useful for sharing reproducible inputs,
+regression-pinning a simulation, and separating (slow) functional
+execution from timing experiments.
+
+Replay is bit-identical to live execution for both baseline and PFM runs:
+the replayer re-applies each store to a fresh
+:class:`~repro.workloads.mem.MemoryImage` at the same per-instruction
+granularity the functional executor would, so Load-Agent-injected
+component loads observe exactly the same memory states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.instructions import MNEMONIC_CLASS, OpClass
+from repro.isa.registers import FP_REGISTERS, INT_REGISTERS
+from repro.workloads.base import Workload
+from repro.workloads.mem import MemoryImage
+from repro.workloads.trace import DynInst
+
+_FORMAT_VERSION = 1
+_MNEMONICS = tuple(sorted(MNEMONIC_CLASS))
+_MNEMONIC_ID = {m: i for i, m in enumerate(_MNEMONICS)}
+_REGISTERS = INT_REGISTERS + FP_REGISTERS
+_REGISTER_ID = {r: i for i, r in enumerate(_REGISTERS)}
+_NO_REG = -1
+_NO_ADDR = -1
+
+
+def record_trace(workload: Workload, max_instructions: int, path) -> int:
+    """Run *workload* functionally and save its stream to *path* (.npz).
+
+    Returns the number of instructions recorded.  The workload's initial
+    memory contents that the stream *reads before writing* are captured
+    implicitly: every load's value is part of the record.
+    """
+    executor = workload.executor()
+    pcs, mnemonics, dsts, src0s, src1s = [], [], [], [], []
+    addrs, store_values, dst_values, takens, next_pcs = [], [], [], [], []
+    for dyn in executor.run(max_instructions):
+        pcs.append(dyn.pc)
+        mnemonics.append(_MNEMONIC_ID[dyn.mnemonic])
+        dsts.append(_REGISTER_ID.get(dyn.dst, _NO_REG))
+        src0s.append(_REGISTER_ID.get(dyn.srcs[0], _NO_REG) if dyn.srcs else _NO_REG)
+        src1s.append(
+            _REGISTER_ID.get(dyn.srcs[1], _NO_REG) if len(dyn.srcs) > 1 else _NO_REG
+        )
+        addrs.append(dyn.mem_addr if dyn.mem_addr is not None else _NO_ADDR)
+        store_values.append(
+            dyn.store_value if dyn.store_value is not None else np.nan
+        )
+        dst_values.append(dyn.dst_value if dyn.dst_value is not None else np.nan)
+        takens.append(-1 if dyn.taken is None else int(dyn.taken))
+        next_pcs.append(dyn.next_pc)
+
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        name=np.bytes_(workload.name.encode()),
+        pc=np.asarray(pcs, dtype=np.int64),
+        mnemonic=np.asarray(mnemonics, dtype=np.int16),
+        dst=np.asarray(dsts, dtype=np.int8),
+        src0=np.asarray(src0s, dtype=np.int8),
+        src1=np.asarray(src1s, dtype=np.int8),
+        mem_addr=np.asarray(addrs, dtype=np.int64),
+        store_value=np.asarray(store_values, dtype=np.float64),
+        dst_value=np.asarray(dst_values, dtype=np.float64),
+        taken=np.asarray(takens, dtype=np.int8),
+        next_pc=np.asarray(next_pcs, dtype=np.int64),
+    )
+    return len(pcs)
+
+
+class TraceReplayer:
+    """Executor-compatible replayer over a recorded stream.
+
+    Applies the recorded stores to *memory* as the stream advances, so a
+    PFM component attached to the replay observes the same memory states
+    the live run produced.
+    """
+
+    def __init__(self, arrays: dict, memory: MemoryImage):
+        self._arrays = arrays
+        self.memory = memory
+        self.length = len(arrays["pc"])
+        self.position = 0
+        self.halted = False
+
+    def run(self, max_instructions: int):
+        arrays = self._arrays
+        pc = arrays["pc"]
+        mnemonic = arrays["mnemonic"]
+        dst = arrays["dst"]
+        src0 = arrays["src0"]
+        src1 = arrays["src1"]
+        mem_addr = arrays["mem_addr"]
+        store_value = arrays["store_value"]
+        dst_value = arrays["dst_value"]
+        taken = arrays["taken"]
+        next_pc = arrays["next_pc"]
+        store = self.memory.store
+        end = min(self.length, self.position + max_instructions)
+        for i in range(self.position, end):
+            mnem = _MNEMONICS[mnemonic[i]]
+            srcs = ()
+            if src0[i] != _NO_REG:
+                srcs = (_REGISTERS[src0[i]],)
+                if src1[i] != _NO_REG:
+                    srcs = (_REGISTERS[src0[i]], _REGISTERS[src1[i]])
+            address = int(mem_addr[i]) if mem_addr[i] != _NO_ADDR else None
+            stored = None
+            if not np.isnan(store_value[i]):
+                stored = float(store_value[i])
+                store(address, stored)
+            dyn = DynInst(
+                seq=i,
+                pc=int(pc[i]),
+                mnemonic=mnem,
+                op_class=MNEMONIC_CLASS[mnem],
+                dst=_REGISTERS[dst[i]] if dst[i] != _NO_REG else None,
+                srcs=srcs,
+                mem_addr=address,
+                store_value=stored,
+                dst_value=(
+                    float(dst_value[i]) if not np.isnan(dst_value[i]) else None
+                ),
+                taken=bool(taken[i]) if taken[i] >= 0 else None,
+                next_pc=int(next_pc[i]),
+                comment="",
+            )
+            self.position = i + 1
+            yield dyn
+        if self.position >= self.length:
+            self.halted = True
+
+
+class ReplayWorkload(Workload):
+    """A workload whose executor replays a recorded trace.
+
+    Built from the *original* workload (for its program — the snoop
+    tables key on PCs — and bitstream) plus the trace file.
+    """
+
+    def __init__(self, original: Workload, path):
+        with np.load(path) as data:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"trace format v{version}; this build reads v{_FORMAT_VERSION}"
+                )
+            self._arrays = {key: data[key] for key in data.files}
+        super().__init__(
+            name=f"{original.name}-replay",
+            program=original.program,
+            memory=original.memory,
+            initial_regs=dict(original.initial_regs),
+            entry=original.entry,
+            bitstream=original.bitstream,
+            metadata=dict(original.metadata),
+        )
+
+    def executor(self):
+        return TraceReplayer(self._arrays, self.memory)

@@ -1,0 +1,103 @@
+"""Test harness for stepping custom components without a core.
+
+``FakeFabric`` implements the callbacks :class:`repro.pfm.component.RFIo`
+expects, with unlimited queues and synchronous load service from a memory
+image — enough to unit-test component logic (engine decoupling, inference,
+ordering) independent of core timing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.pfm.component import RFIo
+from repro.pfm.packets import LoadReturn, ObsPacket
+from repro.pfm.snoop import SnoopKind
+
+
+class _FakeQueue:
+    """IntQ-IS stand-in with effectively unlimited space."""
+
+    capacity = 1 << 20
+    occupancy = 0
+
+
+class FakeFabric:
+    """Unlimited-capacity stand-in for PFMFabric's component-side API."""
+
+    intq_is = _FakeQueue()
+
+    def __init__(self, memory, load_latency_rf_cycles: int = 2):
+        self.memory = memory
+        self.obs: deque = deque()
+        self.preds: list[tuple[bool, str]] = []
+        self.loads: list[tuple[int, int, bool]] = []
+        self.new_calls = 0
+        self._returns: list[tuple[int, LoadReturn]] = []  # (due_rf, ret)
+        self._load_latency = load_latency_rf_cycles
+        self._rf_now = 0
+
+    # -- component-facing API ------------------------------------------ #
+
+    def obs_peek(self, now):
+        return self.obs[0] if self.obs else None
+
+    def obs_pop(self, now):
+        return self.obs.popleft() if self.obs else None
+
+    def return_pop(self, now):
+        due = [r for r in self._returns if r[0] <= self._rf_now]
+        if not due:
+            return None
+        self._returns.remove(due[0])
+        return due[0][1]
+
+    def pred_can_push(self):
+        return True
+
+    def pred_push(self, taken, ready, tag):
+        self.preds.append((taken, tag))
+        return True
+
+    def pred_new_call(self):
+        self.new_calls += 1
+        self.preds.clear()
+
+    def load_can_push(self):
+        return True
+
+    def load_push(self, packet, ready):
+        self.loads.append((packet.ident, packet.address, packet.is_prefetch))
+        if not packet.is_prefetch:
+            value = self.memory.load(packet.address)
+            self._returns.append(
+                (
+                    self._rf_now + self._load_latency,
+                    LoadReturn(ident=packet.ident, value=value,
+                               address=packet.address),
+                )
+            )
+        return True
+
+
+def make_io(component, fabric):
+    io = RFIo(component.timings, fabric)
+    return io
+
+
+def step_component(component, fabric, io, cycles=1):
+    for _ in range(cycles):
+        fabric._rf_now += 1
+        io.begin_cycle(fabric._rf_now)
+        component.step(io)
+
+
+def send_obs(fabric, kind, tag, value=None, taken=None, address=None, pc=0):
+    fabric.obs.append(
+        ObsPacket(kind=kind, tag=tag, pc=pc, value=value, taken=taken,
+                  address=address)
+    )
+
+
+def enable(fabric, value=0.0):
+    send_obs(fabric, SnoopKind.ROI_BEGIN, "roi", value=value)

@@ -1,0 +1,90 @@
+"""Builder API completeness: every emit method produces a runnable op."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.mem import MemoryImage
+from repro.workloads.trace import FunctionalExecutor
+
+
+def test_every_builder_method_emits_executable_code():
+    memory = MemoryImage()
+    base = memory.allocate("data", 16)
+    b = ProgramBuilder()
+    b.li("t0", 12)
+    b.li("t1", 5)
+    b.li("a0", base)
+    # register-register ALU
+    b.add("t2", "t0", "t1")
+    b.sub("t2", "t0", "t1")
+    b.and_("t2", "t0", "t1")
+    b.or_("t2", "t0", "t1")
+    b.xor("t2", "t0", "t1")
+    b.sll("t2", "t0", "t1")
+    b.srl("t2", "t0", "t1")
+    b.slt("t2", "t0", "t1")
+    b.mul("t2", "t0", "t1")
+    b.div("t2", "t0", "t1")
+    b.rem("t2", "t0", "t1")
+    # register-immediate ALU
+    b.addi("t3", "t0", 1)
+    b.andi("t3", "t0", 3)
+    b.ori("t3", "t0", 4)
+    b.xori("t3", "t0", 7)
+    b.slli("t3", "t0", 2)
+    b.srli("t3", "t0", 2)
+    b.slti("t3", "t0", 100)
+    b.muli("t3", "t0", 3)
+    b.mv("t4", "t3")
+    # floating point
+    b.fli("ft0", 2)
+    b.fli("ft1", 3)
+    b.fadd("ft2", "ft0", "ft1")
+    b.fsub("ft2", "ft0", "ft1")
+    b.fmul("ft2", "ft0", "ft1")
+    b.fdiv("ft2", "ft0", "ft1")
+    b.fmv("ft3", "ft2")
+    b.fcvt("ft4", "t0")
+    # memory
+    b.sd("t0", base="a0", offset=0)
+    b.ld("t5", base="a0", offset=0)
+    b.fsd("ft2", base="a0", offset=8)
+    b.fld("ft5", base="a0", offset=8)
+    # control
+    b.beq("t0", "t0", "eq_target")
+    b.halt()
+    b.label("eq_target")
+    b.bne("t0", "t1", "ne_target")
+    b.halt()
+    b.label("ne_target")
+    b.blt("t1", "t0", "lt_target")
+    b.halt()
+    b.label("lt_target")
+    b.bge("t0", "t1", "ge_target")
+    b.halt()
+    b.label("ge_target")
+    b.bltu("t1", "t0", "ltu_target")
+    b.halt()
+    b.label("ltu_target")
+    b.bgeu("t0", "t1", "geu_target")
+    b.halt()
+    b.label("geu_target")
+    b.jal("func")
+    b.j("end")
+    b.label("func")
+    b.addi("t6", "t6", 1)
+    b.jalr("ra")
+    b.label("end")
+    b.halt()
+
+    executor = FunctionalExecutor(b.build(), memory)
+    for _ in range(200):
+        if executor.halted:
+            break
+        executor.step()
+    assert executor.halted
+    # Spot checks across categories.
+    assert executor.regs["t5"] == 12  # sd/ld roundtrip
+    assert executor.regs["ft5"] == pytest.approx(2 / 3)  # last ft2 = fdiv(2,3)
+    assert executor.regs["ft4"] == 12.0  # fcvt
+    assert executor.regs["t6"] == 1  # call happened

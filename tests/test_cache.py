@@ -1,0 +1,145 @@
+"""Set-associative cache: geometry, LRU, timestamps, MSHRs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.cache import Cache
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Cache("bad", size_bytes=100, assoc=3)
+
+
+def test_sets_computed_from_size():
+    cache = Cache("L1", 32 * 1024, 8)
+    assert cache.num_sets == 64
+
+
+def test_miss_then_hit():
+    cache = Cache("L1", 4096, 4)
+    assert cache.probe(5, now=10) is None
+    cache.insert(5, now=10, fill_time=10)
+    result = cache.probe(5, now=11)
+    assert result is not None and not result.in_flight
+    assert result.ready_time == 11
+
+
+def test_in_flight_hit_reports_fill_time():
+    cache = Cache("L1", 4096, 4)
+    cache.insert(7, now=10, fill_time=200)
+    result = cache.probe(7, now=50)
+    assert result.in_flight
+    assert result.ready_time == 200
+
+
+def test_fill_completes_over_time():
+    cache = Cache("L1", 4096, 4)
+    cache.insert(7, now=10, fill_time=200)
+    result = cache.probe(7, now=300)
+    assert not result.in_flight
+
+
+def test_lru_eviction_order():
+    cache = Cache("L1", 4 * 64, 4)  # one set, 4 ways
+    for line in range(4):
+        cache.insert(line * cache.num_sets, now=line, fill_time=line)
+    # Touch line 0 to make it MRU.
+    cache.probe(0, now=10)
+    # Insert a 5th line: victim must be line 1 (oldest untouched).
+    cache.insert(4 * cache.num_sets, now=11, fill_time=11)
+    assert cache.contains(0)
+    assert not cache.contains(1 * cache.num_sets)
+    assert cache.contains(2 * cache.num_sets)
+
+
+def test_low_priority_insert_evicted_first():
+    cache = Cache("L1", 4 * 64, 4)
+    cache.insert(0, now=100, fill_time=100, prefetch=True, low_priority=True)
+    for line in range(1, 4):
+        cache.insert(line * cache.num_sets or line, now=line, fill_time=line)
+    # All ways full; the low-priority line is the eviction victim even
+    # though it was inserted most recently.
+    cache.insert(77 * cache.num_sets or 77, now=200, fill_time=200)
+    assert not cache.contains(0)
+
+
+def test_demand_touch_promotes_low_priority_line():
+    cache = Cache("L1", 4 * 64, 4)
+    cache.insert(0, now=100, fill_time=100, prefetch=True, low_priority=True)
+    cache.probe(0, now=150)  # demand touch promotes
+    for line in range(1, 5):
+        cache.insert(line, now=line, fill_time=line)
+    assert cache.contains(0)
+
+
+def test_prefetch_usefulness_counted_once():
+    cache = Cache("L1", 4096, 4)
+    cache.insert(3, now=0, fill_time=0, prefetch=True)
+    assert cache.prefetch_fills == 1
+    cache.probe(3, now=1)
+    cache.probe(3, now=2)
+    assert cache.prefetch_useful == 1
+
+
+def test_mshr_delay_when_full():
+    cache = Cache("L1", 4096, 4, mshrs=2)
+    cache.register_miss(100)
+    cache.register_miss(120)
+    assert cache.mshr_delay(now=50) == 50  # wait until 100
+    assert cache.mshr_delay(now=110) == 0  # one drained
+
+
+def test_cap_fill_clamps_in_flight():
+    cache = Cache("L1", 4096, 4)
+    cache.insert(9, now=10, fill_time=900)
+    cache.cap_fill(9, 300)
+    assert cache.probe(9, now=50).ready_time == 300
+    cache.cap_fill(9, 500)  # never increases
+    assert cache.probe(9, now=50).ready_time == 300
+
+
+def test_flush_empties_cache():
+    cache = Cache("L1", 4096, 4)
+    cache.insert(1, now=0, fill_time=0)
+    cache.flush()
+    assert not cache.contains(1)
+
+
+def test_stats_accounting():
+    cache = Cache("L1", 4096, 4)
+    cache.probe(1, now=0)  # miss
+    cache.insert(1, now=0, fill_time=0)
+    cache.probe(1, now=1)  # hit
+    stats = cache.stats()
+    assert stats["accesses"] == 2
+    assert stats["misses"] == 1
+    assert cache.miss_rate == 0.5
+
+
+def test_uncounted_probe():
+    cache = Cache("L1", 4096, 4)
+    cache.probe(1, now=0, count=False)
+    assert cache.accesses == 0
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+def test_property_lru_matches_reference(lines):
+    """Single-set cache contents must match a reference LRU list."""
+    assoc = 4
+    cache = Cache("L1", assoc * 64, assoc)  # 1 set
+    reference: list[int] = []  # most recent last
+    for now, raw in enumerate(lines):
+        line = raw * cache.num_sets  # force into set 0
+        if cache.probe(line, now=now) is None:
+            cache.insert(line, now=now, fill_time=now)
+            if line in reference:
+                reference.remove(line)
+            reference.append(line)
+            if len(reference) > assoc:
+                reference.pop(0)
+        else:
+            reference.remove(line)
+            reference.append(line)
+    for line in reference:
+        assert cache.contains(line)

@@ -1,0 +1,223 @@
+"""Prefetch engines: distance control, stride/set/nest generation."""
+
+from tests.pfm_harness import FakeFabric, enable, make_io, send_obs, step_component
+
+from repro.pfm.component import RFTimings
+from repro.pfm.components.prefetchers import (
+    AdaptiveDistanceController,
+    LbmPrefetcher,
+    NestedLoopPrefetchEngine,
+    StridePrefetchEngine,
+)
+from repro.pfm.snoop import SnoopKind
+from repro.workloads.mem import MemoryImage
+
+
+# ---------------------------------------------------------------------- #
+# AdaptiveDistanceController
+# ---------------------------------------------------------------------- #
+
+def test_rate_mode_targets_lead_coverage():
+    controller = AdaptiveDistanceController(
+        mode="rate", lead_cycles=600, epoch_cycles=100, max_distance=96
+    )
+    # One retired instance every 10 cycles -> distance ~ 600/10 + min.
+    retired = 0
+    for epoch in range(1, 12):
+        retired += 10
+        controller.observe(now=epoch * 100, retired_total=retired)
+    assert 55 <= controller.distance <= 96
+
+
+def test_rate_mode_clamps_to_max():
+    controller = AdaptiveDistanceController(
+        mode="rate", lead_cycles=600, epoch_cycles=100, max_distance=32
+    )
+    retired = 0
+    for epoch in range(1, 8):
+        retired += 100
+        controller.observe(now=epoch * 100, retired_total=retired)
+    assert controller.distance == 32
+
+
+def test_hillclimb_climbs_on_improvement():
+    controller = AdaptiveDistanceController(
+        mode="hillclimb", epoch_cycles=100, initial_distance=8, step=4
+    )
+    retired = 0
+    rate = 5
+    for epoch in range(1, 10):
+        rate += 1  # monotonically improving throughput
+        retired += rate
+        controller.observe(now=epoch * 100, retired_total=retired)
+    assert controller.distance > 8
+
+
+def test_hillclimb_backs_off_on_degradation():
+    controller = AdaptiveDistanceController(
+        mode="hillclimb", epoch_cycles=100, initial_distance=20, step=4
+    )
+    retired = 0
+    rates = [50, 50, 30, 20, 19, 19]  # collapse, then stabilize low
+    for epoch, rate in enumerate(rates, start=1):
+        retired += rate
+        controller.observe(now=epoch * 100, retired_total=retired)
+    # One exploratory climb (+step), then two degraded epochs back it off
+    # and settle: net distance no higher than the single climb.
+    assert controller._settled
+    assert controller.distance <= 24
+
+
+def test_unknown_mode_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        AdaptiveDistanceController(mode="magic")
+
+
+def test_epochs_are_time_based():
+    controller = AdaptiveDistanceController(mode="rate", epoch_cycles=1000)
+    controller.observe(now=10, retired_total=5)
+    controller.observe(now=500, retired_total=50)
+    assert controller._rate_ewma is None  # no epoch boundary crossed yet
+
+
+# ---------------------------------------------------------------------- #
+# StridePrefetchEngine
+# ---------------------------------------------------------------------- #
+
+def stride_setup(sites, set_mode=False, width=1):
+    memory = MemoryImage()
+    base = memory.allocate("data", 65536)
+    cls = LbmPrefetcher if set_mode else StridePrefetchEngine
+    component = cls(
+        RFTimings(clk_ratio=4, width=width, delay=0),
+        memory,
+        {"sites": sites, "initial_distance": 8},
+    )
+    fabric = FakeFabric(memory)
+    io = make_io(component, fabric)
+    enable(fabric)
+    return component, fabric, io, base
+
+
+def test_stride_addresses_follow_pattern():
+    component, fabric, io, base = stride_setup(
+        [{"tag": "s", "stride": 16}]
+    )
+    send_obs(fabric, SnoopKind.DEST_VALUE, "base:s", value=base)
+    step_component(component, fabric, io, cycles=10)
+    addresses = [addr for _, addr, pf in fabric.loads if pf]
+    assert addresses[:4] == [base, base + 16, base + 32, base + 48]
+
+
+def test_stride_respects_distance():
+    component, fabric, io, base = stride_setup([{"tag": "s", "stride": 8}])
+    send_obs(fabric, SnoopKind.DEST_VALUE, "base:s", value=base)
+    step_component(component, fabric, io, cycles=40)
+    site = component.sites[0]
+    assert site.issued == site.retired + component.controller.distance
+
+
+def test_iteration_counter_advances_progress():
+    component, fabric, io, base = stride_setup([{"tag": "s", "stride": 8}])
+    send_obs(fabric, SnoopKind.DEST_VALUE, "base:s", value=base)
+    step_component(component, fabric, io, cycles=40)
+    issued_before = component.sites[0].issued
+    send_obs(fabric, SnoopKind.DEST_VALUE, "iter:s", value=50)
+    step_component(component, fabric, io, cycles=60)
+    assert component.sites[0].retired == 50
+    assert component.sites[0].issued > issued_before
+
+
+def test_counter_is_monotonic_under_reordered_packets():
+    component, fabric, io, base = stride_setup([{"tag": "s", "stride": 8}])
+    send_obs(fabric, SnoopKind.DEST_VALUE, "base:s", value=base)
+    send_obs(fabric, SnoopKind.DEST_VALUE, "iter:s", value=50)
+    send_obs(fabric, SnoopKind.DEST_VALUE, "iter:s", value=30)  # stale
+    step_component(component, fabric, io, cycles=4)
+    assert component.sites[0].retired == 50
+
+
+def test_offset_sites_share_base_snoop():
+    component, fabric, io, base = stride_setup(
+        [
+            {"tag": "d+0", "stride": 144, "counter": "c", "offset": 0},
+            {"tag": "d+64", "stride": 144, "counter": "c", "offset": 64},
+        ]
+    )
+    send_obs(fabric, SnoopKind.DEST_VALUE, "base:d", value=base)
+    step_component(component, fabric, io, cycles=6)
+    addresses = sorted(addr for _, addr, _ in fabric.loads)[:2]
+    assert addresses == [base, base + 64]
+
+
+def test_set_mode_emits_complete_sets():
+    sites = [{"tag": f"f{i}", "stride": 80, "counter": "lbm"} for i in range(4)]
+    component, fabric, io, base = stride_setup(sites, set_mode=True, width=1)
+    for i in range(4):
+        send_obs(fabric, SnoopKind.DEST_VALUE, f"base:f{i}", value=base + i * 8192)
+    step_component(component, fabric, io, cycles=50)
+    # Every site's issue count advances in lockstep (sets, never partial).
+    issued = {site.issued for site in component.sites}
+    assert len(issued) == 1 and issued.pop() > 0
+
+
+def test_prefetch_packets_marked_prefetch():
+    component, fabric, io, base = stride_setup([{"tag": "s", "stride": 8}])
+    send_obs(fabric, SnoopKind.DEST_VALUE, "base:s", value=base)
+    step_component(component, fabric, io, cycles=5)
+    assert fabric.loads and all(pf for _, _, pf in fabric.loads)
+
+
+# ---------------------------------------------------------------------- #
+# NestedLoopPrefetchEngine
+# ---------------------------------------------------------------------- #
+
+def nest_setup():
+    memory = MemoryImage()
+    base = memory.allocate("A", 65536)
+    component = NestedLoopPrefetchEngine(
+        RFTimings(clk_ratio=4, width=2, delay=0),
+        memory,
+        {
+            "groups": [
+                {
+                    "extents": [1 << 20, 3, 4],
+                    "sites": [{"tag": "A", "coeffs": [96, 32, 8]}],
+                }
+            ],
+            "initial_distance": 16,
+        },
+    )
+    fabric = FakeFabric(memory)
+    io = make_io(component, fabric)
+    enable(fabric)
+    send_obs(fabric, SnoopKind.DEST_VALUE, "base:A", value=base)
+    return component, fabric, io, base
+
+
+def test_nest_walks_counters_correctly():
+    component, fabric, io, base = nest_setup()
+    step_component(component, fabric, io, cycles=20)
+    addresses = [addr - base for _, addr, _ in fabric.loads]
+    # flat order (i=0): (j,k) = (0,0),(0,1),(0,2),(0,3),(1,0)...
+    expected = [0, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96]
+    assert addresses[: len(expected)] == expected
+
+
+def test_nest_progress_follows_counter():
+    component, fabric, io, _ = nest_setup()
+    step_component(component, fabric, io, cycles=20)
+    nest, sites = component.groups[0]
+    assert nest.flat == sites[0].retired + component.controllers[0].distance
+    send_obs(fabric, SnoopKind.DEST_VALUE, "iter:A", value=10)
+    step_component(component, fabric, io, cycles=20)
+    assert nest.flat == 10 + component.controllers[0].distance
+
+
+def test_structures_report_sites():
+    component, _, _, _ = nest_setup()
+    structure = component.structure()
+    assert structure["fsm_states"] > 0
+    assert structure["adders"] > 0

@@ -1,0 +1,147 @@
+"""Templated run-ahead predictor generation (Section 7's future work)."""
+
+import pytest
+
+from repro.core import PFMParams, SimConfig, simulate
+from repro.pfm.components.template import (
+    GuardedCheck,
+    TemplatedRunaheadPredictor,
+    TemplateSpec,
+    astar_template_spec,
+    make_astar_template_factory,
+)
+from repro.workloads.astar import build_astar_workload
+
+WINDOW = 15_000
+
+
+def grid_kwargs():
+    return dict(grid_width=128, grid_height=128)
+
+
+def test_astar_spec_shape():
+    spec = astar_template_spec()
+    assert spec.fanout == 8
+    assert len(spec.checks) == 2
+    assert spec.checks[0].name == "waymap"
+    assert spec.infer_stores
+
+
+def test_spec_derive_uses_snooped_scalars():
+    spec = astar_template_spec()
+    indices = spec.derive(100, {"yoffset": 10, "fillnum": 0})
+    assert indices == [89, 90, 91, 99, 101, 109, 110, 111]
+
+
+def test_template_matches_hand_written_design():
+    """The generated component reproduces the hand-written astar design's
+    accuracy and speedup — the paper's 'path toward automation'."""
+    baseline = simulate(
+        build_astar_workload(**grid_kwargs()),
+        SimConfig(max_instructions=WINDOW),
+    )
+    hand = simulate(
+        build_astar_workload(**grid_kwargs()),
+        SimConfig(max_instructions=WINDOW, pfm=PFMParams(delay=0)),
+    )
+    generated = simulate(
+        build_astar_workload(
+            component_factory=make_astar_template_factory(), **grid_kwargs()
+        ),
+        SimConfig(max_instructions=WINDOW, pfm=PFMParams(delay=0)),
+    )
+    assert generated.ipc > baseline.ipc * 1.5
+    assert abs(generated.ipc - hand.ipc) / hand.ipc < 0.1
+    assert abs(generated.mpki - hand.mpki) < 2.0
+
+
+def test_template_respects_scope_override():
+    small = simulate(
+        build_astar_workload(
+            component_factory=make_astar_template_factory(), **grid_kwargs()
+        ),
+        SimConfig(
+            max_instructions=WINDOW,
+            pfm=PFMParams(
+                delay=0, component_overrides={"index_queue_entries": 1}
+            ),
+        ),
+    )
+    full = simulate(
+        build_astar_workload(
+            component_factory=make_astar_template_factory(), **grid_kwargs()
+        ),
+        SimConfig(max_instructions=WINDOW, pfm=PFMParams(delay=0)),
+    )
+    assert full.ipc > small.ipc * 1.2
+
+
+def test_template_store_inference_can_be_disabled():
+    spec = astar_template_spec()
+    no_infer = TemplateSpec(
+        worklist_base_tag=spec.worklist_base_tag,
+        head_counter_tag=spec.head_counter_tag,
+        scalar_tags=spec.scalar_tags,
+        roi_value_name=spec.roi_value_name,
+        derive=spec.derive,
+        checks=spec.checks,
+        infer_stores=False,
+        scope=spec.scope,
+    )
+
+    def factory(timings, memory, metadata=None):
+        merged = dict(metadata or {})
+        merged["spec"] = no_infer
+        return TemplatedRunaheadPredictor(timings, memory, merged)
+
+    with_infer = simulate(
+        build_astar_workload(
+            component_factory=make_astar_template_factory(), **grid_kwargs()
+        ),
+        SimConfig(max_instructions=WINDOW, pfm=PFMParams(delay=0)),
+    )
+    without = simulate(
+        build_astar_workload(component_factory=factory, **grid_kwargs()),
+        SimConfig(max_instructions=WINDOW, pfm=PFMParams(delay=0)),
+    )
+    # The loop-carried dependency bites without inference.
+    assert without.mpki > with_infer.mpki * 1.5
+
+
+def test_template_structure_scales_with_spec():
+    spec = astar_template_spec(scope=8)
+    component = TemplatedRunaheadPredictor(
+        __import__("repro.pfm.component", fromlist=["RFTimings"]).RFTimings(4, 4, 0),
+        None,
+        {"spec": spec},
+    )
+    structure = component.structure()
+    assert structure["cam_bits"] > 0
+    assert structure["queue_bits"] > 0
+
+
+def test_custom_single_check_spec():
+    """A one-check spec (flag-walk style) works through the template."""
+    check = GuardedCheck(
+        name="flag",
+        base_tag="flags_base",
+        stride=8,
+        predicate=lambda value, env: int(value) == 0,
+        fst_tag="flag:{k}",
+    )
+    spec = TemplateSpec(
+        worklist_base_tag="worklist_base",
+        head_counter_tag="iter_inc",
+        scalar_tags=(),
+        roi_value_name="roi",
+        derive=lambda item, env: [item],
+        checks=(check,),
+        infer_stores=False,
+    )
+    assert spec.fanout == 1
+    component = TemplatedRunaheadPredictor(
+        __import__("repro.pfm.component", fromlist=["RFTimings"]).RFTimings(4, 1, 0),
+        None,
+        {"spec": spec},
+    )
+    assert component.is_idle()

@@ -1,0 +1,278 @@
+"""The cycle engine on the plain core: timing invariants and bounds."""
+
+import pytest
+
+from repro.core import CoreParams, SimConfig, SuperscalarCore, simulate
+from repro.isa.builder import ProgramBuilder
+from repro.memory.hierarchy import HierarchyParams
+from repro.workloads.base import Workload
+from repro.workloads.mem import MemoryImage
+
+
+def make_workload(build, memory=None):
+    b = ProgramBuilder()
+    build(b)
+    return Workload("test", b.build(), memory or MemoryImage())
+
+
+def quiet_memory():
+    return HierarchyParams(tlb_walk_latency=0)
+
+
+def run(build, memory=None, max_instructions=5000, **config_kwargs):
+    config_kwargs.setdefault("memory", quiet_memory())
+    workload = make_workload(build, memory)
+    return simulate(
+        workload, SimConfig(max_instructions=max_instructions, **config_kwargs)
+    )
+
+
+def straight_line_alu(b, count=64):
+    for i in range(count):
+        b.addi("t0", "t0", 1)
+    b.halt()
+
+
+def test_ipc_bounded_by_fetch_width():
+    stats = run(straight_line_alu)
+    assert 0 < stats.ipc <= CoreParams().fetch_width
+
+
+def test_independent_alu_ipc_near_width():
+    def build(b):
+        # Independent chains across 4 registers: should sustain ~4 IPC
+        # (fetch width bound) in a tight unrolled loop.
+        b.li("t4", 0)
+        b.li("t5", 4000)
+        b.label("loop")
+        for _ in range(4):
+            b.addi("t0", "t0", 1)
+            b.addi("t1", "t1", 1)
+            b.addi("t2", "t2", 1)
+            b.addi("t3", "t3", 1)
+        b.addi("t4", "t4", 1)
+        b.blt("t4", "t5", "loop")
+        b.halt()
+
+    stats = run(build, max_instructions=6000)
+    assert stats.ipc > 3.0
+
+
+def test_dependent_chain_ipc_near_one():
+    def build(b):
+        b.li("t1", 0)
+        b.li("t2", 5000)
+        b.label("loop")
+        for _ in range(8):
+            b.addi("t0", "t0", 1)  # serial dependence
+        b.addi("t1", "t1", 1)
+        b.blt("t1", "t2", "loop")
+        b.halt()
+
+    stats = run(build, max_instructions=6000)
+    assert stats.ipc < 1.6
+
+
+def test_division_serializes():
+    def build(b):
+        b.li("t1", 0)
+        b.li("t2", 1000)
+        b.li("t3", 7)
+        b.label("loop")
+        b.div("t0", "t3", "t3")  # unpipelined, 12 cycles, serial
+        b.addi("t1", "t1", 1)
+        b.blt("t1", "t2", "loop")
+        b.halt()
+
+    stats = run(build, max_instructions=3000)
+    # Two unpipelined 12-cycle dividers bound the 3-instruction iteration
+    # to one per 6 cycles: IPC exactly 0.5.
+    assert stats.ipc <= 0.51
+
+
+def test_mispredicted_branches_cost_cycles():
+    import random
+
+    rng = random.Random(1)
+    memory = MemoryImage()
+    flags = [rng.randint(0, 1) for _ in range(4000)]
+    memory.store_array("flags", flags)
+
+    def build(b):
+        b.li("s1", memory.base("flags"))
+        b.li("s2", len(flags))
+        b.li("s10", 0)
+        b.label("loop")
+        b.slli("t1", "s10", 3)
+        b.add("t1", "t1", "s1")
+        b.ld("t2", base="t1", offset=0)
+        b.beq("t2", "zero", "skip")
+        b.addi("t3", "t3", 1)
+        b.label("skip")
+        b.addi("s10", "s10", 1)
+        b.blt("s10", "s2", "loop")
+        b.halt()
+
+    baseline = run(build, memory=memory, max_instructions=20_000)
+    # Identical program with perfect prediction must be faster.
+    memory2 = MemoryImage()
+    memory2.store_array("flags", flags)
+    perfect = run(
+        build,
+        memory=memory2,
+        max_instructions=20_000,
+        perfect_branch_prediction=True,
+    )
+    assert perfect.ipc > baseline.ipc * 1.2
+    assert baseline.branch_mispredicts > 500
+    assert perfect.branch_mispredicts == 0
+
+
+def test_load_use_latency_limits_pointer_chase():
+    memory = MemoryImage()
+    # Circular chain small enough to live in L1D: after the first lap the
+    # bound is the 3-cycle load-to-use latency (3 instructions / ~3
+    # cycles per step -> IPC around 1).
+    n = 400
+    base = memory.allocate("chain", n + 1)
+    for i in range(n):
+        memory.store_index("chain", i, base + ((i + 1) % n) * 8)
+
+    def build(b):
+        b.li("t0", base)
+        b.li("t1", 0)
+        b.li("t2", 5000)
+        b.label("loop")
+        b.ld("t0", base="t0", offset=0)
+        b.addi("t1", "t1", 1)
+        b.blt("t1", "t2", "loop")
+        b.halt()
+
+    stats = run(build, memory=memory, max_instructions=15_000)
+    assert 0.5 < stats.ipc < 1.6
+
+
+def test_store_forwarding_beats_memory():
+    memory = MemoryImage()
+    base = memory.allocate("slot", 64)
+
+    def build(b):
+        b.li("s1", base)
+        b.li("t1", 0)
+        b.li("t2", 1000)
+        b.label("loop")
+        b.sd("t1", base="s1", offset=0)
+        b.ld("t3", base="s1", offset=0)  # same address: forwarded
+        b.addi("t1", "t1", 1)
+        b.blt("t1", "t2", "loop")
+        b.halt()
+
+    stats = run(build, memory=memory, max_instructions=4000)
+    assert stats.store_forwards > 500
+
+
+def test_disambiguation_violation_detected():
+    memory = MemoryImage()
+    base = memory.allocate("buf", 64)
+
+    def build(b):
+        b.li("s1", base)
+        b.li("t1", 0)
+        b.li("t2", 500)
+        b.li("t6", 12)
+        b.label("loop")
+        # Store whose address depends on a slow op (division) followed by
+        # a load to the same address: the load issues before the store's
+        # address resolves -> violation.
+        b.div("t4", "t6", "t6")  # slow: t4 = 1
+        b.slli("t5", "t4", 3)  # address depends on division
+        b.add("t5", "t5", "s1")
+        b.sd("t1", base="t5", offset=0)
+        b.ld("t3", base="s1", offset=8)  # same address (base+8)
+        b.addi("t1", "t1", 1)
+        b.blt("t1", "t2", "loop")
+        b.halt()
+
+    stats = run(build, memory=memory, max_instructions=4000)
+    assert stats.disambiguation_squashes > 100
+
+
+def test_perfect_dcache_removes_memory_stalls():
+    memory = MemoryImage()
+    n = 4000
+    memory.store_array("data", list(range(n)))
+
+    def build(b):
+        b.li("s1", memory.base("data"))
+        b.li("t1", 0)
+        b.li("t2", n)
+        b.label("loop")
+        b.slli("t3", "t1", 3)
+        b.add("t3", "t3", "s1")
+        b.ld("t4", base="t3", offset=0)
+        b.add("t5", "t5", "t4")
+        b.addi("t1", "t1", 1)
+        b.blt("t1", "t2", "loop")
+        b.halt()
+
+    def params():
+        return HierarchyParams(
+            tlb_walk_latency=0, enable_l1_prefetcher=False, enable_vldp=False
+        )
+
+    memory2 = MemoryImage()
+    memory2.store_array("data", list(range(n)))
+    baseline = simulate(
+        make_workload(build, memory),
+        SimConfig(max_instructions=20_000, memory=params()),
+    )
+    perfect = simulate(
+        make_workload(build, memory2),
+        SimConfig(max_instructions=20_000, memory=params(), perfect_dcache=True),
+    )
+    assert perfect.ipc > baseline.ipc
+
+
+def test_retire_order_and_cycle_count_positive():
+    stats = run(straight_line_alu)
+    assert stats.cycles >= stats.instructions // CoreParams().retire_width
+    assert stats.instructions == 65  # 64 addis + halt
+
+
+def test_stats_loads_stores_counted():
+    memory = MemoryImage()
+    base = memory.allocate("a", 8)
+
+    def build(b):
+        b.li("t0", base)
+        b.sd("t1", base="t0", offset=0)
+        b.ld("t2", base="t0", offset=0)
+        b.halt()
+
+    stats = run(build, memory=memory)
+    assert stats.loads == 1
+    assert stats.stores == 1
+
+
+def test_rob_limits_runahead_under_long_miss():
+    """A DRAM-missing load cannot be overlapped past the ROB size."""
+    memory = MemoryImage()
+    memory.allocate("far", 2)
+
+    def build(b):
+        b.li("t0", memory.base("far"))
+        b.ld("t1", base="t0", offset=0)  # cold DRAM miss
+        for _ in range(300):  # more than ROB 224 independent adds
+            b.addi("t2", "t2", 1)
+        b.halt()
+
+    params = HierarchyParams(
+        tlb_walk_latency=0, enable_l1_prefetcher=False, enable_vldp=False
+    )
+    stats = simulate(
+        make_workload(build, memory),
+        SimConfig(max_instructions=1000, memory=params),
+    )
+    # The load retires at ~DRAM latency; instructions beyond ROB capacity
+    # wait for it, so total cycles must exceed the DRAM latency clearly.
+    assert stats.cycles > params.dram_latency

@@ -1,0 +1,132 @@
+"""Structural resource models: rings, heaps, lane scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.resources import HeapOccupancy, LaneScheduler, RingOccupancy
+
+
+# ---------------------------------------------------------------------- #
+# RingOccupancy
+# ---------------------------------------------------------------------- #
+
+def test_ring_allows_up_to_capacity():
+    ring = RingOccupancy(3)
+    for i in range(3):
+        assert ring.earliest_alloc(i) == i
+        ring.allocate(release_time=100 + i)
+    # 4th allocation must wait for the first release.
+    assert ring.earliest_alloc(50) == 100
+
+
+def test_ring_frees_in_order():
+    ring = RingOccupancy(2)
+    ring.allocate(10)
+    ring.allocate(20)
+    assert ring.earliest_alloc(5) == 10
+    ring.allocate(30)  # window slides: oldest (10) dropped
+    assert ring.earliest_alloc(5) == 20
+
+
+def test_ring_capacity_validation():
+    with pytest.raises(ValueError):
+        RingOccupancy(0)
+
+
+@given(st.lists(st.integers(1, 50), min_size=1, max_size=80))
+def test_ring_property_never_exceeds_capacity(releases):
+    """At any time t, entries with release > t never exceed capacity."""
+    capacity = 4
+    ring = RingOccupancy(capacity)
+    clock = 0
+    live: list[int] = []
+    for extra in releases:
+        start = ring.earliest_alloc(clock)
+        assert start >= clock
+        release = start + extra
+        ring.allocate(release)
+        live = [r for r in live if r > start] + [release]
+        assert len(live) <= capacity
+        clock = start
+
+
+# ---------------------------------------------------------------------- #
+# HeapOccupancy
+# ---------------------------------------------------------------------- #
+
+def test_heap_allows_out_of_order_release():
+    heap = HeapOccupancy(2)
+    heap.allocate(100)
+    heap.allocate(50)
+    # At t=60 the 50-release has drained: room available.
+    assert heap.earliest_alloc(60) == 60
+    heap.allocate(70)
+    # Now 70 and 100 outstanding: next alloc waits for 70.
+    assert heap.earliest_alloc(60) == 70
+
+
+def test_heap_capacity_validation():
+    with pytest.raises(ValueError):
+        HeapOccupancy(0)
+
+
+# ---------------------------------------------------------------------- #
+# LaneScheduler
+# ---------------------------------------------------------------------- #
+
+def test_one_op_per_lane_per_cycle():
+    lanes = LaneScheduler(num_lanes=2, issue_width=8)
+    slots = [lanes.reserve((0, 1), earliest=5) for _ in range(4)]
+    cycles = sorted(c for _, c in slots)
+    assert cycles == [5, 5, 6, 6]  # 2 lanes -> 2 per cycle
+
+
+def test_issue_width_limits_across_lanes():
+    lanes = LaneScheduler(num_lanes=8, issue_width=2)
+    slots = [lanes.reserve(tuple(range(8)), earliest=0) for _ in range(4)]
+    cycles = sorted(c for _, c in slots)
+    assert cycles == [0, 0, 1, 1]
+
+
+def test_unpipelined_op_blocks_lane():
+    lanes = LaneScheduler(num_lanes=1, issue_width=8)
+    _, first = lanes.reserve((0,), earliest=0, block_cycles=10)
+    _, second = lanes.reserve((0,), earliest=1)
+    assert first == 0
+    assert second == 10
+
+
+def test_port_free_query():
+    lanes = LaneScheduler(num_lanes=2, issue_width=8)
+    lane, cycle = lanes.reserve((0,), earliest=3)
+    assert not lanes.is_lane_free(0, 3)
+    assert lanes.is_lane_free(1, 3)
+    assert lanes.is_lane_free(0, 4)
+
+
+def test_earliest_free_port_scans_forward():
+    lanes = LaneScheduler(num_lanes=1, issue_width=8)
+    lanes.reserve((0,), earliest=5)
+    lanes.reserve((0,), earliest=6)
+    assert lanes.earliest_free_port((0,), earliest=5) == 7
+
+
+def test_prune_discards_old_state():
+    lanes = LaneScheduler(num_lanes=1, issue_width=1)
+    lanes.reserve((0,), earliest=5)
+    lanes.prune(100)
+    # Old reservation gone: the slot reads free again.
+    assert lanes.is_lane_free(0, 5)
+
+
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=60))
+def test_property_no_double_booking(earliests):
+    """No two reservations ever share (lane, cycle)."""
+    lanes = LaneScheduler(num_lanes=3, issue_width=2)
+    taken = set()
+    for earliest in earliests:
+        lane, cycle = lanes.reserve((0, 1, 2), earliest=earliest)
+        assert (lane, cycle) not in taken
+        taken.add((lane, cycle))
+        per_cycle = sum(1 for (_, c) in taken if c == cycle)
+        assert per_cycle <= 2  # issue width respected

@@ -1,0 +1,72 @@
+"""Counterfactual CPI stacks."""
+
+import pytest
+
+from repro.core import PFMParams
+from repro.core.analysis import CPIStack, compare_stacks, cpi_stack
+from repro.workloads.astar import build_astar_workload
+from repro.workloads.bfs import build_bfs_workload
+from repro.workloads.graphs import road_graph
+
+WINDOW = 10_000
+
+_graph = road_graph(side=64)
+
+
+def astar():
+    return build_astar_workload(grid_width=128, grid_height=128)
+
+
+def bfs():
+    return build_bfs_workload(graph=_graph)
+
+
+def test_stack_components_sum_to_total():
+    stack = cpi_stack(astar, window=WINDOW)
+    total = (
+        stack.compute_cycles
+        + stack.branch_cycles
+        + stack.memory_cycles
+        + stack.overlap_cycles
+    )
+    assert total == pytest.approx(stack.total_cycles, rel=0.02)
+
+
+def test_astar_stack_is_branch_dominated():
+    stack = cpi_stack(astar, window=WINDOW)
+    assert stack.component("branch") > stack.component("memory")
+    assert stack.component("branch") > 0.3
+
+
+def test_bfs_stack_is_memory_dominated():
+    stack = cpi_stack(bfs, window=WINDOW)
+    assert stack.component("memory") > stack.component("branch")
+
+
+def test_pfm_collapses_astar_branch_slice():
+    base = cpi_stack(astar, window=WINDOW)
+    treated = cpi_stack(astar, window=WINDOW, pfm=PFMParams(delay=0))
+    assert treated.component("branch") < base.component("branch") / 3
+    assert treated.cpi < base.cpi
+
+
+def test_render_and_compare_outputs():
+    stack = CPIStack(
+        instructions=1000,
+        total_cycles=4000,
+        compute_cycles=1000,
+        branch_cycles=1500,
+        memory_cycles=1000,
+        overlap_cycles=500,
+    )
+    text = stack.render("demo")
+    assert "demo" in text and "branch" in text and "#" in text
+    comparison = compare_stacks(stack, stack)
+    assert "reduction" in comparison
+    assert "+0%" in comparison or "-0%" in comparison
+
+
+def test_component_lookup_validates():
+    stack = cpi_stack(astar, window=4000)
+    with pytest.raises(KeyError):
+        stack.component("alignment")

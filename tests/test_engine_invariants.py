@@ -1,0 +1,98 @@
+"""Global timing invariants of the one-pass cycle engine.
+
+These hold for any workload: retirement is in order and bounded by the
+retire width, fetch is bounded by the fetch width, and per-instruction
+stage timestamps are causally ordered.
+"""
+
+from collections import Counter
+
+import repro.core.core as core_module
+from repro.core import CoreParams, PFMParams, SimConfig, SuperscalarCore
+from repro.workloads.astar import build_astar_workload
+from repro.workloads.bfs import build_bfs_workload
+from repro.workloads.graphs import road_graph
+
+WINDOW = 8_000
+
+
+class _InstrumentedCore(SuperscalarCore):
+    """Records per-instruction stage timestamps."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.trace_rows = []
+
+    def _process(self, dyn):
+        fetch_before = self._fetch_cycle
+        super()._process(dyn)
+        self.trace_rows.append(
+            (self._fetch_cycle, self._prev_retire)
+        )
+
+
+def run_instrumented(workload, pfm=None):
+    core = _InstrumentedCore(
+        workload, SimConfig(max_instructions=WINDOW, pfm=pfm)
+    )
+    core.run()
+    return core
+
+
+def check_invariants(core):
+    params = CoreParams()
+    retire_times = [r for _, r in core.trace_rows]
+    fetch_times = [f for f, _ in core.trace_rows]
+
+    # Retirement is monotonic non-decreasing (in-order retire).
+    assert all(b >= a for a, b in zip(retire_times, retire_times[1:]))
+    # No more than retire_width instructions share a retire cycle.
+    per_cycle = Counter(retire_times)
+    assert max(per_cycle.values()) <= params.retire_width
+    # Fetch cursor never goes backwards.
+    assert all(b >= a for a, b in zip(fetch_times, fetch_times[1:]))
+    # Every instruction retires at or after it was fetched (plus depth).
+    for fetch, retire in core.trace_rows:
+        assert retire >= fetch + params.front_depth
+
+
+def test_invariants_baseline_astar():
+    check_invariants(run_instrumented(build_astar_workload()))
+
+
+def test_invariants_pfm_astar():
+    check_invariants(
+        run_instrumented(build_astar_workload(), pfm=PFMParams(delay=4))
+    )
+
+
+def test_invariants_pfm_bfs():
+    graph = road_graph(side=64)
+    check_invariants(
+        run_instrumented(build_bfs_workload(graph=graph), pfm=PFMParams(delay=0))
+    )
+
+
+def test_fetch_width_respected():
+    core = run_instrumented(build_astar_workload())
+    fetch_counts = Counter(f for f, _ in core.trace_rows)
+    assert max(fetch_counts.values()) <= CoreParams().fetch_width
+
+
+def test_cycles_bounded_by_width_floor():
+    core = run_instrumented(build_astar_workload())
+    floor = WINDOW // CoreParams().fetch_width
+    assert core.stats.cycles >= floor
+
+
+def test_structural_lower_bounds_hold():
+    """Cycles can never undercut any single resource's service bound."""
+    params = CoreParams()
+    for pfm in (None, PFMParams(delay=0)):
+        core = run_instrumented(build_astar_workload(), pfm=pfm)
+        stats = core.stats
+        ls_ops = stats.loads + stats.stores + stats.agent_loads
+        assert stats.cycles >= stats.instructions / params.fetch_width
+        assert stats.cycles >= ls_ops / params.num_ls_lanes
+        assert stats.cycles >= stats.issued_ops / params.issue_width
+        assert stats.cycles >= stats.instructions / params.retire_width

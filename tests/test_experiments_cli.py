@@ -1,0 +1,38 @@
+"""The experiments command-line entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_list_prints_registry(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig2", "fig8", "tab4", "fig18", "robust-graphs", "shape"):
+        assert name in out
+
+
+def test_single_experiment_runs_and_renders(capsys):
+    assert main(["tab4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out
+    assert "astar (4wide)" in out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_out_flag_writes_file(tmp_path, capsys):
+    path = tmp_path / "results.md"
+    assert main(["tab4", "--out", str(path)]) == 0
+    text = path.read_text()
+    assert text.startswith("# PFM reproduction results")
+    assert "Table 4" in text
+
+
+def test_window_flag_threads_through(capsys):
+    assert main(["astar-mpki", "--window", "6000"]) == 0
+    out = capsys.readouterr().out
+    assert "MPKI" in out

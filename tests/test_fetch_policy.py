@@ -1,0 +1,73 @@
+"""The §2.4 non-stalling Fetch Agent design (fetch_policy="proceed")."""
+
+import pytest
+
+from repro.core import PFMParams, SimConfig, simulate
+from repro.pfm.fetch_agent import FetchAgent
+from repro.workloads.astar import build_astar_workload
+
+WINDOW = 12_000
+
+
+def run(policy, clk=4, width=4):
+    return simulate(
+        build_astar_workload(grid_width=128, grid_height=128),
+        SimConfig(
+            max_instructions=WINDOW,
+            pfm=PFMParams(
+                clk_ratio=clk, width=width, delay=0, fetch_policy=policy
+            ),
+        ),
+    )
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        PFMParams(fetch_policy="yolo")
+
+
+def test_proceed_never_stalls_fetch():
+    stats = run("proceed")
+    assert stats.fetch_stall_pfm_cycles == 0
+    assert stats.pfm_fallback_predictions > 0  # late packets skipped
+
+
+def test_stall_supplies_more_predictions():
+    stall = run("stall")
+    proceed = run("proceed")
+    assert stall.pfm_predicted_branches > proceed.pfm_predicted_branches
+    # Waiting for an accurate component pays off at high bandwidth.
+    assert stall.ipc > proceed.ipc
+
+
+def test_proceed_still_improves_over_baseline():
+    baseline = simulate(
+        build_astar_workload(grid_width=128, grid_height=128),
+        SimConfig(max_instructions=WINDOW),
+    )
+    proceed = run("proceed")
+    assert proceed.ipc > baseline.ipc
+
+
+def test_proceed_protects_under_starvation():
+    """At clk8_w1 the stalling design flirts with slowdowns; the
+    non-stalling design removes the fetch-stall component of that loss
+    (the squash/squash-done sync overhead remains in both designs)."""
+    baseline = simulate(
+        build_astar_workload(grid_width=128, grid_height=128),
+        SimConfig(max_instructions=WINDOW),
+    )
+    stall = run("stall", clk=8, width=1)
+    proceed = run("proceed", clk=8, width=1)
+    assert proceed.fetch_stall_pfm_cycles == 0
+    assert proceed.ipc >= stall.ipc
+    assert proceed.ipc > baseline.ipc * 0.85
+
+
+def test_only_ready_pop_leaves_future_packets():
+    agent = FetchAgent(queue_size=8, clk_ratio=4, width=4)
+    agent.push(True, ready=100, tag="w")
+    assert agent.try_pop("w", fetch_time=50, only_ready=True) is None
+    assert agent.pending_count() == 1  # left in place
+    result = agent.try_pop("w", fetch_time=150, only_ready=True)
+    assert result == (True, 150)

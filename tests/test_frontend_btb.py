@@ -1,0 +1,96 @@
+"""BTB and return address stack."""
+
+import pytest
+
+from repro.core import SimConfig, SuperscalarCore
+from repro.frontend.btb import BranchTargetBuffer, ReturnAddressStack
+from repro.isa.builder import ProgramBuilder
+from repro.memory.hierarchy import HierarchyParams
+from repro.workloads.base import Workload
+from repro.workloads.mem import MemoryImage
+
+
+def test_btb_miss_then_hit():
+    btb = BranchTargetBuffer(entries=64)
+    assert btb.predict(0x100) is None
+    btb.update(0x100, 0x800)
+    assert btb.predict(0x100) == 0x800
+    assert btb.hits == 1 and btb.misses == 1
+
+
+def test_btb_aliasing_uses_tags():
+    btb = BranchTargetBuffer(entries=64)
+    btb.update(0x100, 0x800)
+    aliased = 0x100 + 64 * 4
+    assert btb.predict(aliased) is None  # same slot, wrong tag
+
+
+def test_btb_power_of_two():
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=100)
+
+
+def test_ras_lifo():
+    ras = ReturnAddressStack(depth=4)
+    ras.push(0x104)
+    ras.push(0x204)
+    assert ras.pop() == 0x204
+    assert ras.pop() == 0x104
+    assert ras.pop() is None
+
+
+def test_ras_circular_overflow():
+    ras = ReturnAddressStack(depth=2)
+    for addr in (0x1, 0x2, 0x3):
+        ras.push(addr)
+    assert ras.overflows == 1
+    assert ras.pop() == 0x3
+    assert ras.pop() == 0x2
+    assert ras.pop() is None  # 0x1 fell off
+
+
+def run_core(build):
+    b = ProgramBuilder()
+    build(b)
+    workload = Workload("t", b.build(), MemoryImage())
+    core = SuperscalarCore(
+        workload,
+        SimConfig(
+            max_instructions=20_000,
+            memory=HierarchyParams(tlb_walk_latency=0),
+        ),
+    )
+    stats = core.run()
+    return core, stats
+
+
+def test_well_nested_calls_predicted_by_ras():
+    def build(b):
+        b.li("t1", 0)
+        b.li("t2", 2000)
+        b.label("loop")
+        b.jal("leaf")
+        b.addi("t1", "t1", 1)
+        b.blt("t1", "t2", "loop")
+        b.halt()
+        b.label("leaf")
+        b.addi("t3", "t3", 1)
+        b.jalr("ra")
+
+    core, stats = run_core(build)
+    assert stats.ras_mispredicts == 0
+
+
+def test_btb_warms_in_loops():
+    def build(b):
+        b.li("t1", 0)
+        b.li("t2", 3000)
+        b.label("loop")
+        b.addi("t1", "t1", 1)
+        b.blt("t1", "t2", "loop")
+        b.halt()
+
+    core, stats = run_core(build)
+    # One cold BTB miss; every later taken back-edge hits.
+    assert stats.btb_miss_bubbles <= 2
+    assert core.btb.hits > 2000

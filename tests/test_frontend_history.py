@@ -1,0 +1,67 @@
+"""Folded history: O(1) folds must equal naive folding of the history."""
+
+from hypothesis import given, strategies as st
+
+from repro.frontend.history import FoldedHistory, GlobalHistory
+
+
+def naive_fold(bits, length, width):
+    """Fold the newest *length* bits (newest first) into *width* bits."""
+    window = bits[:length]
+    value = 0
+    # Reconstruct the shift-register fold: push oldest-first.
+    for bit in reversed(window):
+        value = ((value << 1) | bit)
+        value ^= value >> width
+        value &= (1 << width) - 1
+    return value
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=1, max_size=200),
+    st.integers(2, 40),
+    st.integers(2, 12),
+)
+def test_folded_history_matches_naive(pushes, length, width):
+    history = GlobalHistory(max_length=256)
+    fold = history.add_fold(length, width)
+    seen = []  # newest first
+    for bit in pushes:
+        history.push(bool(bit))
+        seen.insert(0, bit)
+        padded = seen + [0] * max(0, length - len(seen))
+        assert fold.value == naive_fold(padded, length, width)
+
+
+def test_recent_returns_newest_bits():
+    history = GlobalHistory(max_length=64)
+    for bit in (1, 0, 1, 1):  # newest is the last push
+        history.push(bool(bit))
+    # recent(4): newest at LSB -> 1,1,0,1 = 0b1011
+    assert history.recent(4) == 0b1011
+
+
+def test_recent_shorter_than_history():
+    history = GlobalHistory(max_length=16)
+    for _ in range(20):
+        history.push(True)
+    assert history.recent(3) == 0b111
+
+
+def test_fold_width_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        FoldedHistory(10, 0)
+
+
+def test_different_histories_give_different_folds():
+    h1 = GlobalHistory(max_length=64)
+    h2 = GlobalHistory(max_length=64)
+    f1 = h1.add_fold(16, 8)
+    f2 = h2.add_fold(16, 8)
+    for bit in (1, 0, 1, 0, 0, 1, 1, 1):
+        h1.push(bool(bit))
+    for bit in (0, 1, 1, 0, 1, 0, 0, 0):
+        h2.push(bool(bit))
+    assert f1.value != f2.value

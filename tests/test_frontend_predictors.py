@@ -1,0 +1,224 @@
+"""Branch predictors: bimodal, gshare, TAGE, loop predictor, SC, TAGE-SC-L."""
+
+import random
+
+import pytest
+
+from repro.frontend.loop_predictor import LoopPredictor
+from repro.frontend.predictor import PerfectPredictor
+from repro.frontend.simple import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GSharePredictor,
+    SaturatingCounter,
+)
+from repro.frontend.statistical_corrector import StatisticalCorrector
+from repro.frontend.tage import Tage
+from repro.frontend.tagescl import TageSCL
+
+
+def accuracy(predictor, stream):
+    """Train/predict over (pc, taken) pairs; return accuracy."""
+    correct = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(stream)
+
+
+def biased_stream(pc=0x4000, length=2000, taken=True):
+    return [(pc, taken)] * length
+
+
+def alternating_stream(pc=0x4000, length=2000):
+    return [(pc, i % 2 == 0) for i in range(length)]
+
+
+def random_stream(pc=0x4000, length=2000, seed=9):
+    rng = random.Random(seed)
+    return [(pc, rng.random() < 0.5) for i in range(length)]
+
+
+# ---------------------------------------------------------------------- #
+# saturating counter
+# ---------------------------------------------------------------------- #
+
+def test_saturating_counter_saturates():
+    counter = SaturatingCounter(bits=2, initial=0)
+    for _ in range(10):
+        counter.train(True)
+    assert counter.value == 3 and counter.taken
+    for _ in range(10):
+        counter.train(False)
+    assert counter.value == 0 and not counter.taken
+
+
+# ---------------------------------------------------------------------- #
+# simple predictors
+# ---------------------------------------------------------------------- #
+
+def test_always_taken():
+    predictor = AlwaysTakenPredictor()
+    assert predictor.predict(0x1000) is True
+    predictor.update(0x1000, False)  # no-op
+    assert predictor.predict(0x1000) is True
+
+
+def test_bimodal_learns_bias():
+    assert accuracy(BimodalPredictor(), biased_stream()) > 0.99
+
+
+def test_bimodal_cannot_learn_alternation():
+    assert accuracy(BimodalPredictor(), alternating_stream()) < 0.75
+
+
+def test_gshare_learns_alternation():
+    assert accuracy(GSharePredictor(), alternating_stream()) > 0.95
+
+
+# ---------------------------------------------------------------------- #
+# TAGE
+# ---------------------------------------------------------------------- #
+
+def test_tage_learns_bias():
+    assert accuracy(Tage(), biased_stream()) > 0.99
+
+
+def test_tage_learns_alternation():
+    assert accuracy(Tage(), alternating_stream()) > 0.95
+
+
+def test_tage_learns_history_pattern():
+    # Repeating pattern of period 7: requires history correlation.
+    pattern = [True, True, False, True, False, False, True]
+    stream = [(0x5000, pattern[i % 7]) for i in range(4000)]
+    assert accuracy(Tage(), stream[2000:]) > 0.90 or accuracy(Tage(), stream) > 0.85
+
+
+def test_tage_cannot_learn_random():
+    assert accuracy(Tage(), random_stream()) < 0.65
+
+
+def test_tage_update_without_predict_raises():
+    with pytest.raises(RuntimeError):
+        Tage().update(0x1000, True)
+
+
+def test_tage_update_pc_mismatch_raises():
+    predictor = Tage()
+    predictor.predict(0x1000)
+    with pytest.raises(RuntimeError):
+        predictor.update(0x2000, True)
+
+
+def test_tage_storage_accounting_positive():
+    assert Tage().storage_bits() > 10_000
+
+
+def test_tage_multiple_branches_interleaved():
+    predictor = Tage()
+    stream = []
+    for i in range(1500):
+        stream.append((0x100, True))
+        stream.append((0x200, False))
+    assert accuracy(predictor, stream) > 0.98
+
+
+# ---------------------------------------------------------------------- #
+# loop predictor
+# ---------------------------------------------------------------------- #
+
+def test_loop_predictor_learns_fixed_trip_count():
+    loop = LoopPredictor()
+    pc = 0x6000
+    # Train several complete loops of 5 iterations (4 taken, 1 not-taken).
+    for _ in range(6):
+        for i in range(5):
+            loop.update(pc, i < 4)
+    # Now it should predict the exit on the 5th iteration.
+    predictions = []
+    for i in range(5):
+        pred = loop.lookup(pc)
+        predictions.append(pred)
+        loop.update(pc, i < 4)
+    assert all(p.valid for p in predictions)
+    assert [p.taken for p in predictions] == [True, True, True, True, False]
+
+
+def test_loop_predictor_unstable_trip_counts_stay_invalid():
+    loop = LoopPredictor()
+    pc = 0x6000
+    rng = random.Random(3)
+    for _ in range(30):
+        trips = rng.randint(1, 6)
+        for i in range(trips):
+            loop.update(pc, i < trips - 1)
+    assert not loop.lookup(pc).valid
+
+
+# ---------------------------------------------------------------------- #
+# statistical corrector
+# ---------------------------------------------------------------------- #
+
+def test_sc_agrees_with_confident_tage():
+    sc = StatisticalCorrector()
+    # With no training, SC should not override a TAGE direction strongly.
+    taken = sc.predict(0x7000, True)
+    assert isinstance(taken, bool)
+
+
+def test_sc_learns_to_correct_biased_branch():
+    sc = StatisticalCorrector()
+    pc = 0x7000
+    # TAGE always says not-taken, truth is always taken -> SC learns.
+    for _ in range(500):
+        sc.update(pc, False, True)
+    assert sc.predict(pc, False) is True
+
+
+# ---------------------------------------------------------------------- #
+# TAGE-SC-L composition
+# ---------------------------------------------------------------------- #
+
+def test_tagescl_learns_bias_and_alternation():
+    assert accuracy(TageSCL(), biased_stream()) > 0.99
+    assert accuracy(TageSCL(), alternating_stream()) > 0.90
+
+
+def test_tagescl_loop_component_handles_regular_loops():
+    stream = []
+    for _ in range(400):
+        for i in range(12):
+            stream.append((0x8000, i < 11))
+    predictor = TageSCL()
+    acc = accuracy(predictor, stream[2400:])
+    assert acc > 0.95
+
+
+def test_tagescl_update_order_enforced():
+    predictor = TageSCL()
+    predictor.predict(0x100)
+    with pytest.raises(RuntimeError):
+        predictor.update(0x200, True)
+
+
+def test_tagescl_pending_depth_tracks_inflight():
+    predictor = TageSCL()
+    for i in range(5):
+        predictor.predict(0x100 + 4 * i)
+    assert predictor.pending_depth == 5
+    predictor.update(0x100, True)
+    assert predictor.pending_depth == 4
+
+
+# ---------------------------------------------------------------------- #
+# perfect predictor
+# ---------------------------------------------------------------------- #
+
+def test_perfect_predictor_requires_staged_outcome():
+    predictor = PerfectPredictor()
+    with pytest.raises(RuntimeError):
+        predictor.predict(0x100)
+    predictor.stage_outcome(True)
+    assert predictor.predict(0x100) is True

@@ -1,0 +1,84 @@
+"""Instruction records, operation classes, and validation."""
+
+import pytest
+
+from repro.isa.instructions import (
+    CONDITIONAL_BRANCHES,
+    MNEMONIC_CLASS,
+    Instruction,
+    OpClass,
+)
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(ValueError):
+        Instruction("frobnicate")
+
+
+def test_unknown_source_register_rejected():
+    with pytest.raises(ValueError):
+        Instruction("add", dst="t0", srcs=("t1", "nope"))
+
+
+def test_unknown_destination_register_rejected():
+    with pytest.raises(ValueError):
+        Instruction("add", dst="nope", srcs=("t1", "t2"))
+
+
+def test_op_class_lookup():
+    assert Instruction("add", dst="t0", srcs=("t1", "t2")).op_class is OpClass.INT_ALU
+    assert Instruction("ld", dst="t0", srcs=("t1",)).op_class is OpClass.LOAD
+    assert Instruction("sd", srcs=("t1", "t2")).op_class is OpClass.STORE
+    assert Instruction("beq", srcs=("t1", "t2"), target="x").op_class is OpClass.BRANCH
+    assert Instruction("fadd", dst="ft0", srcs=("ft1", "ft2")).op_class is OpClass.FP_ALU
+    assert Instruction("halt").op_class is OpClass.HALT
+
+
+def test_memory_classification():
+    assert OpClass.LOAD.is_memory
+    assert OpClass.STORE.is_memory
+    assert not OpClass.INT_ALU.is_memory
+
+
+def test_control_classification():
+    assert OpClass.BRANCH.is_control
+    assert OpClass.JUMP.is_control
+    assert not OpClass.LOAD.is_control
+
+
+def test_conditional_branch_set():
+    assert "beq" in CONDITIONAL_BRANCHES
+    assert "bge" in CONDITIONAL_BRANCHES
+    assert "j" not in CONDITIONAL_BRANCHES
+    assert "jal" not in CONDITIONAL_BRANCHES
+
+
+def test_is_conditional_branch_property():
+    assert Instruction("bne", srcs=("t0", "t1"), target="x").is_conditional_branch
+    assert not Instruction("j", target="x").is_conditional_branch
+
+
+def test_load_store_properties():
+    assert Instruction("ld", dst="t0", srcs=("t1",)).is_load
+    assert Instruction("fsd", srcs=("t1", "ft0")).is_store
+    assert not Instruction("ld", dst="t0", srcs=("t1",)).is_store
+
+
+def test_with_pc_binds_pc_and_preserves_fields():
+    inst = Instruction("addi", dst="t0", srcs=("t1",), imm=5, comment="x")
+    bound = inst.with_pc(0x2000)
+    assert bound.pc == 0x2000
+    assert bound.mnemonic == "addi"
+    assert bound.imm == 5
+    assert bound.comment == "x"
+
+
+def test_every_mnemonic_has_a_class():
+    for mnemonic, op_class in MNEMONIC_CLASS.items():
+        assert isinstance(op_class, OpClass), mnemonic
+
+
+def test_str_rendering_mentions_operands():
+    inst = Instruction("beq", srcs=("t0", "zero"), target="loop", comment="note")
+    text = str(inst)
+    assert "beq" in text and "loop" in text and "note" in text

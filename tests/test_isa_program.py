@@ -1,0 +1,86 @@
+"""Program assembly: layout, labels, target resolution."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import OpClass
+from repro.isa.program import INSTRUCTION_BYTES, Program
+
+
+def small_program():
+    b = ProgramBuilder(base_pc=0x1000)
+    b.label("start")
+    b.li("t0", 1)
+    b.label("loop")
+    b.addi("t0", "t0", 1)
+    b.blt("t0", "t1", "loop")
+    b.halt()
+    return b.build()
+
+
+def test_layout_spacing():
+    program = small_program()
+    pcs = [inst.pc for inst in program.instructions]
+    assert pcs == [0x1000 + i * INSTRUCTION_BYTES for i in range(len(pcs))]
+
+
+def test_label_resolution():
+    program = small_program()
+    assert program.pc_of_label("start") == 0x1000
+    assert program.pc_of_label("loop") == 0x1004
+
+
+def test_branch_target_resolved():
+    program = small_program()
+    branch_pc = program.conditional_branch_pcs()[0]
+    assert program.target_of(branch_pc) == program.pc_of_label("loop")
+
+
+def test_unresolved_label_raises():
+    b = ProgramBuilder()
+    b.beq("t0", "t1", "nowhere")
+    with pytest.raises(ValueError, match="nowhere"):
+        b.build()
+
+
+def test_duplicate_label_raises():
+    b = ProgramBuilder()
+    b.label("x")
+    b.li("t0", 1)
+    with pytest.raises(ValueError, match="duplicate"):
+        b.label("x")
+
+
+def test_at_and_has_pc():
+    program = small_program()
+    assert program.at(0x1000).mnemonic == "li"
+    assert program.has_pc(0x1000)
+    assert not program.has_pc(0x0FFC)
+    with pytest.raises(KeyError):
+        program.at(0x0FFC)
+
+
+def test_next_pc_is_fallthrough():
+    program = small_program()
+    assert program.next_pc(0x1000) == 0x1004
+
+
+def test_pcs_with_comment():
+    b = ProgramBuilder()
+    b.li("t0", 1, comment="snoop:alpha")
+    b.li("t1", 2)
+    b.li("t2", 3, comment="snoop:alpha more")
+    program = b.build()
+    assert len(program.pcs_with_comment("snoop:alpha")) == 2
+
+
+def test_static_mix():
+    program = small_program()
+    mix = program.static_mix()
+    assert mix[OpClass.INT_ALU] == 2
+    assert mix[OpClass.BRANCH] == 1
+    assert mix[OpClass.HALT] == 1
+
+
+def test_len():
+    assert len(small_program()) == 4

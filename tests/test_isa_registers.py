@@ -1,0 +1,59 @@
+"""Register-name tables and classification."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_REGISTERS,
+    INT_REGISTERS,
+    ZERO_REGISTER,
+    is_fp_register,
+    is_int_register,
+    register_index,
+)
+
+
+def test_thirty_two_integer_registers():
+    assert len(INT_REGISTERS) == 32
+
+
+def test_thirty_two_fp_registers():
+    assert len(FP_REGISTERS) == 32
+
+
+def test_no_duplicate_names():
+    assert len(set(INT_REGISTERS)) == 32
+    assert len(set(FP_REGISTERS)) == 32
+    assert not set(INT_REGISTERS) & set(FP_REGISTERS)
+
+
+def test_zero_register_is_integer():
+    assert ZERO_REGISTER == "zero"
+    assert is_int_register("zero")
+    assert INT_REGISTERS[0] == "zero"
+
+
+def test_abi_names_present():
+    for name in ("ra", "sp", "t0", "t6", "s0", "s11", "a0", "a7"):
+        assert is_int_register(name)
+
+
+def test_fp_names_present():
+    for name in ("ft0", "ft11", "fa0", "fa7", "fs0", "fs11"):
+        assert is_fp_register(name)
+
+
+def test_classification_is_exclusive():
+    assert not is_fp_register("t0")
+    assert not is_int_register("ft0")
+    assert not is_int_register("bogus")
+    assert not is_fp_register("bogus")
+
+
+def test_register_index_dense_and_unique():
+    indices = [register_index(r) for r in INT_REGISTERS + FP_REGISTERS]
+    assert sorted(indices) == list(range(64))
+
+
+def test_register_index_unknown_raises():
+    with pytest.raises(ValueError):
+        register_index("x99")

@@ -1,0 +1,92 @@
+"""Memory image: allocation, lazy storage, access checking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.mem import WORD_BYTES, MemoryImage
+
+
+def test_allocation_is_aligned_and_disjoint():
+    memory = MemoryImage()
+    a = memory.allocate("a", 10)
+    b = memory.allocate("b", 10)
+    assert a % 64 == 0 and b % 64 == 0
+    assert b >= a + 10 * WORD_BYTES
+
+
+def test_duplicate_region_rejected():
+    memory = MemoryImage()
+    memory.allocate("a", 4)
+    with pytest.raises(ValueError):
+        memory.allocate("a", 4)
+
+
+def test_empty_region_rejected():
+    with pytest.raises(ValueError):
+        MemoryImage().allocate("a", 0)
+
+
+def test_untouched_words_read_zero():
+    memory = MemoryImage()
+    base = memory.allocate("a", 1000)
+    assert memory.load(base + 512 * WORD_BYTES) == 0
+    assert memory.touched_words() == 0  # lazily materialized
+
+
+def test_store_load_roundtrip():
+    memory = MemoryImage()
+    base = memory.allocate("a", 4)
+    memory.store(base + 8, 42)
+    assert memory.load(base + 8) == 42
+    assert memory.touched_words() == 1
+
+
+def test_misaligned_access_rejected():
+    memory = MemoryImage()
+    base = memory.allocate("a", 4)
+    with pytest.raises(ValueError):
+        memory.load(base + 3)
+    with pytest.raises(ValueError):
+        memory.store(base + 5, 1)
+
+
+def test_indexed_helpers():
+    memory = MemoryImage()
+    memory.allocate("a", 8)
+    memory.store_index("a", 3, 7)
+    assert memory.load_index("a", 3) == 7
+    assert memory.load_index("a", 2) == 0
+
+
+def test_store_array_allocates_and_fills():
+    memory = MemoryImage()
+    base = memory.store_array("data", [5, 6, 7])
+    assert memory.base("data") == base
+    assert [memory.load_index("data", i) for i in range(3)] == [5, 6, 7]
+    assert memory.size_words("data") == 3
+
+
+def test_contains():
+    memory = MemoryImage()
+    base = memory.allocate("a", 4)
+    assert memory.contains("a", base)
+    assert memory.contains("a", base + 3 * WORD_BYTES)
+    assert not memory.contains("a", base + 4 * WORD_BYTES)
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        max_size=50,
+    )
+)
+def test_property_roundtrip_many_words(values):
+    """Stores are independent per word and reads reproduce them exactly."""
+    memory = MemoryImage()
+    base = memory.allocate("region", 501)
+    for index, value in values.items():
+        memory.store(base + index * WORD_BYTES, value)
+    for index in range(501):
+        expected = values.get(index, 0)
+        assert memory.load(base + index * WORD_BYTES) == expected

@@ -1,0 +1,97 @@
+"""RFIo width budgets and the RF timing model."""
+
+from tests.pfm_harness import FakeFabric, make_io, send_obs
+
+from repro.pfm.component import CustomComponent, RFIo, RFTimings
+from repro.pfm.snoop import SnoopKind
+from repro.workloads.mem import MemoryImage
+
+
+def test_rf_timings_output_ready():
+    t = RFTimings(clk_ratio=4, width=2, delay=3)
+    # Output of RF cycle r exits the D-deep pipe at (r + 1 + D) * C.
+    assert t.output_ready(0) == 16
+    assert t.output_ready(5) == 36
+    assert t.core_time(5) == 20
+
+
+class _Greedy(CustomComponent):
+    """Pushes/pops as much as the io allows each cycle."""
+
+    def __init__(self, timings, memory, metadata=None):
+        super().__init__(timings, memory, metadata)
+        self.obs_popped = 0
+        self.preds_pushed = 0
+        self.loads_pushed = 0
+
+    def step(self, io: RFIo) -> None:
+        while io.pop_obs() is not None:
+            self.obs_popped += 1
+        while io.push_pred(True, tag="x"):
+            self.preds_pushed += 1
+        ident = 0
+        while io.push_load(ident, 0x1000 + 8 * ident):
+            self.loads_pushed += 1
+            ident += 1
+
+
+def greedy(width=2):
+    memory = MemoryImage()
+    component = _Greedy(RFTimings(4, width, 0), memory)
+    fabric = FakeFabric(memory)
+    io = make_io(component, fabric)
+    return component, fabric, io
+
+
+def test_obs_budget_is_width():
+    component, fabric, io = greedy(width=2)
+    for i in range(10):
+        send_obs(fabric, SnoopKind.DEST_VALUE, f"t{i}", value=i)
+    io.begin_cycle(0)
+    component.step(io)
+    assert component.obs_popped == 2  # W per cycle
+    io.begin_cycle(1)
+    component.step(io)
+    assert component.obs_popped == 4
+
+
+def test_pred_budget_is_width():
+    component, fabric, io = greedy(width=3)
+    io.begin_cycle(0)
+    component.step(io)
+    assert component.preds_pushed == 3
+
+
+def test_load_budget_is_width_plus_one():
+    """The paper's W=4 astar design pushes up to 5 loads per FPGA cycle
+    (one from T0 plus four from T1): the load budget is W + 1."""
+    component, fabric, io = greedy(width=4)
+    io.begin_cycle(0)
+    component.step(io)
+    assert component.loads_pushed == 5
+
+
+def test_budgets_reset_each_cycle():
+    component, fabric, io = greedy(width=1)
+    for cycle in range(5):
+        io.begin_cycle(cycle)
+        component.step(io)
+    assert component.preds_pushed == 5
+    assert component.loads_pushed == 10  # (W + 1) per cycle
+
+
+def test_base_component_contract():
+    component = CustomComponent(RFTimings(4, 1, 0), MemoryImage())
+    assert component.is_idle()
+    assert component.structure() == {}
+    import pytest
+
+    with pytest.raises(NotImplementedError):
+        component.step(None)
+
+
+def test_io_now_tracks_rf_clock():
+    component, fabric, io = greedy(width=1)
+    io.begin_cycle(7)
+    assert io.rf_cycle == 7
+    assert io.now == 28  # 7 * clk_ratio(4)

@@ -1,0 +1,109 @@
+"""TimedQueue: capacity, visibility, back-pressure semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pfm.queues import QueueFullError, TimedQueue
+
+
+def test_push_pop_fifo_order():
+    q = TimedQueue("q", capacity=4)
+    for i in range(3):
+        q.push(i, f"item{i}")
+    assert q.pop(10) == "item0"
+    assert q.pop(10) == "item1"
+    assert q.occupancy == 1
+
+
+def test_crossing_latency_hides_fresh_entries():
+    q = TimedQueue("q", capacity=4, crossing_latency=5)
+    q.push(10, "x")
+    assert q.peek_visible(12) is None
+    assert q.peek_visible(15) == "x"
+
+
+def test_pop_before_visible_raises():
+    q = TimedQueue("q", capacity=4, crossing_latency=5)
+    q.push(10, "x")
+    with pytest.raises(IndexError):
+        q.pop(12)
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        TimedQueue("q", capacity=2).pop(0)
+
+
+def test_capacity_enforced():
+    q = TimedQueue("q", capacity=2)
+    q.push(0, "a")
+    q.push(0, "b")
+    assert not q.can_push()
+    with pytest.raises(QueueFullError):
+        q.push(0, "c")
+
+
+def test_earliest_push_full_returns_pop_time():
+    q = TimedQueue("q", capacity=1)
+    q.push(0, "a")
+    q.pop(50)
+    q.push(50, "b")
+    assert q.earliest_push(10) == 50  # gated by the recorded pop
+
+
+def test_drain_returns_all_visible():
+    q = TimedQueue("q", capacity=8, crossing_latency=2)
+    q.push(0, "a")
+    q.push(1, "b")
+    q.push(100, "c")
+    assert q.drain(10) == ["a", "b"]
+    assert q.occupancy == 1
+
+
+def test_clear_counts_as_pops():
+    q = TimedQueue("q", capacity=2)
+    q.push(0, "a")
+    q.push(0, "b")
+    dropped = q.clear(5)
+    assert dropped == 2
+    assert q.occupancy == 0
+    assert q.can_push()
+
+
+def test_head_visible_time():
+    q = TimedQueue("q", capacity=2, crossing_latency=3)
+    assert q.head_visible_time() is None
+    q.push(7, "a")
+    assert q.head_visible_time() == 10
+
+
+def test_stats():
+    q = TimedQueue("q", capacity=2)
+    q.push(0, "a")
+    q.pop(1)
+    stats = q.stats()
+    assert stats["pushes"] == 1
+    assert stats["pops"] == 1
+    assert stats["max_occupancy"] == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TimedQueue("q", capacity=0)
+
+
+@given(st.lists(st.sampled_from(["push", "pop"]), min_size=1, max_size=200))
+def test_property_occupancy_bounded(ops):
+    """Occupancy stays within [0, capacity] under any push/pop sequence."""
+    capacity = 3
+    q = TimedQueue("q", capacity=capacity)
+    now = 0
+    for op in ops:
+        now += 1
+        if op == "push":
+            if q.can_push():
+                q.push(now, now)
+        else:
+            if q.peek_visible(now) is not None:
+                q.pop(now)
+        assert 0 <= q.occupancy <= capacity

@@ -1,0 +1,82 @@
+"""Pipeline timeline tracing and rendering."""
+
+from repro.core import SimConfig
+from repro.core.pipeview import render_timeline, trace_pipeline
+from repro.isa.builder import ProgramBuilder
+from repro.memory.hierarchy import HierarchyParams
+from repro.workloads.base import Workload
+from repro.workloads.mem import MemoryImage
+
+
+def traced(build, n=200):
+    b = ProgramBuilder()
+    build(b)
+    workload = Workload("t", b.build(), MemoryImage())
+    return trace_pipeline(
+        workload,
+        SimConfig(max_instructions=n, memory=HierarchyParams(tlb_walk_latency=0)),
+    )
+
+
+def simple_loop(b):
+    b.li("t1", 0)
+    b.li("t2", 100)
+    b.label("loop")
+    b.addi("t0", "t0", 1)
+    b.addi("t1", "t1", 1)
+    b.blt("t1", "t2", "loop")
+    b.halt()
+
+
+def test_records_cover_all_instructions():
+    core = traced(simple_loop)
+    assert len(core.records) == core.stats.instructions
+
+
+def test_stage_order_causal():
+    core = traced(simple_loop)
+    for r in core.records:
+        assert r.fetch <= r.dispatch <= r.issue <= r.complete <= r.retire
+
+
+def test_dependent_chain_visible_in_issue_times():
+    def build(b):
+        b.li("t0", 1)
+        for _ in range(6):
+            b.addi("t0", "t0", 1)  # serial chain
+        b.halt()
+
+    core = traced(build, n=20)
+    chain = [r for r in core.records if r.text.startswith("addi")]
+    issues = [r.issue for r in chain]
+    assert all(b > a for a, b in zip(issues, issues[1:]))
+
+
+def test_render_contains_stage_marks():
+    core = traced(simple_loop)
+    text = render_timeline(core.records, start_seq=0, count=8)
+    assert "F" in text and "R" in text
+    assert "addi" in text
+    assert "|" in text
+
+
+def test_render_window_selection():
+    core = traced(simple_loop)
+    text = render_timeline(core.records, start_seq=50, count=4)
+    assert text.count("\n") <= 5  # header + 4 rows
+
+
+def test_render_empty_range():
+    core = traced(simple_loop)
+    assert "no records" in render_timeline(core.records, start_seq=10**9)
+
+
+def test_max_records_cap():
+    core = traced(simple_loop, n=300)
+    capped = trace_pipeline(
+        Workload("t", core.workload.program, MemoryImage()),
+        SimConfig(max_instructions=300,
+                  memory=HierarchyParams(tlb_walk_latency=0)),
+        max_records=10,
+    )
+    assert len(capped.records) == 10

@@ -1,0 +1,41 @@
+"""Robustness sweep experiments (extension)."""
+
+from repro.experiments.robustness import (
+    astar_input_robustness,
+    astar_pattern_robustness,
+    bfs_graph_robustness,
+)
+
+WINDOW = 10_000
+
+
+def test_alt_degrades_with_table_capacity():
+    result = astar_input_robustness(window=WINDOW)
+    main = result.value("main (no tables)")
+    big = result.value("alt 16384-entry tables")
+    tiny = result.value("alt 64-entry tables")
+    assert main > big  # load-based beats table-mimicking
+    assert tiny < big - 20  # aliasing destroys the small-table variant
+
+
+def test_pattern_robustness_reports_both_patterns():
+    result = astar_pattern_robustness(window=WINDOW)
+    assert result.value("random speedup") > 0
+    assert result.value("maze speedup") > 0
+    # Maze maps are friendlier to the baseline predictor.
+    assert result.value("maze baseline MPKI") < result.value(
+        "random baseline MPKI"
+    )
+
+
+def test_graph_robustness_and_nonstalling_remedy():
+    result = bfs_graph_robustness(window=WINDOW)
+    assert result.value("roads speedup") > 50
+    # Power-law graphs give the component far less headroom...
+    assert result.value("youtube speedup") < result.value("roads speedup")
+    # ...and the non-stalling Fetch Agent never loses to the stalling one
+    # in that regime.
+    assert (
+        result.value("youtube speedup (non-stalling §2.4)")
+        >= result.value("youtube speedup") - 1.0
+    )

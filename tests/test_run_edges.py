@@ -1,0 +1,93 @@
+"""Edge conditions of the run loop and configuration plumbing."""
+
+import pytest
+
+from repro.core import PFMParams, SimConfig, SuperscalarCore, simulate
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.astar import build_astar_workload
+from repro.workloads.base import Workload
+from repro.workloads.mem import MemoryImage
+
+
+def tiny_workload():
+    b = ProgramBuilder()
+    b.li("t0", 1)
+    b.addi("t0", "t0", 1)
+    b.halt()
+    return Workload("tiny", b.build(), MemoryImage())
+
+
+def test_halt_before_window_exhausts():
+    stats = simulate(tiny_workload(), SimConfig(max_instructions=10_000))
+    assert stats.instructions == 3  # li, addi, halt
+    assert stats.cycles >= 1
+
+
+def test_pfm_config_without_bitstream_runs_plain():
+    workload = tiny_workload()
+    assert workload.bitstream is None
+    core = SuperscalarCore(
+        workload, SimConfig(max_instructions=100, pfm=PFMParams())
+    )
+    stats = core.run()
+    assert core.fabric is None
+    assert stats.instructions == 3
+
+
+def test_run_argument_overrides_config_window():
+    core = SuperscalarCore(
+        build_astar_workload(grid_width=48, grid_height=48),
+        SimConfig(max_instructions=50_000),
+    )
+    stats = core.run(max_instructions=1_000)
+    assert stats.instructions == 1_000
+
+
+def test_stats_summary_renders_pfm_section_only_when_active():
+    plain = simulate(tiny_workload(), SimConfig(max_instructions=100))
+    assert "FST" not in plain.summary()
+    pfm_stats = simulate(
+        build_astar_workload(grid_width=48, grid_height=48),
+        SimConfig(max_instructions=8_000, pfm=PFMParams(delay=0)),
+    )
+    assert "FST hit %" in pfm_stats.summary()
+
+
+def test_pfm_params_label_round_trips():
+    from repro.experiments.runner import parse_config_label
+
+    params = PFMParams(clk_ratio=8, width=2, delay=6, queue_size=16, port="LS")
+    reparsed = parse_config_label(params.label())
+    assert reparsed.clk_ratio == 8
+    assert reparsed.width == 2
+    assert reparsed.delay == 6
+    assert reparsed.queue_size == 16
+    assert reparsed.port == "LS"
+
+
+def test_invalid_pfm_params_rejected():
+    with pytest.raises(ValueError):
+        PFMParams(clk_ratio=0)
+    with pytest.raises(ValueError):
+        PFMParams(width=0)
+    with pytest.raises(ValueError):
+        PFMParams(delay=-1)
+    with pytest.raises(ValueError):
+        PFMParams(queue_size=0)
+    with pytest.raises(ValueError):
+        PFMParams(port="NORTH")
+
+
+def test_speedup_stable_across_workload_seeds():
+    """The astar result must not be an artifact of one obstacle map."""
+    for seed in (1, 2, 3):
+        baseline = simulate(
+            build_astar_workload(grid_width=128, grid_height=128, seed=seed),
+            SimConfig(max_instructions=10_000),
+        )
+        custom = simulate(
+            build_astar_workload(grid_width=128, grid_height=128, seed=seed),
+            SimConfig(max_instructions=10_000, pfm=PFMParams(delay=0)),
+        )
+        assert custom.speedup_over(baseline) > 0.8, seed
+        assert custom.mpki < baseline.mpki / 4, seed

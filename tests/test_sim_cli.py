@@ -1,0 +1,92 @@
+"""The command-line simulation driver and context-isolation API."""
+
+import pytest
+
+from repro.core import PFMParams, SimConfig, SuperscalarCore
+from repro.sim import main
+from repro.workloads.astar import build_astar_workload
+
+
+def test_cli_baseline_run(capsys):
+    assert main(["--workload", "libquantum", "--window", "4000"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "libquantum" in out
+
+
+def test_cli_pfm_notation(capsys):
+    assert main([
+        "--workload", "libquantum", "--window", "4000",
+        "--pfm", "clk4_w1, delay0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "clk4_w1" in out
+
+
+def test_cli_report_sections(capsys):
+    assert main([
+        "--workload", "astar", "--window", "5000",
+        "--pfm", "clk4_w4", "--report",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "memory hierarchy" in out
+    assert "load agent" in out
+    assert "core energy" in out
+
+
+def test_cli_compare(capsys):
+    assert main([
+        "--workload", "libquantum", "--window", "4000", "--compare",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "baseline IPC" in out
+
+
+def test_cli_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["--workload", "crysis"])
+
+
+def test_cli_perfect_modes(capsys):
+    assert main([
+        "--workload", "astar", "--window", "4000", "--perfect-bp",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "mispredicted 0" in out
+
+
+# ---------------------------------------------------------------------- #
+# context isolation (Section 2.4)
+# ---------------------------------------------------------------------- #
+
+def test_deprogram_flushes_and_disables():
+    core = SuperscalarCore(
+        build_astar_workload(grid_width=128, grid_height=128),
+        SimConfig(max_instructions=8000, pfm=PFMParams(delay=0)),
+    )
+    core.run()
+    fabric = core.fabric
+    assert fabric.enabled and fabric.roi_active
+    fabric.deprogram(now=10**6)
+    assert not fabric.enabled
+    assert not fabric.roi_active
+    assert fabric.obs_q.occupancy == 0
+    assert fabric.intq_is.occupancy == 0
+    assert fabric.fetch_agent.pending_count() == 0
+    # Disabled fabric supplies nothing.
+    assert fabric.predict("waymap:0", 10**6 + 1) is None
+
+
+def test_reprogram_builds_fresh_component():
+    core = SuperscalarCore(
+        build_astar_workload(grid_width=128, grid_height=128),
+        SimConfig(max_instructions=8000, pfm=PFMParams(delay=0)),
+    )
+    core.run()
+    fabric = core.fabric
+    old_component = fabric.component
+    fabric.deprogram(now=10**6)
+    fabric.reprogram(now=10**6 + 100)
+    assert fabric.enabled
+    assert fabric.component is not old_component  # no state survives
+    assert not fabric.roi_active  # must re-enter the ROI

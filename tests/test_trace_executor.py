@@ -1,0 +1,264 @@
+"""Functional executor: per-mnemonic semantics and control flow."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import OpClass
+from repro.workloads.mem import MemoryImage
+from repro.workloads.trace import ExecutionError, FunctionalExecutor
+
+
+def run_program(build, regs=None, max_instructions=10_000, memory=None):
+    b = ProgramBuilder()
+    build(b)
+    memory = memory or MemoryImage()
+    executor = FunctionalExecutor(b.build(), memory, regs or {})
+    trace = list(executor.run(max_instructions))
+    return executor, trace
+
+
+def test_arithmetic_semantics():
+    def build(b):
+        b.li("t0", 10)
+        b.li("t1", 3)
+        b.add("t2", "t0", "t1")
+        b.sub("t3", "t0", "t1")
+        b.mul("t4", "t0", "t1")
+        b.div("t5", "t0", "t1")
+        b.rem("t6", "t0", "t1")
+        b.halt()
+
+    executor, _ = run_program(build)
+    assert executor.regs["t2"] == 13
+    assert executor.regs["t3"] == 7
+    assert executor.regs["t4"] == 30
+    assert executor.regs["t5"] == 3
+    assert executor.regs["t6"] == 1
+
+
+def test_logic_and_shift_semantics():
+    def build(b):
+        b.li("t0", 0b1100)
+        b.li("t1", 0b1010)
+        b.and_("t2", "t0", "t1")
+        b.or_("t3", "t0", "t1")
+        b.xor("t4", "t0", "t1")
+        b.slli("t5", "t0", 2)
+        b.srli("t6", "t0", 2)
+        b.halt()
+
+    executor, _ = run_program(build)
+    assert executor.regs["t2"] == 0b1000
+    assert executor.regs["t3"] == 0b1110
+    assert executor.regs["t4"] == 0b0110
+    assert executor.regs["t5"] == 0b110000
+    assert executor.regs["t6"] == 0b11
+
+
+def test_slt_and_immediates():
+    def build(b):
+        b.li("t0", -5)
+        b.slti("t1", "t0", 0)
+        b.addi("t2", "t0", 7)
+        b.muli("t3", "t0", -2)
+        b.halt()
+
+    executor, _ = run_program(build)
+    assert executor.regs["t1"] == 1
+    assert executor.regs["t2"] == 2
+    assert executor.regs["t3"] == 10
+
+
+def test_zero_register_reads_zero_ignores_writes():
+    def build(b):
+        b.li("zero", 99)
+        b.addi("t0", "zero", 5)
+        b.halt()
+
+    executor, _ = run_program(build)
+    assert executor.regs.get("zero", 0) == 0 or "zero" not in executor.regs
+    assert executor.regs["t0"] == 5
+
+
+def test_load_store_roundtrip_and_effects():
+    memory = MemoryImage()
+    base = memory.allocate("data", 8)
+
+    def build(b):
+        b.li("t0", base)
+        b.li("t1", 77)
+        b.sd("t1", base="t0", offset=16)
+        b.ld("t2", base="t0", offset=16)
+        b.halt()
+
+    executor, trace = run_program(build, memory=memory)
+    assert executor.regs["t2"] == 77
+    store = next(d for d in trace if d.is_store)
+    load = next(d for d in trace if d.is_load)
+    assert store.mem_addr == base + 16
+    assert store.store_value == 77
+    assert load.mem_addr == base + 16
+    assert load.dst_value == 77
+
+
+def test_branch_taken_and_not_taken():
+    def build(b):
+        b.li("t0", 1)
+        b.beq("t0", "zero", "skip")  # not taken
+        b.li("t1", 5)
+        b.label("skip")
+        b.bne("t0", "zero", "end")  # taken
+        b.li("t1", 9)  # skipped
+        b.label("end")
+        b.halt()
+
+    executor, trace = run_program(build)
+    assert executor.regs["t1"] == 5
+    branches = [d for d in trace if d.is_conditional_branch]
+    assert branches[0].taken is False
+    assert branches[1].taken is True
+    assert branches[1].next_pc != branches[1].pc + 4
+
+
+def test_signed_compare_branches():
+    def build(b):
+        b.li("t0", -1)
+        b.li("t1", 1)
+        b.blt("t0", "t1", "yes")
+        b.li("t2", 0)
+        b.halt()
+        b.label("yes")
+        b.li("t2", 1)
+        b.halt()
+
+    executor, _ = run_program(build)
+    assert executor.regs["t2"] == 1
+
+
+def test_call_and_return():
+    def build(b):
+        b.jal("func")
+        b.li("t1", 2)
+        b.halt()
+        b.label("func")
+        b.li("t0", 1)
+        b.jalr("ra")
+
+    executor, trace = run_program(build)
+    assert executor.regs["t0"] == 1
+    assert executor.regs["t1"] == 2
+    jal = next(d for d in trace if d.mnemonic == "jal")
+    assert jal.dst_value == jal.pc + 4  # return address
+
+
+def test_loop_executes_expected_iterations():
+    def build(b):
+        b.li("t0", 0)
+        b.li("t1", 10)
+        b.label("loop")
+        b.addi("t0", "t0", 1)
+        b.blt("t0", "t1", "loop")
+        b.halt()
+
+    executor, trace = run_program(build)
+    assert executor.regs["t0"] == 10
+    branches = [d for d in trace if d.is_conditional_branch]
+    assert len(branches) == 10
+    assert sum(d.taken for d in branches) == 9
+
+
+def test_halt_stops_and_further_step_raises():
+    def build(b):
+        b.halt()
+
+    executor, trace = run_program(build)
+    assert executor.halted
+    assert trace[-1].op_class is OpClass.HALT
+    with pytest.raises(ExecutionError):
+        executor.step()
+
+
+def test_fp_semantics():
+    def build(b):
+        b.fli("ft0", 3)
+        b.fli("ft1", 2)
+        b.fadd("ft2", "ft0", "ft1")
+        b.fmul("ft3", "ft0", "ft1")
+        b.fdiv("ft4", "ft0", "ft1")
+        b.fsub("ft5", "ft0", "ft1")
+        b.halt()
+
+    executor, _ = run_program(build)
+    assert executor.regs["ft2"] == 5
+    assert executor.regs["ft3"] == 6
+    assert executor.regs["ft4"] == 1.5
+    assert executor.regs["ft5"] == 1
+
+
+def test_sequence_numbers_and_pcs_monotonic():
+    def build(b):
+        b.li("t0", 0)
+        b.li("t1", 3)
+        b.label("loop")
+        b.addi("t0", "t0", 1)
+        b.blt("t0", "t1", "loop")
+        b.halt()
+
+    _, trace = run_program(build)
+    assert [d.seq for d in trace] == list(range(len(trace)))
+
+
+def test_run_respects_max_instructions():
+    def build(b):
+        b.li("t0", 0)
+        b.label("loop")
+        b.addi("t0", "t0", 1)
+        b.j("loop")
+
+    _, trace = run_program(build, max_instructions=25)
+    assert len(trace) == 25
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_property_add_sub_match_python(a, b_val):
+    def build(b):
+        b.li("t0", a)
+        b.li("t1", b_val)
+        b.add("t2", "t0", "t1")
+        b.sub("t3", "t0", "t1")
+        b.halt()
+
+    executor, _ = run_program(build)
+    assert executor.regs["t2"] == a + b_val
+    assert executor.regs["t3"] == a - b_val
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100))
+def test_property_branch_consistency(a, b_val):
+    """Every branch mnemonic agrees with its Python comparison."""
+    def build(b):
+        b.li("t0", a)
+        b.li("t1", b_val)
+        b.beq("t0", "t1", "x")
+        b.bne("t0", "t1", "x")
+        b.blt("t0", "t1", "x")
+        b.bge("t0", "t1", "x")
+        b.label("x")
+        b.halt()
+
+    _, trace = run_program(build)
+    outcomes = {}
+    for dyn in trace:
+        if dyn.is_conditional_branch:
+            outcomes[dyn.mnemonic] = dyn.taken
+            if dyn.taken:
+                break
+    if "beq" in outcomes:
+        assert outcomes["beq"] == (a == b_val)
+    if "bne" in outcomes:
+        assert outcomes["bne"] == (a != b_val)
+    if "blt" in outcomes:
+        assert outcomes["blt"] == (a < b_val)
+    if "bge" in outcomes:
+        assert outcomes["bge"] == (a >= b_val)

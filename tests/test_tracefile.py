@@ -1,0 +1,83 @@
+"""Trace recording and bit-identical replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import PFMParams, SimConfig, simulate
+from repro.workloads.astar import build_astar_workload
+from repro.workloads.tracefile import ReplayWorkload, record_trace
+
+WINDOW = 10_000
+GRID = dict(grid_width=96, grid_height=96)
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "astar.npz"
+    count = record_trace(build_astar_workload(**GRID), WINDOW, path)
+    assert count == WINDOW
+    return path
+
+
+def test_replay_stream_matches_live(trace_path):
+    live = build_astar_workload(**GRID).executor()
+    replay = ReplayWorkload(build_astar_workload(**GRID), trace_path).executor()
+    for live_dyn, replay_dyn in zip(live.run(500), replay.run(500)):
+        assert live_dyn.pc == replay_dyn.pc
+        assert live_dyn.mnemonic == replay_dyn.mnemonic
+        assert live_dyn.taken == replay_dyn.taken
+        assert live_dyn.mem_addr == replay_dyn.mem_addr
+        assert live_dyn.dst_value == replay_dyn.dst_value
+
+
+def test_replay_simulation_bit_identical_baseline(trace_path):
+    live = simulate(
+        build_astar_workload(**GRID), SimConfig(max_instructions=WINDOW)
+    )
+    replayed = simulate(
+        ReplayWorkload(build_astar_workload(**GRID), trace_path),
+        SimConfig(max_instructions=WINDOW),
+    )
+    assert replayed.cycles == live.cycles
+    assert replayed.branch_mispredicts == live.branch_mispredicts
+
+
+def test_replay_simulation_bit_identical_pfm(trace_path):
+    """The replayer reproduces memory evolution, so even the component's
+    run-ahead loads see identical values."""
+    pfm = PFMParams(delay=0)
+    live = simulate(
+        build_astar_workload(**GRID),
+        SimConfig(max_instructions=WINDOW, pfm=pfm),
+    )
+    replayed = simulate(
+        ReplayWorkload(build_astar_workload(**GRID), trace_path),
+        SimConfig(max_instructions=WINDOW, pfm=pfm),
+    )
+    assert replayed.cycles == live.cycles
+    assert replayed.pfm_mispredicts == live.pfm_mispredicts
+    assert replayed.agent_loads == live.agent_loads
+
+
+def test_replay_halts_at_end(trace_path):
+    replay = ReplayWorkload(build_astar_workload(**GRID), trace_path).executor()
+    consumed = sum(1 for _ in replay.run(WINDOW + 500))
+    assert consumed == WINDOW
+    assert replay.halted
+
+
+def test_version_check(tmp_path, trace_path):
+    bad = tmp_path / "bad.npz"
+    with np.load(trace_path) as data:
+        arrays = {key: data[key] for key in data.files}
+    arrays["version"] = np.int64(999)
+    np.savez_compressed(bad, **arrays)
+    with pytest.raises(ValueError, match="v999"):
+        ReplayWorkload(build_astar_workload(**GRID), bad)
+
+
+def test_trace_file_is_compact(trace_path):
+    import os
+
+    size = os.path.getsize(trace_path)
+    assert size < WINDOW * 30  # well under 30 bytes/instruction

@@ -1,0 +1,109 @@
+"""astar kernel: functional equivalence with a Python wavefront model."""
+
+from repro.workloads.astar import build_astar_workload, build_grid
+from repro.workloads.mem import WORD_BYTES
+
+
+def python_wavefront(maparp, width, start, fillnum, end_index, max_steps=10**9):
+    """Reference model of the kernel's fill()/makebound2() semantics."""
+    offsets = [-width - 1, -width, -width + 1, -1, 1,
+               width - 1, width, width + 1]
+    visited_fill: dict[int, int] = {}
+    visited_num: dict[int, int] = {}
+    bound1 = [start]
+    step = 0
+    flend = False
+    while bound1 and not flend and step < max_steps:
+        bound2 = []
+        for index in bound1:
+            for off in offsets:
+                index1 = index + off
+                if visited_fill.get(index1) != fillnum:
+                    if maparp[index1] == 0:
+                        bound2.append(index1)
+                        visited_fill[index1] = fillnum
+                        visited_num[index1] = step
+                        if index1 == end_index:
+                            flend = True
+        bound1 = bound2
+        step += 1
+    return visited_fill, visited_num, step
+
+
+def test_grid_border_blocked():
+    width, height = 12, 9
+    grid = build_grid(width, height, obstacle_density=0.0, seed=1)
+    for x in range(width):
+        assert grid[x] == 1
+        assert grid[(height - 1) * width + x] == 1
+    for y in range(height):
+        assert grid[y * width] == 1
+        assert grid[y * width + width - 1] == 1
+    # Interior fully free at density 0.
+    assert grid[4 * width + 5] == 0
+
+
+def test_kernel_matches_python_model():
+    workload = build_astar_workload(
+        grid_width=40, grid_height=40, obstacle_density=0.25, seed=3
+    )
+    width = 40
+    maparp = [
+        workload.memory.load_index("maparp", i) for i in range(40 * 40)
+    ]
+    start = workload.metadata["start"]
+    end_index = workload.metadata["end_index"]
+
+    executor = workload.executor()
+    for _ in range(3_000_000):
+        if executor.halted:
+            break
+        executor.step()
+    assert executor.halted, "kernel did not run to completion"
+
+    visited_fill, visited_num, steps = python_wavefront(
+        maparp, width, start, fillnum=8, end_index=end_index
+    )
+
+    waymap_base = workload.memory.base("waymap")
+    for index1, fill in visited_fill.items():
+        assert workload.memory.load(waymap_base + index1 * 16) == fill
+        assert (
+            workload.memory.load(waymap_base + index1 * 16 + WORD_BYTES)
+            == visited_num[index1]
+        )
+    # No extra cells were marked.
+    marked = sum(
+        1
+        for i in range(40 * 40)
+        if workload.memory.load(waymap_base + i * 16) == 8
+    )
+    assert marked == len(visited_fill)
+
+
+def test_snoop_metadata_complete():
+    workload = build_astar_workload(grid_width=32, grid_height=32)
+    bits = workload.bitstream
+    tags = {entry.tag for entry in bits.rst_entries}
+    assert {"fillnum", "yoffset", "worklist_base", "waymap_base",
+            "maparp_base", "iter_inc"} <= tags
+    fst_tags = {entry.tag for entry in bits.fst_entries}
+    assert len(fst_tags) == 16  # 8 waymap + 8 maparp branches
+    assert bits.metadata["call_marker_pcs"]
+
+
+def test_sixteen_difficult_branches_exist():
+    workload = build_astar_workload(grid_width=32, grid_height=32)
+    fst_pcs = {entry.pc for entry in workload.bitstream.fst_entries}
+    branch_pcs = set(workload.program.conditional_branch_pcs())
+    assert fst_pcs <= branch_pcs
+    assert len(fst_pcs) == 16
+
+
+def test_deterministic_build():
+    a = build_astar_workload(grid_width=24, grid_height=24, seed=5)
+    b = build_astar_workload(grid_width=24, grid_height=24, seed=5)
+    assert [i.mnemonic for i in a.program.instructions] == [
+        i.mnemonic for i in b.program.instructions
+    ]
+    assert a.memory.load_index("maparp", 100) == b.memory.load_index("maparp", 100)

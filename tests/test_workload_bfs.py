@@ -1,0 +1,67 @@
+"""bfs kernel: functional equivalence with the reference BFS."""
+
+from repro.workloads.bfs import build_bfs_workload
+from repro.workloads.graphs import reference_bfs, road_graph
+
+
+def test_kernel_parent_array_matches_reference():
+    graph = road_graph(side=16, seed=2)
+    workload = build_bfs_workload(graph=graph, source=0)
+    executor = workload.executor()
+    for _ in range(5_000_000):
+        if executor.halted:
+            break
+        executor.step()
+    assert executor.halted, "bfs kernel did not complete"
+
+    expected = reference_bfs(graph, source=0)
+    measured = [
+        workload.memory.load_index("properties", v)
+        for v in range(graph.num_nodes)
+    ]
+    assert measured == expected
+
+
+def test_kernel_visits_only_reachable_component():
+    graph = road_graph(side=12, seed=9, drop_fraction=0.5)
+    workload = build_bfs_workload(graph=graph, source=0)
+    executor = workload.executor()
+    for _ in range(5_000_000):
+        if executor.halted:
+            break
+        executor.step()
+    expected = reference_bfs(graph, source=0)
+    unreachable = [v for v, p in enumerate(expected) if p < 0]
+    for v in unreachable:
+        assert workload.memory.load_index("properties", v) == -1
+
+
+def test_snoop_metadata():
+    workload = build_bfs_workload(graph=road_graph(side=12))
+    tags = {entry.tag for entry in workload.bitstream.rst_entries}
+    assert {"offsets_base", "neighbors_base", "prop_base",
+            "frontier_base", "iter_inc", "inner_inc"} <= tags
+    fst_tags = {entry.tag for entry in workload.bitstream.fst_entries}
+    assert fst_tags == {"loop_exit", "visited"}
+
+
+def test_branch_populations():
+    """The two FST branches dominate dynamic hard-branch behaviour."""
+    graph = road_graph(side=16, seed=2)
+    workload = build_bfs_workload(graph=graph)
+    program = workload.program
+    loop_exit_pc = program.pcs_with_comment("fst:loop_exit")[0]
+    visited_pc = program.pcs_with_comment("fst:visited")[0]
+
+    executor = workload.executor()
+    counts = {loop_exit_pc: 0, visited_pc: 0}
+    visits = 0
+    for dyn in executor.run(100_000):
+        if dyn.pc in counts:
+            counts[dyn.pc] += 1
+        if dyn.comment.startswith("visited_store"):
+            visits += 1
+    # Every edge examination passes the loop_exit branch once plus one
+    # final exit per node; every examination also runs the visited branch.
+    assert counts[loop_exit_pc] > counts[visited_pc] > 0
+    assert visits > 0

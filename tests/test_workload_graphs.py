@@ -1,0 +1,75 @@
+"""Graph generators and the BFS reference oracle."""
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    powerlaw_graph,
+    reference_bfs,
+    road_graph,
+)
+
+
+def check_csr_invariants(graph: CSRGraph):
+    assert len(graph.offsets) == graph.num_nodes + 1
+    assert graph.offsets[0] == 0
+    assert graph.offsets[-1] == len(graph.neighbors)
+    assert all(
+        graph.offsets[i] <= graph.offsets[i + 1] for i in range(graph.num_nodes)
+    )
+    assert all(0 <= v < graph.num_nodes for v in graph.neighbors)
+
+
+def test_road_graph_csr_invariants():
+    check_csr_invariants(road_graph(side=24))
+
+
+def test_powerlaw_graph_csr_invariants():
+    check_csr_invariants(powerlaw_graph(num_nodes=500))
+
+
+def test_road_graph_degrees_small():
+    graph = road_graph(side=32)
+    degrees = [graph.degree(u) for u in range(graph.num_nodes)]
+    assert max(degrees) <= 8
+    assert sum(degrees) / len(degrees) < 5
+
+
+def test_powerlaw_graph_heavy_tail():
+    graph = powerlaw_graph(num_nodes=2000, edges_per_node=4)
+    degrees = sorted((graph.degree(u) for u in range(graph.num_nodes)), reverse=True)
+    # Hubs should be much larger than the median degree.
+    assert degrees[0] > 5 * degrees[len(degrees) // 2]
+
+
+def test_graphs_undirected():
+    graph = road_graph(side=16)
+    for u in range(graph.num_nodes):
+        for v in graph.neighbors_of(u):
+            assert u in graph.neighbors_of(v)
+
+
+def test_graphs_deterministic():
+    a = road_graph(side=16, seed=3)
+    b = road_graph(side=16, seed=3)
+    assert a.offsets == b.offsets and a.neighbors == b.neighbors
+    c = road_graph(side=16, seed=4)
+    assert a.neighbors != c.neighbors
+
+
+def test_reference_bfs_small_known_graph():
+    # 0 - 1 - 2, 0 - 3 (CSR by hand)
+    graph = CSRGraph(
+        num_nodes=4,
+        offsets=[0, 2, 4, 5, 6],
+        neighbors=[1, 3, 0, 2, 1, 0],
+    )
+    parent = reference_bfs(graph, source=0)
+    assert parent[0] == 0
+    assert parent[1] == 0
+    assert parent[3] == 0
+    assert parent[2] == 1
+
+
+def test_reference_bfs_unreachable_nodes_stay_unvisited():
+    graph = CSRGraph(num_nodes=3, offsets=[0, 1, 2, 2], neighbors=[1, 0])
+    parent = reference_bfs(graph, source=0)
+    assert parent[2] == -1
