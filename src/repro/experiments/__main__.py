@@ -4,19 +4,29 @@ Examples::
 
     python -m repro.experiments list
     python -m repro.experiments fig8
-    python -m repro.experiments fig12 --window 80000
+    python -m repro.experiments fig12 --window 80000 --jobs 4
+    python -m repro.experiments sweep --jobs 4 --json results.json
+    python -m repro.experiments --smoke --jobs 2
     python -m repro.experiments all
+
+``--jobs N`` fans each experiment's sweep points out over N worker
+processes; results are bit-identical to a serial run.  Baselines are
+cached under ``--cache-dir`` (default ``.repro-cache/``) and interrupted
+sweeps resume from a per-experiment checkpoint file there.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import astar_sweeps, bfs_sweeps, energy_fig18
 from repro.experiments import fpga_table4, prefetch_sweeps, robustness
-from repro.experiments import slipstream_fig2
+from repro.experiments import slipstream_fig2, sweep as sweep_module
+from repro.experiments.pool import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, SweepPool
 from repro.experiments.runner import DEFAULT_WINDOW
 
 EXPERIMENTS = {
@@ -39,7 +49,28 @@ EXPERIMENTS = {
     "robust-inputs": robustness.astar_input_robustness,
     "robust-patterns": robustness.astar_pattern_robustness,
     "robust-graphs": robustness.bfs_graph_robustness,
+    "sweep": sweep_module.sweep,
 }
+
+
+def _run_info(pool: SweepPool) -> str:
+    info = pool.last_run_info or {}
+    return (f"{info.get('computed', 0)} simulated,"
+            f" {info.get('resumed', 0)} resumed,"
+            f" {info.get('cached', 0)} cached")
+
+
+def make_pool(args, experiment: str, window: int) -> SweepPool:
+    """One pool per experiment: shared baseline cache, own checkpoint."""
+    cache_dir = None if args.no_cache else args.cache_dir
+    checkpoint = None
+    if cache_dir is not None:
+        checkpoint = (
+            Path(cache_dir) / "checkpoints" / f"{experiment}-w{window}.jsonl"
+        )
+        if args.no_resume and checkpoint.exists():
+            checkpoint.unlink()
+    return SweepPool(jobs=args.jobs, cache_dir=cache_dir, checkpoint=checkpoint)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,13 +80,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
+        default=None,
         help="experiment id (see 'list'), or 'all'",
     )
     parser.add_argument(
         "--window",
         type=int,
-        default=DEFAULT_WINDOW,
-        help=f"dynamic instructions per run (default {DEFAULT_WINDOW})",
+        default=None,
+        help=f"dynamic instructions per run (default {DEFAULT_WINDOW};"
+             f" {sweep_module.SMOKE_WINDOW} under --smoke)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to fan sweep points over (default 1)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the full-matrix sweep at a tiny window (CI smoke test)",
     )
     parser.add_argument(
         "--out",
@@ -63,7 +109,35 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the rendered results to FILE",
     )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write raw per-point stats as deterministic JSON"
+             " (sweep and --smoke only)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR),
+        help=f"baseline cache + checkpoint directory"
+             f" (default ${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk baseline cache and checkpointing",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="discard any existing checkpoint instead of resuming from it",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment is None and not args.smoke:
+        parser.error("an experiment id (or --smoke) is required")
+    if args.experiment is not None and args.smoke:
+        parser.error("--smoke replaces the experiment id; give one or the other")
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
@@ -71,11 +145,26 @@ def main(argv: list[str] | None = None) -> int:
         print("shape  (aggregate shape-agreement metrics)")
         return 0
 
+    if args.smoke:
+        window = args.window or sweep_module.SMOKE_WINDOW
+        pool = make_pool(args, "smoke", window)
+        started = time.time()
+        result, payload = sweep_module.run_sweep(window, pool)
+        print(result.render())
+        print(f"   [{time.time() - started:.1f}s, jobs={args.jobs},"
+              f" {_run_info(pool)}]")
+        if args.json:
+            Path(args.json).write_text(sweep_module.payload_json(payload))
+            print(f"raw stats written to {args.json}")
+        return 0
+
+    window = args.window or DEFAULT_WINDOW
+
     if args.experiment == "shape":
         from repro.experiments.compare import shape_report
 
         results = [
-            EXPERIMENTS[name](window=args.window)
+            EXPERIMENTS[name](window=window, pool=make_pool(args, name, window))
             for name in ("fig2", "fig8", "tab2", "fig12", "tab3", "tab4")
         ]
         print(shape_report(results))
@@ -88,17 +177,23 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(
                 f"unknown experiment {name!r}; use 'list' to see choices"
             )
+        pool = make_pool(args, name, window)
         started = time.time()
-        result = EXPERIMENTS[name](window=args.window)
+        if name == "sweep":
+            result, payload = sweep_module.run_sweep(window, pool)
+            if args.json:
+                Path(args.json).write_text(sweep_module.payload_json(payload))
+        else:
+            result = EXPERIMENTS[name](window=window, pool=pool)
         text = result.render()
         rendered.append(text)
         print(text)
-        print(f"   [{time.time() - started:.1f}s]\n")
+        print(f"   [{time.time() - started:.1f}s, {_run_info(pool)}]\n")
 
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(
-                f"# PFM reproduction results (window={args.window})\n\n"
+                f"# PFM reproduction results (window={window})\n\n"
             )
             handle.write("\n\n".join(rendered))
             handle.write("\n")

@@ -1,22 +1,46 @@
-"""astar experiments: Figure 8, Table 2, Figure 9, Figure 10 (Section 4.1.3)."""
+"""astar experiments: Figure 8, Table 2, Figure 9, Figure 10 (Section 4.1.3).
+
+Each figure declares its grid as a :class:`~repro.experiments.pool.SweepPoint`
+list (``*_points``) and assembles the rendered result from the stats the
+pool returns, so the same sweep runs serially or across worker processes.
+"""
 
 from __future__ import annotations
 
-from repro.core import PFMParams, SimConfig
-from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import (
-    DEFAULT_WINDOW,
-    pfm_speedup_pct,
-    run_baseline,
-    run_config,
-    run_pfm,
-    speedup_pct,
+from repro.core import PFMParams
+from repro.experiments.pool import (
+    SweepPoint,
+    SweepPool,
+    add_speedup_rows,
+    baseline_point,
+    default_pool,
+    pfm_point,
 )
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import DEFAULT_WINDOW
 
 WORKLOAD = "astar"
+BASE = f"baseline:{WORKLOAD}"
 
 
-def fig8(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def fig8_points(window: int) -> list[SweepPoint]:
+    points = [baseline_point(WORKLOAD, window)]
+    for clk, width in [(1, 1), (2, 1), (4, 1), (8, 1), (4, 2), (4, 3), (4, 4)]:
+        pfm = PFMParams(clk_ratio=clk, width=width, delay=0)
+        points.append(pfm_point(f"clk{clk}_w{width}", WORKLOAD, window, pfm))
+    points.append(
+        SweepPoint(
+            label="perfBP",
+            workload=WORKLOAD,
+            window=window,
+            perfect_branch_prediction=True,
+        )
+    )
+    return points
+
+
+def fig8(window: int = DEFAULT_WINDOW,
+         pool: SweepPool | None = None) -> ExperimentResult:
     """Speedup vs C and W (delay0, queue32, portALL; 8-entry index_queue)."""
     result = ExperimentResult(
         experiment="Figure 8",
@@ -33,19 +57,19 @@ def fig8(window: int = DEFAULT_WINDOW) -> ExperimentResult:
             " BP via the prefetching effect of the predictor's loads"
         ),
     )
-    base = run_baseline(WORKLOAD, window)
-    for clk, width in [(1, 1), (2, 1), (4, 1), (8, 1), (4, 2), (4, 3), (4, 4)]:
-        pfm = PFMParams(clk_ratio=clk, width=width, delay=0)
-        result.add(f"clk{clk}_w{width}", pfm_speedup_pct(WORKLOAD, pfm, window))
-    perf = run_config(
-        WORKLOAD,
-        SimConfig(max_instructions=window, perfect_branch_prediction=True),
-    )
-    result.add("perfBP", speedup_pct(perf, base))
+    pool = pool or default_pool()
+    points = fig8_points(window)
+    stats = pool.run(points)
+    add_speedup_rows(result, pool, points, stats, BASE)
     return result
 
 
-def table2(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def table2_points(window: int) -> list[SweepPoint]:
+    return [pfm_point("default", WORKLOAD, window, PFMParams())]
+
+
+def table2(window: int = DEFAULT_WINDOW,
+           pool: SweepPool | None = None) -> ExperimentResult:
     """FST and RST snoop percentages inside the ROI."""
     result = ExperimentResult(
         experiment="Table 2",
@@ -53,13 +77,39 @@ def table2(window: int = DEFAULT_WINDOW) -> ExperimentResult:
         unit="% of instructions in ROI",
         paper={"retired hit RST": 20.3, "fetched hit FST": 15.5},
     )
-    stats = run_pfm(WORKLOAD, PFMParams(), window)
+    pool = pool or default_pool()
+    stats = pool.run(table2_points(window))["default"]
     result.add("retired hit RST", stats.rst_hit_pct)
     result.add("fetched hit FST", stats.fst_hit_pct)
     return result
 
 
-def fig9(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def fig9_points(window: int) -> list[SweepPoint]:
+    points = [baseline_point(WORKLOAD, window)]
+    # (a) delay sweep at clk4_w4, queue32, portALL
+    for delay in (0, 2, 4, 8):
+        points.append(
+            pfm_point(f"delay{delay}", WORKLOAD, window, PFMParams(delay=delay))
+        )
+    # (b) queue sweep at clk4_w4, delay4, portALL
+    for queue in (8, 16, 32, 64):
+        points.append(
+            pfm_point(
+                f"queue{queue}", WORKLOAD, window,
+                PFMParams(delay=4, queue_size=queue),
+            )
+        )
+    # (c) port sweep at clk4_w4, delay4, queue32
+    for port in ("ALL", "LS", "LS1"):
+        label = f"delay4, queue32, port{port}" if port == "LS1" else f"port{port}"
+        points.append(
+            pfm_point(label, WORKLOAD, window, PFMParams(delay=4, port=port))
+        )
+    return points
+
+
+def fig9(window: int = DEFAULT_WINDOW,
+         pool: SweepPool | None = None) -> ExperimentResult:
     """Sensitivity to delayD (a), queueQ (b), and portP (c)."""
     result = ExperimentResult(
         experiment="Figure 9",
@@ -70,23 +120,27 @@ def fig9(window: int = DEFAULT_WINDOW) -> ExperimentResult:
             " queue size; PRF ports not an issue"
         ),
     )
-    # (a) delay sweep at clk4_w4, queue32, portALL
-    for delay in (0, 2, 4, 8):
-        pfm = PFMParams(delay=delay)
-        result.add(f"delay{delay}", pfm_speedup_pct(WORKLOAD, pfm, window))
-    # (b) queue sweep at clk4_w4, delay4, portALL
-    for queue in (8, 16, 32, 64):
-        pfm = PFMParams(delay=4, queue_size=queue)
-        result.add(f"queue{queue}", pfm_speedup_pct(WORKLOAD, pfm, window))
-    # (c) port sweep at clk4_w4, delay4, queue32
-    for port in ("ALL", "LS", "LS1"):
-        pfm = PFMParams(delay=4, port=port)
-        label = f"delay4, queue32, port{port}" if port == "LS1" else f"port{port}"
-        result.add(label, pfm_speedup_pct(WORKLOAD, pfm, window))
+    pool = pool or default_pool()
+    points = fig9_points(window)
+    stats = pool.run(points)
+    add_speedup_rows(result, pool, points, stats, BASE)
     return result
 
 
-def fig10(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def fig10_points(window: int) -> list[SweepPoint]:
+    points = [baseline_point(WORKLOAD, window)]
+    for entries in (1, 2, 4, 8, 16):
+        pfm = PFMParams(
+            delay=4,
+            port="LS1",
+            component_overrides={"index_queue_entries": entries},
+        )
+        points.append(pfm_point(f"{entries} entries", WORKLOAD, window, pfm))
+    return points
+
+
+def fig10(window: int = DEFAULT_WINDOW,
+          pool: SweepPool | None = None) -> ExperimentResult:
     """Sensitivity to the index_queue size (speculative scope)."""
     result = ExperimentResult(
         experiment="Figure 10",
@@ -96,17 +150,22 @@ def fig10(window: int = DEFAULT_WINDOW) -> ExperimentResult:
             " potential (all configs clk4_w4, delay4, queue32, portLS1)"
         ),
     )
-    for entries in (1, 2, 4, 8, 16):
-        pfm = PFMParams(
-            delay=4,
-            port="LS1",
-            component_overrides={"index_queue_entries": entries},
-        )
-        result.add(f"{entries} entries", pfm_speedup_pct(WORKLOAD, pfm, window))
+    pool = pool or default_pool()
+    points = fig10_points(window)
+    stats = pool.run(points)
+    add_speedup_rows(result, pool, points, stats, BASE)
     return result
 
 
-def astar_mpki(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def astar_mpki_points(window: int) -> list[SweepPoint]:
+    return [
+        baseline_point(WORKLOAD, window),
+        pfm_point("custom", WORKLOAD, window, PFMParams(delay=0)),
+    ]
+
+
+def astar_mpki(window: int = DEFAULT_WINDOW,
+               pool: SweepPool | None = None) -> ExperimentResult:
     """Headline MPKI collapse (Section 4.1.3 text: 31.9 -> 1.04)."""
     result = ExperimentResult(
         experiment="Section 4.1.3",
@@ -114,6 +173,8 @@ def astar_mpki(window: int = DEFAULT_WINDOW) -> ExperimentResult:
         unit="mispredictions per kilo-instruction",
         paper={"baseline": 31.9, "custom": 1.04},
     )
-    result.add("baseline", run_baseline(WORKLOAD, window).mpki)
-    result.add("custom", run_pfm(WORKLOAD, PFMParams(delay=0), window).mpki)
+    pool = pool or default_pool()
+    stats = pool.run(astar_mpki_points(window))
+    result.add("baseline", stats[BASE].mpki)
+    result.add("custom", stats["custom"].mpki)
     return result

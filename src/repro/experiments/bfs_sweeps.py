@@ -1,22 +1,53 @@
-"""bfs experiments: Figure 12, Table 3, Figure 13, Figure 14 (Section 4.2)."""
+"""bfs experiments: Figure 12, Table 3, Figure 13, Figure 14 (Section 4.2).
+
+Grids are declared as :class:`~repro.experiments.pool.SweepPoint` lists
+(``*_points``) and evaluated by a :class:`~repro.experiments.pool.SweepPool`.
+"""
 
 from __future__ import annotations
 
-from repro.core import PFMParams, SimConfig
-from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import (
-    DEFAULT_WINDOW,
-    pfm_speedup_pct,
-    run_baseline,
-    run_config,
-    run_pfm,
-    speedup_pct,
+from repro.core import PFMParams
+from repro.experiments.pool import (
+    SweepPoint,
+    SweepPool,
+    add_speedup_rows,
+    baseline_point,
+    default_pool,
+    pfm_point,
 )
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import DEFAULT_WINDOW
 
 WORKLOAD = "bfs-roads"
+BASE = f"baseline:{WORKLOAD}"
+YT_BASE = "baseline:bfs-youtube"
 
 
-def fig12(window: int = DEFAULT_WINDOW, include_youtube: bool = True) -> ExperimentResult:
+def fig12_points(window: int, include_youtube: bool = True) -> list[SweepPoint]:
+    points = [baseline_point(WORKLOAD, window)]
+    for label, kwargs in (
+        ("perfBP", dict(perfect_branch_prediction=True)),
+        ("perfD$", dict(perfect_dcache=True)),
+        ("perfBP+D$", dict(perfect_branch_prediction=True, perfect_dcache=True)),
+    ):
+        points.append(
+            SweepPoint(label=label, workload=WORKLOAD, window=window, **kwargs)
+        )
+    for clk, width in [(4, 1), (8, 1), (4, 2), (4, 4)]:
+        pfm = PFMParams(clk_ratio=clk, width=width, delay=0)
+        points.append(pfm_point(f"clk{clk}_w{width}", WORKLOAD, window, pfm))
+    if include_youtube:
+        points.append(baseline_point("bfs-youtube", window))
+        points.append(
+            pfm_point(
+                "clk4_w4 (Youtube)", "bfs-youtube", window, PFMParams(delay=0)
+            )
+        )
+    return points
+
+
+def fig12(window: int = DEFAULT_WINDOW, include_youtube: bool = True,
+          pool: SweepPool | None = None) -> ExperimentResult:
     """Idealizations + custom component vs C and W (Roads; Youtube extra)."""
     result = ExperimentResult(
         experiment="Figure 12",
@@ -34,27 +65,23 @@ def fig12(window: int = DEFAULT_WINDOW, include_youtube: bool = True) -> Experim
             " synthetic graph windows are colder (see EXPERIMENTS.md)"
         ),
     )
-    base = run_baseline(WORKLOAD, window)
-    for label, kwargs in (
-        ("perfBP", dict(perfect_branch_prediction=True)),
-        ("perfD$", dict(perfect_dcache=True)),
-        ("perfBP+D$", dict(perfect_branch_prediction=True, perfect_dcache=True)),
-    ):
-        stats = run_config(
-            WORKLOAD, SimConfig(max_instructions=window, **kwargs)
-        )
-        result.add(label, speedup_pct(stats, base))
-    for clk, width in [(4, 1), (8, 1), (4, 2), (4, 4)]:
-        pfm = PFMParams(clk_ratio=clk, width=width, delay=0)
-        result.add(f"clk{clk}_w{width}", pfm_speedup_pct(WORKLOAD, pfm, window))
-    if include_youtube:
-        yt_base = run_baseline("bfs-youtube", window)
-        yt = run_pfm("bfs-youtube", PFMParams(delay=0), window)
-        result.add("clk4_w4 (Youtube)", speedup_pct(yt, yt_base))
+    pool = pool or default_pool()
+    points = fig12_points(window, include_youtube)
+    stats = pool.run(points)
+    for point in points:
+        if point.label in (BASE, YT_BASE):
+            continue
+        base = YT_BASE if point.workload == "bfs-youtube" else BASE
+        result.add(point.label, pool.speedup_pct(stats, point.label, base))
     return result
 
 
-def table3(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def table3_points(window: int) -> list[SweepPoint]:
+    return [pfm_point("default", WORKLOAD, window, PFMParams())]
+
+
+def table3(window: int = DEFAULT_WINDOW,
+           pool: SweepPool | None = None) -> ExperimentResult:
     """FST and RST snoop percentages inside the ROI."""
     result = ExperimentResult(
         experiment="Table 3",
@@ -63,32 +90,64 @@ def table3(window: int = DEFAULT_WINDOW) -> ExperimentResult:
         paper={"retired hit RST": 31.0, "fetched hit FST": 13.0},
         notes="paper: bfs observes a higher fraction of retired instructions than astar",
     )
-    stats = run_pfm(WORKLOAD, PFMParams(), window)
+    pool = pool or default_pool()
+    stats = pool.run(table3_points(window))["default"]
     result.add("retired hit RST", stats.rst_hit_pct)
     result.add("fetched hit FST", stats.fst_hit_pct)
     return result
 
 
-def fig13(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def fig13_points(window: int) -> list[SweepPoint]:
+    points = [baseline_point(WORKLOAD, window)]
+    for delay in (0, 2, 4, 8):
+        points.append(
+            pfm_point(f"delay{delay}", WORKLOAD, window, PFMParams(delay=delay))
+        )
+    for queue in (8, 16, 32, 64):
+        points.append(
+            pfm_point(
+                f"queue{queue}", WORKLOAD, window,
+                PFMParams(delay=4, queue_size=queue),
+            )
+        )
+    for port in ("ALL", "LS", "LS1"):
+        points.append(
+            pfm_point(
+                f"port{port}", WORKLOAD, window, PFMParams(delay=4, port=port)
+            )
+        )
+    return points
+
+
+def fig13(window: int = DEFAULT_WINDOW,
+          pool: SweepPool | None = None) -> ExperimentResult:
     """Sensitivity to delayD (a), queueQ (b), portP (c)."""
     result = ExperimentResult(
         experiment="Figure 13",
         title="bfs sensitivity to D, Q, P",
         notes="paper: low sensitivity to all three",
     )
-    for delay in (0, 2, 4, 8):
-        pfm = PFMParams(delay=delay)
-        result.add(f"delay{delay}", pfm_speedup_pct(WORKLOAD, pfm, window))
-    for queue in (8, 16, 32, 64):
-        pfm = PFMParams(delay=4, queue_size=queue)
-        result.add(f"queue{queue}", pfm_speedup_pct(WORKLOAD, pfm, window))
-    for port in ("ALL", "LS", "LS1"):
-        pfm = PFMParams(delay=4, port=port)
-        result.add(f"port{port}", pfm_speedup_pct(WORKLOAD, pfm, window))
+    pool = pool or default_pool()
+    points = fig13_points(window)
+    stats = pool.run(points)
+    add_speedup_rows(result, pool, points, stats, BASE)
     return result
 
 
-def fig14(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def fig14_points(window: int) -> list[SweepPoint]:
+    points = [baseline_point(WORKLOAD, window)]
+    for entries in (8, 16, 32, 64, 128):
+        pfm = PFMParams(
+            delay=4,
+            port="LS1",
+            component_overrides={"queue_entries": entries},
+        )
+        points.append(pfm_point(f"{entries} entries", WORKLOAD, window, pfm))
+    return points
+
+
+def fig14(window: int = DEFAULT_WINDOW,
+          pool: SweepPool | None = None) -> ExperimentResult:
     """Sensitivity to the frontier/begin-address/trip-count/neighbor queues."""
     result = ExperimentResult(
         experiment="Figure 14",
@@ -98,17 +157,22 @@ def fig14(window: int = DEFAULT_WINDOW) -> ExperimentResult:
             " (all configs clk4_w4, delay4, queue32, portLS1)"
         ),
     )
-    for entries in (8, 16, 32, 64, 128):
-        pfm = PFMParams(
-            delay=4,
-            port="LS1",
-            component_overrides={"queue_entries": entries},
-        )
-        result.add(f"{entries} entries", pfm_speedup_pct(WORKLOAD, pfm, window))
+    pool = pool or default_pool()
+    points = fig14_points(window)
+    stats = pool.run(points)
+    add_speedup_rows(result, pool, points, stats, BASE)
     return result
 
 
-def bfs_mpki(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def bfs_mpki_points(window: int) -> list[SweepPoint]:
+    return [
+        baseline_point(WORKLOAD, window),
+        pfm_point("custom", WORKLOAD, window, PFMParams(delay=0)),
+    ]
+
+
+def bfs_mpki(window: int = DEFAULT_WINDOW,
+             pool: SweepPool | None = None) -> ExperimentResult:
     """Headline MPKI collapse (Section 4.2 text: 19.1 -> 0.5)."""
     result = ExperimentResult(
         experiment="Section 4.2",
@@ -116,6 +180,8 @@ def bfs_mpki(window: int = DEFAULT_WINDOW) -> ExperimentResult:
         unit="mispredictions per kilo-instruction",
         paper={"baseline": 19.1, "custom": 0.5},
     )
-    result.add("baseline", run_baseline(WORKLOAD, window).mpki)
-    result.add("custom", run_pfm(WORKLOAD, PFMParams(delay=0), window).mpki)
+    pool = pool or default_pool()
+    stats = pool.run(bfs_mpki_points(window))
+    result.add("baseline", stats[BASE].mpki)
+    result.add("custom", stats["custom"].mpki)
     return result

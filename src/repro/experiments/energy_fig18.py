@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 from repro.core import PFMParams
-from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import (
-    DEFAULT_WINDOW,
-    PREFETCH_WORKLOADS,
-    run_baseline,
-    run_pfm,
+from repro.experiments.pool import (
+    SweepPoint,
+    SweepPool,
+    baseline_point,
+    default_pool,
+    pfm_point,
 )
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import DEFAULT_WINDOW, PREFETCH_WORKLOADS
 from repro.experiments.fpga_table4 import estimates
 from repro.power.core_energy import CoreEnergyModel
 
@@ -24,8 +26,21 @@ _DESIGN_FOR_WORKLOAD = {
     "leslie": "bwaves",  # leslie was not synthesized; bwaves is its analogue
 }
 
+WORKLOADS = ("astar", "bfs-roads", *PREFETCH_WORKLOADS)
 
-def fig18(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+
+def fig18_points(window: int) -> list[SweepPoint]:
+    points = []
+    for name in WORKLOADS:
+        points.append(baseline_point(name, window))
+        points.append(
+            pfm_point(f"pfm:{name}", name, window, PFMParams(delay=4, port="LS1"))
+        )
+    return points
+
+
+def fig18(window: int = DEFAULT_WINDOW,
+          pool: SweepPool | None = None) -> ExperimentResult:
     """Energy (core + RF) normalized to baseline (core alone) = 1.0.
 
     The reduction comes from (1) less misspeculation activity and
@@ -44,14 +59,13 @@ def fig18(window: int = DEFAULT_WINDOW) -> ExperimentResult:
     model = CoreEnergyModel()
     fpga = {estimate.design: estimate for estimate in estimates()}
 
-    workloads = ["astar", "bfs-roads", *PREFETCH_WORKLOADS]
-    for name in workloads:
-        base_stats = run_baseline(name, window)
-        pfm_stats = run_pfm(name, PFMParams(delay=4, port="LS1"), window)
+    pool = pool or default_pool()
+    stats = pool.run(fig18_points(window))
+    for name in WORKLOADS:
         design = fpga[_DESIGN_FOR_WORKLOAD[name]]
-        baseline_energy = model.energy(base_stats)
+        baseline_energy = model.energy(stats[f"baseline:{name}"])
         pfm_energy = model.energy(
-            pfm_stats,
+            stats[f"pfm:{name}"],
             rf_dynamic_w=(design.dyn_logic_mw) / 1000.0,
             rf_static_w=design.static_mw / 1000.0,
         )

@@ -59,8 +59,12 @@ def estimates() -> list[FPGAEstimate]:
     return FPGAModel().table4(component_structures())
 
 
-def table4(window: int = 0) -> ExperimentResult:
-    """LUT counts paper-vs-measured (full rows printed in the notes)."""
+def table4(window: int = 0, pool=None) -> ExperimentResult:
+    """LUT counts paper-vs-measured (full rows printed in the notes).
+
+    Analytic (no simulation); *window* and *pool* exist for registry
+    signature uniformity and are ignored.
+    """
     result = ExperimentResult(
         experiment="Table 4",
         title="FPGA hardware overhead (xcvu3p estimates)",

@@ -1,0 +1,378 @@
+"""Parallel sweep execution engine.
+
+Every figure and table is a sweep: a list of independent
+``(workload, window, configuration)`` points, each evaluated by one call
+to :func:`~repro.core.simulate`.  This module makes that structure
+explicit — sweeps declare their grids as :class:`SweepPoint` lists and a
+:class:`SweepPool` evaluates them, serially or fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Three properties the harness guarantees:
+
+* **Determinism** — a point's result depends only on the point (workload
+  builders are seeded, the cycle model has no hidden global state), so
+  results are bit-identical regardless of worker count or scheduling
+  order.  ``tests/test_determinism.py`` and the golden snapshots under
+  ``tests/goldens/`` enforce this.
+* **Baseline reuse** — plain-core points are content-addressed by
+  ``(workload, window, config-hash)`` and persisted under the cache
+  directory (CLI default ``.repro-cache/``), so concurrent workers and
+  later invocations never rerun a baseline they have already paid for.
+* **Checkpoint/resume** — with a checkpoint path set, every finished
+  point is appended to a JSONL file as it completes; a re-invocation of
+  an interrupted sweep replays the file and only computes the remainder.
+  The checkpoint is removed once the whole sweep has succeeded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core import PFMParams, SimConfig, SimStats, simulate
+
+#: Environment override for the on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default on-disk cache directory (relative to the invocation cwd).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Named oracle factories, so oracle-driven points stay declarative and
+#: picklable (the factory runs inside the worker, next to the workload).
+ORACLES = {
+    "astar-slipstream": "repro.slipstream:make_astar_slipstream",
+    "bfs-slipstream": "repro.slipstream:make_bfs_slipstream",
+}
+
+
+def _resolve_oracle(name: str):
+    try:
+        module_name, _, attr = ORACLES[name].partition(":")
+    except KeyError:
+        raise ValueError(f"unknown oracle {name!r}; known: {sorted(ORACLES)}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+@dataclass
+class SweepPoint:
+    """One independent simulation of a sweep grid.
+
+    ``label`` names the row in the rendered result; everything else
+    describes the run itself.  Points must be picklable: ``overrides``
+    are forwarded to the workload builder in the worker process, and
+    ``oracle`` names a factory from :data:`ORACLES` (called with the
+    built workload plus ``oracle_kwargs``) rather than holding a live
+    oracle object.
+    """
+
+    label: str
+    workload: str
+    window: int
+    pfm: PFMParams | None = None
+    perfect_branch_prediction: bool = False
+    perfect_dcache: bool = False
+    oracle: str | None = None
+    oracle_kwargs: dict = field(default_factory=dict)
+    overrides: dict = field(default_factory=dict)
+
+    @property
+    def is_baseline(self) -> bool:
+        """True for plain-core runs, the ones worth persisting on disk."""
+        return (
+            self.pfm is None
+            and not self.perfect_branch_prediction
+            and not self.perfect_dcache
+            and self.oracle is None
+        )
+
+    def config_key(self) -> str:
+        """Content hash of the run configuration (label excluded)."""
+        spec = {
+            "workload": self.workload,
+            "window": self.window,
+            "pfm": dataclasses.asdict(self.pfm) if self.pfm else None,
+            "perfect_bp": self.perfect_branch_prediction,
+            "perfect_dcache": self.perfect_dcache,
+            "oracle": self.oracle,
+            "oracle_kwargs": self.oracle_kwargs,
+            "overrides": self.overrides,
+        }
+        digest = hashlib.sha256(_canonical_bytes(spec))
+        return digest.hexdigest()[:16]
+
+    def key(self) -> str:
+        """Stable identity used by the baseline cache and checkpoints."""
+        return f"{self.workload}-w{self.window}-{self.config_key()}"
+
+
+def _canonical_bytes(obj) -> bytes:
+    """Deterministic byte encoding of a point spec.
+
+    JSON with sorted keys covers the declarative core; builder overrides
+    may carry structured values (e.g. a prebuilt graph), which fall back
+    to a pickle digest — deterministic for the list/dataclass payloads
+    the workload builders accept.
+    """
+
+    def _default(value):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return dataclasses.asdict(value)
+        return {
+            "__pickle_sha256__": hashlib.sha256(
+                pickle.dumps(value, protocol=4)
+            ).hexdigest()
+        }
+
+    return json.dumps(obj, sort_keys=True, default=_default).encode()
+
+
+def stats_to_dict(stats: SimStats) -> dict:
+    return dataclasses.asdict(stats)
+
+
+def stats_from_dict(payload: dict) -> SimStats:
+    return SimStats(**payload)
+
+
+def run_point(point: SweepPoint) -> SimStats:
+    """Evaluate one point (this is the function worker processes run)."""
+    from repro.experiments.runner import build_workload
+
+    workload = build_workload(point.workload, **point.overrides)
+    oracle = None
+    if point.oracle is not None:
+        oracle = _resolve_oracle(point.oracle)(workload, **point.oracle_kwargs)
+    config = SimConfig(
+        max_instructions=point.window,
+        pfm=point.pfm,
+        perfect_branch_prediction=point.perfect_branch_prediction,
+        perfect_dcache=point.perfect_dcache,
+        oracle=oracle,
+    )
+    return simulate(workload, config)
+
+
+def baseline_point(workload: str, window: int, label: str | None = None,
+                   **overrides) -> SweepPoint:
+    """Plain-core point, labelled ``baseline:<workload>`` by default."""
+    return SweepPoint(
+        label=label or f"baseline:{workload}",
+        workload=workload,
+        window=window,
+        overrides=overrides,
+    )
+
+
+def pfm_point(label: str, workload: str, window: int, pfm: PFMParams,
+              **overrides) -> SweepPoint:
+    """PFM-enabled point."""
+    return SweepPoint(
+        label=label,
+        workload=workload,
+        window=window,
+        pfm=pfm,
+        overrides=overrides,
+    )
+
+
+class SweepPool:
+    """Evaluates sweep points, serially or across worker processes.
+
+    ``jobs=1`` runs in-process (no executor, no pickling) — the
+    reference execution mode the determinism tests compare against.
+    ``jobs>1`` fans points out over a process pool; results are
+    collected as they complete but always keyed by label, so callers
+    see an order-independent mapping.
+
+    ``cache_dir=None`` keeps the baseline cache purely in-memory (the
+    default for library use, e.g. under pytest); pass a directory (the
+    CLI passes ``.repro-cache``) to persist baselines across processes
+    and invocations.  ``checkpoint`` names a JSONL file recording each
+    finished point for crash recovery.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        checkpoint: str | os.PathLike | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self._memory_cache: dict[str, SimStats] = {}
+        #: Accounting for the most recent run(): how many distinct points
+        #: were computed vs replayed from checkpoint vs served from cache.
+        self.last_run_info: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # baseline cache
+    # ------------------------------------------------------------------ #
+
+    def _baseline_path(self, point: SweepPoint) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "baselines" / f"{point.key()}.json"
+
+    def _cached_baseline(self, point: SweepPoint) -> SimStats | None:
+        if not point.is_baseline:
+            return None
+        key = point.key()
+        if key in self._memory_cache:
+            return self._memory_cache[key]
+        path = self._baseline_path(point)
+        if path is not None and path.exists():
+            stats = stats_from_dict(json.loads(path.read_text()))
+            self._memory_cache[key] = stats
+            return stats
+        return None
+
+    def _store_baseline(self, point: SweepPoint, stats: SimStats) -> None:
+        if not point.is_baseline:
+            return
+        self._memory_cache[point.key()] = stats
+        path = self._baseline_path(point)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(stats_to_dict(stats), sort_keys=True))
+        tmp.replace(path)  # atomic: concurrent writers agree on content
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+
+    def _load_checkpoint(self) -> dict[str, SimStats]:
+        done: dict[str, SimStats] = {}
+        if self.checkpoint is None or not self.checkpoint.exists():
+            return done
+        with self.checkpoint.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from a killed run
+                done[record["key"]] = stats_from_dict(record["stats"])
+        return done
+
+    def _append_checkpoint(self, point: SweepPoint, stats: SimStats) -> None:
+        if self.checkpoint is None:
+            return
+        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        record = {"key": point.key(), "stats": stats_to_dict(stats)}
+        with self.checkpoint.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def _clear_checkpoint(self) -> None:
+        if self.checkpoint is not None and self.checkpoint.exists():
+            self.checkpoint.unlink()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, points: list[SweepPoint]) -> dict[str, SimStats]:
+        """Evaluate *points*, returning ``{label: SimStats}``.
+
+        Labels must be unique.  Points with identical configurations are
+        computed once and fanned back out to every label that asked.
+        """
+        labels = [point.label for point in points]
+        if len(set(labels)) != len(labels):
+            duplicates = sorted({l for l in labels if labels.count(l) > 1})
+            raise ValueError(f"duplicate sweep point labels: {duplicates}")
+
+        results: dict[str, SimStats] = {}
+        finished = self._load_checkpoint()
+        resumed = 0
+        cached = 0
+
+        pending: dict[str, SweepPoint] = {}  # key -> representative point
+        waiting: dict[str, list[SweepPoint]] = {}  # key -> all points
+        seen: set[str] = set()
+        for point in points:
+            key = point.key()
+            waiting.setdefault(key, []).append(point)
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in finished:
+                resumed += 1
+                self._memory_cache[key] = finished[key]
+                continue
+            stats = self._cached_baseline(point)
+            if stats is None:
+                pending[key] = point
+            else:
+                cached += 1
+
+        def record(point: SweepPoint, stats: SimStats) -> None:
+            self._store_baseline(point, stats)
+            self._append_checkpoint(point, stats)
+            finished[point.key()] = stats
+
+        todo = list(pending.values())
+        # PFM/oracle runs cost more than plain baselines; dispatching them
+        # first tightens the makespan (results are order-independent).
+        todo.sort(key=lambda point: point.is_baseline)
+        if self.jobs == 1 or len(todo) <= 1:
+            for point in todo:
+                record(point, run_point(point))
+        else:
+            workers = min(self.jobs, len(todo))
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = {
+                    executor.submit(run_point, point): point for point in todo
+                }
+                for future in as_completed(futures):
+                    record(futures[future], future.result())
+
+        for key, siblings in waiting.items():
+            stats = finished.get(key)
+            if stats is None:
+                stats = self._memory_cache[key]
+            for point in siblings:
+                results[point.label] = stats
+
+        self.last_run_info = {
+            "computed": len(todo), "resumed": resumed, "cached": cached,
+        }
+        self._clear_checkpoint()
+        return results
+
+    def speedup_pct(self, results: dict[str, SimStats], label: str,
+                    baseline_label: str) -> float:
+        """Convenience: % IPC improvement of one row over another."""
+        return 100.0 * results[label].speedup_over(results[baseline_label])
+
+
+def add_speedup_rows(result, pool: SweepPool, points: list[SweepPoint],
+                     stats: dict[str, SimStats], baseline_label: str) -> None:
+    """Append a speedup row per non-baseline point, in point order."""
+    for point in points:
+        if point.label == baseline_label:
+            continue
+        result.add(
+            point.label, pool.speedup_pct(stats, point.label, baseline_label)
+        )
+
+
+def default_pool() -> SweepPool:
+    """Serial in-memory pool, used when a sweep runs without the CLI."""
+    cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+    return SweepPool(jobs=1, cache_dir=cache_dir)

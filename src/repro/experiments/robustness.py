@@ -9,27 +9,66 @@ These sweeps quantify that and the components' sensitivity to input
   sizes (astar-alt's fixed tables alias as the grid outgrows them).
 * :func:`astar_pattern_robustness` — speckle vs maze obstacle maps.
 * :func:`bfs_graph_robustness` — road-like vs power-law graphs.
+
+Each variant is a (baseline, treated) pair of sweep points sharing the
+same workload-builder overrides, so the sweeps parallelize like every
+other grid.
 """
 
 from __future__ import annotations
 
-from repro.core import PFMParams, SimConfig, simulate
+from repro.core import PFMParams
+from repro.experiments.pool import (
+    SweepPoint,
+    SweepPool,
+    baseline_point,
+    default_pool,
+    pfm_point,
+)
 from repro.experiments.report import ExperimentResult
 from repro.experiments.runner import DEFAULT_WINDOW
-from repro.workloads.astar import build_astar_alt_workload, build_astar_workload
-from repro.workloads.bfs import build_bfs_workload
 from repro.workloads.graphs import powerlaw_graph, road_graph
 
+_PFM = PFMParams(delay=0)
 
-def _speedup(builder, window, pfm=PFMParams(delay=0), **kwargs) -> float:
-    baseline = simulate(builder(**kwargs), SimConfig(max_instructions=window))
-    treated = simulate(
-        builder(**kwargs), SimConfig(max_instructions=window, pfm=pfm)
+
+def _pair(label: str, workload: str, window: int,
+          pfm: PFMParams = _PFM, **overrides) -> list[SweepPoint]:
+    """Baseline + treated points for one input variant."""
+    return [
+        baseline_point(workload, window, label=f"baseline:{label}", **overrides),
+        pfm_point(label, workload, window, pfm, **overrides),
+    ]
+
+
+def _add_speedups(result: ExperimentResult, pool: SweepPool,
+                  points: list[SweepPoint],
+                  stats: dict) -> None:
+    for point in points:
+        if point.label.startswith("baseline:"):
+            continue
+        result.add(
+            point.label,
+            pool.speedup_pct(stats, point.label, f"baseline:{point.label}"),
+        )
+
+
+def astar_input_robustness_points(window: int) -> list[SweepPoint]:
+    side = 192
+    points = _pair(
+        "main (no tables)", "astar", window,
+        grid_width=side, grid_height=side,
     )
-    return 100.0 * treated.speedup_over(baseline)
+    for entries in (16 * 1024, 1024, 256, 64):
+        points += _pair(
+            f"alt {entries}-entry tables", "astar-alt", window,
+            grid_width=side, grid_height=side, table_entries=entries,
+        )
+    return points
 
 
-def astar_input_robustness(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def astar_input_robustness(window: int = DEFAULT_WINDOW,
+                           pool: SweepPool | None = None) -> ExperimentResult:
     """Main design vs astar-alt as the input outgrows astar-alt's tables.
 
     The dataset:table ratio is the operative quantity (the paper's
@@ -46,23 +85,21 @@ def astar_input_robustness(window: int = DEFAULT_WINDOW) -> ExperimentResult:
             " alias (the paper's reason for switching strategies)"
         ),
     )
-    side = 192
-    result.add(
-        "main (no tables)",
-        _speedup(build_astar_workload, window,
-                 grid_width=side, grid_height=side),
-    )
-    for entries in (16 * 1024, 1024, 256, 64):
-        result.add(
-            f"alt {entries}-entry tables",
-            _speedup(build_astar_alt_workload, window,
-                     grid_width=side, grid_height=side,
-                     table_entries=entries),
-        )
+    pool = pool or default_pool()
+    points = astar_input_robustness_points(window)
+    _add_speedups(result, pool, points, pool.run(points))
     return result
 
 
-def astar_pattern_robustness(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def astar_pattern_robustness_points(window: int) -> list[SweepPoint]:
+    points = []
+    for pattern in ("random", "maze"):
+        points += _pair(f"{pattern} speedup", "astar", window, pattern=pattern)
+    return points
+
+
+def astar_pattern_robustness(window: int = DEFAULT_WINDOW,
+                             pool: SweepPool | None = None) -> ExperimentResult:
     """Obstacle structure: speckle maps vs corridor mazes."""
     result = ExperimentResult(
         experiment="Robustness B",
@@ -73,21 +110,39 @@ def astar_pattern_robustness(window: int = DEFAULT_WINDOW) -> ExperimentResult:
             " component's advantage"
         ),
     )
+    pool = pool or default_pool()
+    points = astar_pattern_robustness_points(window)
+    stats = pool.run(points)
     for pattern in ("random", "maze"):
-        baseline = simulate(
-            build_astar_workload(pattern=pattern),
-            SimConfig(max_instructions=window),
-        )
-        treated = simulate(
-            build_astar_workload(pattern=pattern),
-            SimConfig(max_instructions=window, pfm=PFMParams(delay=0)),
-        )
-        result.add(f"{pattern} speedup", 100 * treated.speedup_over(baseline))
-        result.add(f"{pattern} baseline MPKI", baseline.mpki)
+        label = f"{pattern} speedup"
+        result.add(label, pool.speedup_pct(stats, label, f"baseline:{label}"))
+        result.add(f"{pattern} baseline MPKI", stats[f"baseline:{label}"].mpki)
     return result
 
 
-def bfs_graph_robustness(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def bfs_graph_robustness_points(window: int) -> list[SweepPoint]:
+    graphs = {
+        "roads": ("bfs-roads", road_graph(side=128)),
+        "youtube": ("bfs-youtube", powerlaw_graph(num_nodes=12_000)),
+    }
+    points = []
+    for name, (workload, graph) in graphs.items():
+        points += _pair(
+            f"{name} speedup", workload, window, graph=graph, graph_name=name
+        )
+    workload, graph = graphs["youtube"]
+    points.append(
+        pfm_point(
+            "youtube speedup (non-stalling §2.4)", workload, window,
+            PFMParams(delay=0, fetch_policy="proceed"),
+            graph=graph, graph_name="youtube",
+        )
+    )
+    return points
+
+
+def bfs_graph_robustness(window: int = DEFAULT_WINDOW,
+                         pool: SweepPool | None = None) -> ExperimentResult:
     """Graph structure: road lattice vs heavy-tailed power law."""
     result = ExperimentResult(
         experiment="Robustness C",
@@ -99,37 +154,21 @@ def bfs_graph_robustness(window: int = DEFAULT_WINDOW) -> ExperimentResult:
             " lower than its Roads bars)"
         ),
     )
-    graphs = {
-        "roads": road_graph(side=128),
-        "youtube": powerlaw_graph(num_nodes=12_000),
-    }
-    for name, graph in graphs.items():
-        baseline = simulate(
-            build_bfs_workload(graph=graph, graph_name=name),
-            SimConfig(max_instructions=window),
-        )
-        treated = simulate(
-            build_bfs_workload(graph=graph, graph_name=name),
-            SimConfig(max_instructions=window, pfm=PFMParams(delay=0)),
-        )
-        result.add(f"{name} speedup", 100 * treated.speedup_over(baseline))
-        result.add(f"{name} baseline MPKI", baseline.mpki)
+    pool = pool or default_pool()
+    points = bfs_graph_robustness_points(window)
+    stats = pool.run(points)
+    for name in ("roads", "youtube"):
+        label = f"{name} speedup"
+        result.add(label, pool.speedup_pct(stats, label, f"baseline:{label}"))
+        result.add(f"{name} baseline MPKI", stats[f"baseline:{label}"].mpki)
     # When the baseline barely mispredicts (hub-heavy graphs), the
     # stalling Fetch Agent can turn the component into a net loss; the
     # §2.4 non-stalling design recovers it — a case for that alternative.
-    proceed = simulate(
-        build_bfs_workload(graph=graphs["youtube"], graph_name="youtube"),
-        SimConfig(
-            max_instructions=window,
-            pfm=PFMParams(delay=0, fetch_policy="proceed"),
-        ),
-    )
-    youtube_baseline = simulate(
-        build_bfs_workload(graph=graphs["youtube"], graph_name="youtube"),
-        SimConfig(max_instructions=window),
-    )
     result.add(
         "youtube speedup (non-stalling §2.4)",
-        100 * proceed.speedup_over(youtube_baseline),
+        pool.speedup_pct(
+            stats, "youtube speedup (non-stalling §2.4)",
+            "baseline:youtube speedup",
+        ),
     )
     return result

@@ -10,7 +10,7 @@ from __future__ import annotations
 import functools
 
 from repro.core import PFMParams, SimConfig, SimStats, simulate
-from repro.workloads.astar import build_astar_workload
+from repro.workloads.astar import build_astar_alt_workload, build_astar_workload
 from repro.workloads.bfs import build_bfs_workload
 from repro.workloads.bwaves import build_bwaves_workload
 from repro.workloads.graphs import powerlaw_graph, road_graph
@@ -36,12 +36,18 @@ def build_workload(name: str, **overrides):
     """Fresh workload by benchmark name."""
     if name == "astar":
         return build_astar_workload(**overrides)
-    if name == "bfs-roads":
-        return build_bfs_workload(graph=_roads_graph(), graph_name="roads", **overrides)
-    if name == "bfs-youtube":
-        return build_bfs_workload(
-            graph=_youtube_graph(), graph_name="youtube", **overrides
+    if name == "astar-alt":
+        return build_astar_alt_workload(**overrides)
+    if name in ("bfs-roads", "bfs-youtube"):
+        kwargs = dict(overrides)
+        kwargs.setdefault(
+            "graph_name", "roads" if name == "bfs-roads" else "youtube"
         )
+        if "graph" not in kwargs:
+            kwargs["graph"] = (
+                _roads_graph() if name == "bfs-roads" else _youtube_graph()
+            )
+        return build_bfs_workload(**kwargs)
     if name == "libquantum":
         return build_libquantum_workload(**overrides)
     if name == "bwaves":
@@ -101,18 +107,47 @@ def pfm_speedup_pct(
     return speedup_pct(run_pfm(name, pfm, window, **overrides), base)
 
 
+def _parse_int(text: str, token: str, what: str) -> int:
+    """Parse one integer field of a config token, with a clear error.
+
+    Stricter than int(): plain decimal digits only (no "1_0", no
+    whitespace), so near-miss labels fail instead of half-parsing.
+    """
+    if not text.removeprefix("-").isdigit():
+        raise ValueError(
+            f"malformed token {token!r} in config label: "
+            f"expected an integer {what}, got {text!r}"
+        )
+    return int(text)
+
+
 def parse_config_label(label: str) -> PFMParams:
-    """Parse the paper's notation: "clk4_w4, delay4, queue32, portLS1"."""
+    """Parse the paper's notation: "clk4_w4, delay4, queue32, portLS1".
+
+    Every malformed token raises :class:`ValueError` naming the token —
+    never a silent fall-through to the PFMParams defaults.
+    """
     params = PFMParams()
     for token in label.replace(",", " ").split():
         if token.startswith("clk"):
-            clk, _, width = token.partition("_w")
-            params.clk_ratio = int(clk.removeprefix("clk"))
-            params.width = int(width)
+            clk, sep, width = token.partition("_w")
+            if not sep:
+                raise ValueError(
+                    f"malformed token {token!r} in config label: "
+                    "expected the form clkC_wW (e.g. clk4_w4)"
+                )
+            params.clk_ratio = _parse_int(
+                clk.removeprefix("clk"), token, "clock ratio C"
+            )
+            params.width = _parse_int(width, token, "width W")
         elif token.startswith("delay"):
-            params.delay = int(token.removeprefix("delay"))
+            params.delay = _parse_int(
+                token.removeprefix("delay"), token, "delay D"
+            )
         elif token.startswith("queue"):
-            params.queue_size = int(token.removeprefix("queue"))
+            params.queue_size = _parse_int(
+                token.removeprefix("queue"), token, "queue size Q"
+            )
         elif token.startswith("port"):
             params.port = token.removeprefix("port")
         else:

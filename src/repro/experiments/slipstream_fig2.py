@@ -1,20 +1,58 @@
-"""Figure 2: PFM vs Slipstream 2.0 speedups (Section 1.1)."""
+"""Figure 2: PFM vs Slipstream 2.0 speedups (Section 1.1).
+
+Slipstream points name their oracle factory (see
+:data:`repro.experiments.pool.ORACLES`) so the oracle is constructed in
+the worker next to the workload it shadows.
+"""
 
 from __future__ import annotations
 
-from repro.core import PFMParams, SimConfig, simulate
-from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import (
-    DEFAULT_WINDOW,
-    build_workload,
-    pfm_speedup_pct,
-    run_baseline,
-    speedup_pct,
+from repro.core import PFMParams
+from repro.experiments.pool import (
+    SweepPoint,
+    SweepPool,
+    baseline_point,
+    default_pool,
+    pfm_point,
 )
-from repro.slipstream import make_astar_slipstream, make_bfs_slipstream
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import DEFAULT_WINDOW
 
 
-def fig2(window: int = DEFAULT_WINDOW) -> ExperimentResult:
+def fig2_points(window: int) -> list[SweepPoint]:
+    return [
+        baseline_point("astar", window),
+        SweepPoint(
+            label="astar slipstream",
+            workload="astar",
+            window=window,
+            oracle="astar-slipstream",
+        ),
+        SweepPoint(
+            label="astar slipstream (restarts)",
+            workload="astar",
+            window=window,
+            oracle="astar-slipstream",
+            oracle_kwargs={"restart_penalty": 64},
+        ),
+        pfm_point(
+            "astar PFM", "astar", window, PFMParams(delay=4, port="LS1")
+        ),
+        baseline_point("bfs-roads", window),
+        SweepPoint(
+            label="bfs slipstream",
+            workload="bfs-roads",
+            window=window,
+            oracle="bfs-slipstream",
+        ),
+        pfm_point(
+            "bfs PFM", "bfs-roads", window, PFMParams(delay=4, port="LS1")
+        ),
+    ]
+
+
+def fig2(window: int = DEFAULT_WINDOW,
+         pool: SweepPool | None = None) -> ExperimentResult:
     """PFM and Slipstream 2.0 speedups on astar and bfs."""
     result = ExperimentResult(
         experiment="Figure 2",
@@ -27,37 +65,14 @@ def fig2(window: int = DEFAULT_WINDOW) -> ExperimentResult:
             " the paper notes for leading-thread restarts"
         ),
     )
-
-    astar_base = run_baseline("astar", window)
-    workload = build_workload("astar")
-    slipstream = simulate(
-        workload,
-        SimConfig(max_instructions=window, oracle=make_astar_slipstream(workload)),
-    )
-    result.add("astar slipstream", speedup_pct(slipstream, astar_base))
-    workload = build_workload("astar")
-    restarts = simulate(
-        workload,
-        SimConfig(
-            max_instructions=window,
-            oracle=make_astar_slipstream(workload, restart_penalty=64),
-        ),
-    )
-    result.add("astar slipstream (restarts)", speedup_pct(restarts, astar_base))
-    result.add(
-        "astar PFM",
-        pfm_speedup_pct("astar", PFMParams(delay=4, port="LS1"), window),
-    )
-
-    bfs_base = run_baseline("bfs-roads", window)
-    workload = build_workload("bfs-roads")
-    slipstream = simulate(
-        workload,
-        SimConfig(max_instructions=window, oracle=make_bfs_slipstream(workload)),
-    )
-    result.add("bfs slipstream", speedup_pct(slipstream, bfs_base))
-    result.add(
-        "bfs PFM",
-        pfm_speedup_pct("bfs-roads", PFMParams(delay=4, port="LS1"), window),
-    )
+    pool = pool or default_pool()
+    points = fig2_points(window)
+    stats = pool.run(points)
+    for point in points:
+        if point.label.startswith("baseline:"):
+            continue
+        result.add(
+            point.label,
+            pool.speedup_pct(stats, point.label, f"baseline:{point.workload}"),
+        )
     return result

@@ -1,0 +1,117 @@
+"""Full-matrix workload sweep: every workload x a set of PFM configs.
+
+This is the generic fan-out the CLI exposes as the ``sweep`` experiment
+(and, at a reduced window, as ``--smoke``): per workload one plain-core
+baseline plus one point per configuration label, all evaluated through a
+:class:`~repro.experiments.pool.SweepPool`.  ``--json`` serializes the
+raw per-point stats deterministically (sorted keys, no timestamps), so
+two sweeps of the same grid produce byte-identical files regardless of
+``--jobs`` or scheduling order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.pool import (
+    SweepPoint,
+    SweepPool,
+    baseline_point,
+    default_pool,
+    pfm_point,
+    stats_to_dict,
+)
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import DEFAULT_WINDOW, parse_config_label
+
+#: All nine workloads the reproduction can build.
+SWEEP_WORKLOADS = (
+    "astar",
+    "astar-alt",
+    "bfs-roads",
+    "bfs-youtube",
+    "libquantum",
+    "bwaves",
+    "lbm",
+    "milc",
+    "leslie",
+)
+
+#: Default configuration grid (paper §3 notation).
+SWEEP_CONFIGS = (
+    "clk4_w4, delay4, queue32, portLS1",
+    "clk4_w1, delay0",
+)
+
+#: Window used by ``--smoke`` (kept tiny so CI exercises the parallel
+#: machinery, not the cycle model).
+SMOKE_WINDOW = 2_000
+
+
+def sweep_points(
+    window: int,
+    workloads: tuple[str, ...] = SWEEP_WORKLOADS,
+    configs: tuple[str, ...] = SWEEP_CONFIGS,
+) -> list[SweepPoint]:
+    points = []
+    for name in workloads:
+        points.append(baseline_point(name, window))
+        for config in configs:
+            points.append(
+                pfm_point(
+                    f"{name} [{config}]", name, window,
+                    parse_config_label(config),
+                )
+            )
+    return points
+
+
+def run_sweep(
+    window: int = DEFAULT_WINDOW,
+    pool: SweepPool | None = None,
+    workloads: tuple[str, ...] = SWEEP_WORKLOADS,
+    configs: tuple[str, ...] = SWEEP_CONFIGS,
+) -> tuple[ExperimentResult, dict]:
+    """Run the sweep; return the rendered result and a JSON-ready payload."""
+    pool = pool or default_pool()
+    points = sweep_points(window, workloads, configs)
+    stats = pool.run(points)
+
+    result = ExperimentResult(
+        experiment="Sweep",
+        title=f"{len(workloads)}-workload sweep, {len(points)} points",
+        notes="speedup of each config over the same-workload baseline",
+    )
+    payload: dict = {
+        "window": window,
+        "workloads": list(workloads),
+        "configs": list(configs),
+        "points": {},
+    }
+    for point in points:
+        entry = {
+            "workload": point.workload,
+            "key": point.key(),
+            "ipc": stats[point.label].ipc,
+            "stats": stats_to_dict(stats[point.label]),
+        }
+        if not point.label.startswith("baseline:"):
+            speedup = pool.speedup_pct(
+                stats, point.label, f"baseline:{point.workload}"
+            )
+            entry["speedup_pct"] = speedup
+            result.add(point.label, speedup)
+        payload["points"][point.label] = entry
+    return result, payload
+
+
+def payload_json(payload: dict) -> str:
+    """Deterministic serialization (byte-identical across --jobs values)."""
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def sweep(window: int = DEFAULT_WINDOW,
+          pool: SweepPool | None = None) -> ExperimentResult:
+    """Registry entry point (rendered result only)."""
+    result, _ = run_sweep(window, pool)
+    return result

@@ -35,14 +35,6 @@ WORKLOADS = (
 )
 
 
-def _build(name: str):
-    if name == "astar-alt":
-        from repro.workloads.astar import build_astar_alt_workload
-
-        return build_astar_alt_workload()
-    return build_workload(name)
-
-
 def detailed_report(stats: SimStats) -> str:
     lines = [stats.summary(), ""]
     lines.append("memory hierarchy:")
@@ -94,20 +86,52 @@ def main(argv: list[str] | None = None) -> int:
                         help="idealize the data cache")
     parser.add_argument("--compare", action="store_true",
                         help="also run the plain baseline and report speedup")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for --compare (treated and"
+                             " baseline run concurrently when N > 1)")
     parser.add_argument("--report", action="store_true",
                         help="print the detailed breakdown")
     args = parser.parse_args(argv)
 
     pfm = parse_config_label(args.pfm) if args.pfm else None
-    config = SimConfig(
-        max_instructions=args.window,
-        pfm=pfm,
-        perfect_branch_prediction=args.perfect_bp,
-        perfect_dcache=args.perfect_dcache,
-    )
 
     started = time.time()
-    stats = simulate(_build(args.workload), config)
+    baseline = None
+    if args.compare and args.jobs > 1:
+        from repro.experiments.pool import SweepPoint, SweepPool
+
+        treated_point = SweepPoint(
+            label="treated",
+            workload=args.workload,
+            window=args.window,
+            pfm=pfm,
+            perfect_branch_prediction=args.perfect_bp,
+            perfect_dcache=args.perfect_dcache,
+        )
+        points = [treated_point]
+        if treated_point.is_baseline:
+            baseline_point = treated_point  # comparing a baseline to itself
+        else:
+            baseline_point = SweepPoint(
+                label="baseline", workload=args.workload, window=args.window
+            )
+            points.append(baseline_point)
+        results = SweepPool(jobs=args.jobs).run(points)
+        stats = results["treated"]
+        baseline = results[baseline_point.label]
+    else:
+        config = SimConfig(
+            max_instructions=args.window,
+            pfm=pfm,
+            perfect_branch_prediction=args.perfect_bp,
+            perfect_dcache=args.perfect_dcache,
+        )
+        stats = simulate(build_workload(args.workload), config)
+        if args.compare:
+            baseline = simulate(
+                build_workload(args.workload),
+                SimConfig(max_instructions=args.window),
+            )
     elapsed = time.time() - started
 
     print(f"workload {args.workload}, window {args.window} "
@@ -117,10 +141,7 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(detailed_report(stats) if args.report else stats.summary())
 
-    if args.compare:
-        baseline = simulate(
-            _build(args.workload), SimConfig(max_instructions=args.window)
-        )
+    if args.compare and baseline is not None:
         print()
         print(f"baseline IPC {baseline.ipc:.3f} -> {stats.ipc:.3f}: "
               f"{100 * stats.speedup_over(baseline):+.1f}%")

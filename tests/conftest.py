@@ -1,0 +1,28 @@
+"""Shared pytest configuration.
+
+Adds ``--update-goldens``: regenerate the golden SimStats snapshots
+under ``tests/goldens/`` instead of asserting against them (see
+``test_goldens.py``).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current simulator",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_repro_cache(tmp_path, monkeypatch):
+    """Keep the sweep engine's on-disk cache out of the repo during tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

@@ -1,0 +1,53 @@
+"""Determinism of simulate() across processes and worker counts.
+
+The parallel sweep engine is only sound if a point's result depends on
+nothing but the point: same workload builder + same config => the same
+``SimStats``, whether computed in this process, a fresh worker, or any
+of four workers racing over the grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import PFMParams
+from repro.experiments.pool import (
+    SweepPool,
+    baseline_point,
+    pfm_point,
+    run_point,
+)
+from repro.experiments.sweep import SWEEP_WORKLOADS
+
+WINDOW = 2_000
+
+
+def _points():
+    points = []
+    for name in SWEEP_WORKLOADS:
+        points.append(baseline_point(name, WINDOW))
+        points.append(
+            pfm_point(f"pfm:{name}", name, WINDOW, PFMParams(delay=0))
+        )
+    return points
+
+
+@pytest.mark.parametrize("workload", SWEEP_WORKLOADS)
+def test_repeated_in_process_runs_identical(workload: str):
+    point = baseline_point(workload, WINDOW)
+    first = dataclasses.asdict(run_point(point))
+    second = dataclasses.asdict(run_point(point))
+    assert first == second
+
+
+def test_jobs1_vs_jobs4_identical():
+    """Serial in-process vs four fresh worker processes, every builder."""
+    serial = SweepPool(jobs=1).run(_points())
+    parallel = SweepPool(jobs=4).run(_points())
+    assert serial.keys() == parallel.keys()
+    for label in serial:
+        assert dataclasses.asdict(serial[label]) == dataclasses.asdict(
+            parallel[label]
+        ), f"{label} differs between jobs=1 and jobs=4"

@@ -36,12 +36,38 @@ def test_parse_config_label_rejects_garbage():
 
 def test_build_workload_all_names():
     for name in (
-        "astar", "bfs-roads", "bfs-youtube", "libquantum", "bwaves",
-        "lbm", "milc", "leslie",
+        "astar", "astar-alt", "bfs-roads", "bfs-youtube", "libquantum",
+        "bwaves", "lbm", "milc", "leslie",
     ):
         workload = build_workload(name)
         assert workload.program is not None
         assert workload.bitstream is not None
+
+
+def test_build_workload_astar_alt_takes_overrides():
+    """astar-alt is a first-class workload the experiments layer can sweep."""
+    workload = build_workload(
+        "astar-alt", table_entries=256, grid_width=96, grid_height=96
+    )
+    assert workload.program is not None
+    assert workload.bitstream is not None
+
+
+def test_build_workload_bfs_graph_override():
+    from repro.workloads.graphs import road_graph
+
+    workload = build_workload("bfs-roads", graph=road_graph(side=16))
+    assert workload.program is not None
+
+
+def test_sweep_grid_covers_all_nine_workloads():
+    from repro.experiments.sweep import SWEEP_WORKLOADS, sweep_points
+
+    points = sweep_points(window=4_000)
+    assert "astar-alt" in SWEEP_WORKLOADS
+    assert len(SWEEP_WORKLOADS) == 9
+    workloads = {point.workload for point in points}
+    assert workloads == set(SWEEP_WORKLOADS)
 
 
 def test_build_workload_unknown_name():

@@ -36,3 +36,52 @@ def test_window_flag_threads_through(capsys):
     assert main(["astar-mpki", "--window", "6000"]) == 0
     out = capsys.readouterr().out
     assert "MPKI" in out
+
+
+def test_no_experiment_and_no_smoke_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_smoke_with_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["fig8", "--smoke"])
+
+
+def test_smoke_runs_parallel_and_writes_json(tmp_path, capsys):
+    json_path = tmp_path / "smoke.json"
+    assert main([
+        "--smoke", "--window", "800", "--jobs", "2", "--no-cache",
+        "--json", str(json_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Sweep" in out and "jobs=2" in out
+    payload = json_path.read_text()
+    assert '"window": 800' in payload
+
+
+def test_sweep_json_identical_across_jobs(tmp_path, capsys):
+    paths = {}
+    for jobs in ("1", "2"):
+        paths[jobs] = tmp_path / f"sweep{jobs}.json"
+        assert main([
+            "sweep", "--window", "800", "--jobs", jobs, "--no-cache",
+            "--json", str(paths[jobs]),
+        ]) == 0
+    capsys.readouterr()
+    assert paths["1"].read_bytes() == paths["2"].read_bytes()
+
+
+def test_jobs_flag_on_figure_experiment(tmp_path, capsys):
+    assert main([
+        "astar-mpki", "--window", "2000", "--jobs", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "MPKI" in out
+    # baselines persisted for later invocations
+    assert list((tmp_path / "cache" / "baselines").glob("*.json"))
+    # finished sweeps leave no checkpoint behind
+    assert not list(
+        (tmp_path / "cache" / "checkpoints").glob("*.jsonl")
+    )

@@ -1,0 +1,94 @@
+"""Golden-stats regression harness.
+
+Each golden under ``tests/goldens/`` is the full ``SimStats`` of one
+``(workload, config)`` point at a small fixed window.  The simulator is
+deterministic, so any engine, scheduling, or model change that perturbs
+results — intentionally or not — fails these tests loudly.  After an
+intentional model change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.pool import (
+    SweepPoint,
+    baseline_point,
+    run_point,
+    stats_to_dict,
+)
+from repro.experiments.runner import parse_config_label
+from repro.experiments.sweep import SWEEP_WORKLOADS
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_WINDOW = 5_000
+PFM_CONFIG = "clk4_w4, delay4, queue32, portLS1"
+
+CASES = [
+    (workload, variant)
+    for workload in SWEEP_WORKLOADS
+    for variant in ("baseline", "pfm")
+]
+
+
+def _point(workload: str, variant: str) -> SweepPoint:
+    if variant == "baseline":
+        return baseline_point(workload, GOLDEN_WINDOW)
+    return SweepPoint(
+        label=f"pfm:{workload}",
+        workload=workload,
+        window=GOLDEN_WINDOW,
+        pfm=parse_config_label(PFM_CONFIG),
+    )
+
+
+def _golden_path(workload: str, variant: str) -> Path:
+    return GOLDEN_DIR / f"{workload}--{variant}.json"
+
+
+def _payload(workload: str, variant: str) -> dict:
+    stats = run_point(_point(workload, variant))
+    return {
+        "workload": workload,
+        "variant": variant,
+        "window": GOLDEN_WINDOW,
+        "config": None if variant == "baseline" else PFM_CONFIG,
+        # round-trip through JSON so the comparison sees exactly what a
+        # golden file can represent
+        "stats": json.loads(json.dumps(stats_to_dict(stats))),
+    }
+
+
+@pytest.mark.parametrize(
+    "workload,variant", CASES, ids=[f"{w}-{v}" for w, v in CASES]
+)
+def test_golden(workload: str, variant: str, update_goldens: bool):
+    payload = _payload(workload, variant)
+    path = _golden_path(workload, variant)
+
+    if update_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        return
+
+    assert path.exists(), (
+        f"golden {path.name} missing — generate it with"
+        " pytest tests/test_goldens.py --update-goldens"
+    )
+    golden = json.loads(path.read_text())
+
+    mismatched = {
+        field: (golden["stats"].get(field), value)
+        for field, value in payload["stats"].items()
+        if golden["stats"].get(field) != value
+    }
+    assert golden == payload, (
+        f"{workload}/{variant} diverged from golden {path.name};"
+        f" changed stats (golden -> current): {mismatched}."
+        " If the change is intentional, rerun with --update-goldens."
+    )

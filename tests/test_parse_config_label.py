@@ -1,0 +1,103 @@
+"""Property/fuzz tests for the paper-notation config parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PFMParams
+from repro.experiments.runner import parse_config_label
+
+clk = st.integers(min_value=1, max_value=16)
+width = st.integers(min_value=1, max_value=8)
+delay = st.integers(min_value=0, max_value=32)
+queue = st.integers(min_value=1, max_value=256)
+port = st.sampled_from(["ALL", "LS", "LS1"])
+
+
+@settings(max_examples=200)
+@given(clk=clk, width=width, delay=delay, queue=queue, port=port)
+def test_full_label_round_trip(clk, width, delay, queue, port):
+    label = f"clk{clk}_w{width}, delay{delay}, queue{queue}, port{port}"
+    params = parse_config_label(label)
+    assert (params.clk_ratio, params.width, params.delay,
+            params.queue_size, params.port) == (clk, width, delay, queue, port)
+    # PFMParams.label() must emit the same notation the parser accepts
+    assert parse_config_label(params.label()) == params
+
+
+@settings(max_examples=200)
+@given(clk=clk, width=width, delay=delay, queue=queue, port=port,
+       order=st.permutations(range(4)))
+def test_token_order_and_separators_irrelevant(clk, width, delay, queue,
+                                               port, order):
+    tokens = [f"clk{clk}_w{width}", f"delay{delay}", f"queue{queue}",
+              f"port{port}"]
+    label = " ".join(tokens[i] for i in order)
+    reference = parse_config_label(", ".join(tokens))
+    assert parse_config_label(label) == reference
+
+
+@given(clk=clk, width=width)
+def test_partial_label_keeps_other_defaults(clk, width):
+    params = parse_config_label(f"clk{clk}_w{width}")
+    defaults = PFMParams()
+    assert params.clk_ratio == clk and params.width == width
+    assert params.delay == defaults.delay
+    assert params.queue_size == defaults.queue_size
+    assert params.port == defaults.port
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "warp9",               # unknown token
+        "clk4",                # missing _wW half
+        "clk4w4",              # missing separator
+        "clk_w4",              # missing C
+        "clkX_w4",             # non-integer C
+        "clk4_w",              # missing W
+        "clk4_wX",             # non-integer W
+        "delay",               # missing D
+        "delayfast",           # non-integer D
+        "queue",               # missing Q
+        "queuebig",            # non-integer Q
+        "portXYZ",             # unknown port option
+        "clk0_w4",             # C out of range
+        "clk4_w0",             # W out of range
+        "delay-1",             # negative delay
+        "queue0",              # Q out of range
+        "clk4_w4 delay4 bogus7",  # one bad token poisons the label
+    ],
+)
+def test_malformed_labels_raise_value_error(bad):
+    with pytest.raises(ValueError):
+        parse_config_label(bad)
+
+
+@pytest.mark.parametrize(
+    "bad,needle",
+    [
+        ("clk4w4", "clk4w4"),
+        ("delayfast", "delayfast"),
+        ("queuebig", "queuebig"),
+        ("warp9", "warp9"),
+    ],
+)
+def test_errors_name_the_offending_token(bad, needle):
+    with pytest.raises(ValueError, match=needle):
+        parse_config_label(bad)
+
+
+@settings(max_examples=200)
+@given(st.text(alphabet="clkwdelayqueport_0123456789 ,-", max_size=24))
+def test_fuzz_never_silently_misparses(text):
+    """Arbitrary near-grammar text either parses or raises ValueError."""
+    try:
+        params = parse_config_label(text)
+    except ValueError:
+        return
+    # anything accepted must be a structurally valid PFMParams
+    assert params.clk_ratio >= 1 and params.width >= 1
+    assert params.delay >= 0 and params.queue_size >= 1
+    assert params.port in ("ALL", "LS", "LS1")

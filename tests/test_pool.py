@@ -1,0 +1,223 @@
+"""Unit tests for the parallel sweep engine (repro.experiments.pool)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import PFMParams, SimStats
+from repro.experiments import pool as pool_module
+from repro.experiments.pool import (
+    SweepPoint,
+    SweepPool,
+    baseline_point,
+    pfm_point,
+    stats_from_dict,
+    stats_to_dict,
+)
+
+WINDOW = 1_500
+
+
+def _fake_stats(instructions: int = 100, cycles: int = 200) -> SimStats:
+    return SimStats(instructions=instructions, cycles=cycles)
+
+
+@pytest.fixture
+def counted_run_point(monkeypatch):
+    """Replace run_point with a cheap counted fake (serial path only)."""
+    calls: list[str] = []
+
+    def fake(point: SweepPoint) -> SimStats:
+        calls.append(point.label)
+        return _fake_stats(cycles=100 + len(point.label))
+
+    monkeypatch.setattr(pool_module, "run_point", fake)
+    return calls
+
+
+# ---------------------------------------------------------------------- #
+# point identity
+# ---------------------------------------------------------------------- #
+
+
+def test_config_key_ignores_label():
+    a = pfm_point("a", "libquantum", WINDOW, PFMParams(delay=0))
+    b = pfm_point("b", "libquantum", WINDOW, PFMParams(delay=0))
+    assert a.config_key() == b.config_key()
+
+
+def test_config_key_sensitive_to_every_config_field():
+    base = pfm_point("x", "libquantum", WINDOW, PFMParams(delay=0))
+    variants = [
+        pfm_point("x", "bwaves", WINDOW, PFMParams(delay=0)),
+        pfm_point("x", "libquantum", WINDOW + 1, PFMParams(delay=0)),
+        pfm_point("x", "libquantum", WINDOW, PFMParams(delay=2)),
+        pfm_point("x", "libquantum", WINDOW, PFMParams(delay=0), seed=9),
+        baseline_point("libquantum", WINDOW, label="x"),
+        SweepPoint(label="x", workload="libquantum", window=WINDOW,
+                   perfect_dcache=True),
+        SweepPoint(label="x", workload="libquantum", window=WINDOW,
+                   oracle="astar-slipstream"),
+    ]
+    keys = {point.config_key() for point in variants}
+    assert base.config_key() not in keys
+    assert len(keys) == len(variants)
+
+
+def test_is_baseline():
+    assert baseline_point("astar", WINDOW).is_baseline
+    assert baseline_point("astar", WINDOW, seed=3).is_baseline
+    assert not pfm_point("p", "astar", WINDOW, PFMParams()).is_baseline
+    assert not SweepPoint(label="p", workload="astar", window=WINDOW,
+                          perfect_branch_prediction=True).is_baseline
+
+
+def test_stats_round_trip():
+    stats = _fake_stats()
+    stats.memory_levels = {"L1": {"accesses": 10.0, "misses": 1.0}}
+    assert stats_from_dict(stats_to_dict(stats)) == stats
+    assert stats_from_dict(
+        json.loads(json.dumps(stats_to_dict(stats)))
+    ) == stats
+
+
+# ---------------------------------------------------------------------- #
+# execution semantics
+# ---------------------------------------------------------------------- #
+
+
+def test_duplicate_labels_rejected():
+    points = [baseline_point("astar", WINDOW), baseline_point("astar", WINDOW)]
+    with pytest.raises(ValueError, match="duplicate"):
+        SweepPool().run(points)
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        SweepPool(jobs=0)
+
+
+def test_identical_configs_computed_once(counted_run_point):
+    points = [
+        pfm_point("first", "libquantum", WINDOW, PFMParams(delay=0)),
+        pfm_point("second", "libquantum", WINDOW, PFMParams(delay=0)),
+    ]
+    results = SweepPool().run(points)
+    assert len(counted_run_point) == 1
+    assert results["first"] is results["second"]
+
+
+def test_results_keyed_by_label_in_any_order(counted_run_point):
+    points = [
+        pfm_point("a", "libquantum", WINDOW, PFMParams(delay=0)),
+        pfm_point("b", "libquantum", WINDOW, PFMParams(delay=2)),
+    ]
+    results = SweepPool().run(points)
+    assert set(results) == {"a", "b"}
+
+
+def test_speedup_pct():
+    results = {
+        "base": _fake_stats(instructions=100, cycles=200),
+        "fast": _fake_stats(instructions=100, cycles=100),
+    }
+    assert SweepPool().speedup_pct(results, "fast", "base") == pytest.approx(100.0)
+
+
+# ---------------------------------------------------------------------- #
+# baseline cache
+# ---------------------------------------------------------------------- #
+
+
+def test_baseline_cache_persists_to_disk(tmp_path, counted_run_point):
+    point = baseline_point("libquantum", WINDOW)
+    pool = SweepPool(cache_dir=tmp_path)
+    first = pool.run([point])[point.label]
+    cache_files = list((tmp_path / "baselines").glob("*.json"))
+    assert len(cache_files) == 1
+
+    # a brand-new pool (fresh memory cache) must hit the disk cache
+    fresh = SweepPool(cache_dir=tmp_path)
+    second = fresh.run([point])[point.label]
+    assert len(counted_run_point) == 1  # only the first run computed
+    assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+
+def test_pfm_points_not_cached_as_baselines(tmp_path, counted_run_point):
+    point = pfm_point("p", "libquantum", WINDOW, PFMParams(delay=0))
+    SweepPool(cache_dir=tmp_path).run([point])
+    SweepPool(cache_dir=tmp_path).run([point])
+    assert len(counted_run_point) == 2
+    assert not (tmp_path / "baselines").exists()
+
+
+def test_memory_cache_without_disk(counted_run_point):
+    point = baseline_point("libquantum", WINDOW)
+    pool = SweepPool()  # no cache_dir
+    pool.run([point])
+    pool.run([point])
+    assert len(counted_run_point) == 1  # in-memory reuse within the pool
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint / resume
+# ---------------------------------------------------------------------- #
+
+
+def test_checkpoint_written_and_cleared_on_success(tmp_path, counted_run_point):
+    checkpoint = tmp_path / "ck.jsonl"
+    pool = SweepPool(checkpoint=checkpoint)
+    pool.run([pfm_point("p", "libquantum", WINDOW, PFMParams(delay=0))])
+    assert not checkpoint.exists()  # finished sweeps leave no checkpoint
+
+
+def test_resume_skips_finished_points(tmp_path, counted_run_point):
+    points = [
+        pfm_point("done", "libquantum", WINDOW, PFMParams(delay=0)),
+        pfm_point("todo", "libquantum", WINDOW, PFMParams(delay=2)),
+    ]
+    checkpoint = tmp_path / "ck.jsonl"
+    finished = _fake_stats(cycles=777)
+    checkpoint.write_text(
+        json.dumps({"key": points[0].key(), "stats": stats_to_dict(finished)})
+        + "\n"
+    )
+
+    results = SweepPool(checkpoint=checkpoint).run(points)
+    assert counted_run_point == ["todo"]  # "done" replayed from checkpoint
+    assert results["done"].cycles == 777
+    assert not checkpoint.exists()
+
+
+def test_resume_tolerates_torn_final_line(tmp_path, counted_run_point):
+    points = [pfm_point("p", "libquantum", WINDOW, PFMParams(delay=0))]
+    checkpoint = tmp_path / "ck.jsonl"
+    checkpoint.write_text('{"key": "x", "stats": {"instr')  # killed mid-write
+    results = SweepPool(checkpoint=checkpoint).run(points)
+    assert counted_run_point == ["p"]
+    assert "p" in results
+
+
+def test_interrupted_sweep_leaves_checkpoint(tmp_path, monkeypatch):
+    """A crash mid-sweep preserves completed points for the next run."""
+    points = [
+        pfm_point("ok", "libquantum", WINDOW, PFMParams(delay=0)),
+        pfm_point("boom", "libquantum", WINDOW, PFMParams(delay=2)),
+    ]
+
+    def explode_on_second(point):
+        if point.label == "boom":
+            raise KeyboardInterrupt
+        return _fake_stats()
+
+    monkeypatch.setattr(pool_module, "run_point", explode_on_second)
+    checkpoint = tmp_path / "ck.jsonl"
+    with pytest.raises(KeyboardInterrupt):
+        SweepPool(checkpoint=checkpoint).run(points)
+    assert checkpoint.exists()
+    lines = checkpoint.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["key"] == points[0].key()

@@ -42,6 +42,25 @@ def test_cli_compare(capsys):
     assert "baseline IPC" in out
 
 
+def test_cli_compare_parallel_matches_serial(capsys):
+    args = ["--workload", "libquantum", "--window", "4000",
+            "--pfm", "clk4_w1, delay0", "--compare"]
+    assert main(args) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    # identical stats; only the wall-clock line may differ
+    strip = lambda text: [line for line in text.splitlines()
+                          if "wall clock" not in line]
+    assert strip(serial) == strip(parallel)
+
+
+def test_cli_astar_alt_workload(capsys):
+    assert main(["--workload", "astar-alt", "--window", "3000"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+
+
 def test_cli_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         main(["--workload", "crysis"])
