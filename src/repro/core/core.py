@@ -7,6 +7,7 @@ its :class:`~repro.core.stats.SimStats`.
 
 from __future__ import annotations
 
+from repro.core.archstate import ArchDigest
 from repro.core.params import SimConfig
 from repro.core.resources import HeapOccupancy, LaneScheduler, RingOccupancy
 from repro.core.stats import SimStats
@@ -115,11 +116,16 @@ class SuperscalarCore:
     def run(self, max_instructions: int | None = None) -> SimStats:
         limit = max_instructions or self.config.max_instructions
         executor = self.workload.executor()
+        digest = ArchDigest()
         for dyn in executor.run(limit):
+            digest.observe(dyn)
             self._process(dyn)
             if self.stats.instructions % _PRUNE_INTERVAL == 0:
                 self._prune()
         self._finalize()
+        self.stats.arch_digest = digest.finalize(
+            getattr(executor, "regs", None), executor.memory
+        )
         return self.stats
 
     def _prune(self) -> None:
@@ -145,6 +151,17 @@ class SuperscalarCore:
             self.stats.mlb_replays = la.replays
             self.stats.prf_port_delay_cycles = self.fabric.retire_agent.port_delay_cycles
             self.stats.fetch_stall_pfm_cycles = fa.stall_cycles
+            self.stats.agent_loads_sanitized = la.loads_sanitized
+            wd = self.fabric.watchdog
+            self.stats.watchdog_fetch_timeouts = wd.fetch_timeouts
+            self.stats.watchdog_dead_declarations = wd.dead_declarations
+            self.stats.watchdog_squash_timeouts = wd.squash_timeouts
+            self.stats.watchdog_override_disables = wd.override_disables
+            self.stats.watchdog_overrides_suppressed = wd.overrides_suppressed
+            self.stats.watchdog_load_throttle_events = wd.load_throttle_events
+            self.stats.watchdog_loads_dropped = wd.loads_dropped
+            if self.fabric.injector is not None:
+                self.stats.fault_events = dict(self.fabric.injector.counts)
 
     # ------------------------------------------------------------------ #
     # per-instruction pipeline
@@ -270,13 +287,14 @@ class SuperscalarCore:
                     stats.pfm_predicted_branches += 1
                     if predicted != dyn.taken:
                         stats.pfm_mispredicts += 1
+                    # Grade the consumed override for the watchdog's
+                    # accuracy breaker (no-op unless its threshold is set).
+                    fabric.watchdog.record_override(predicted == bool(dyn.taken))
                 else:
-                    # Watchdog/quiescence fallback to the core's predictor;
-                    # record a debt so the stream stays aligned if the
-                    # component produces this prediction late (§2.4's
-                    # "keeps count of how many late packets to drop").
+                    # Watchdog/quiescence/degradation fallback to the
+                    # core's predictor; the fabric settled the alignment
+                    # (drop-or-debt) before returning None (§2.4).
                     stats.pfm_fallback_predictions += 1
-                    fabric.fetch_agent.note_fallback(entry.tag)
         return predicted, fetch_time
 
     def _btb_redirect(self, dyn: DynInst, fetch_time: int) -> None:

@@ -12,8 +12,13 @@ PFM parameter notation follows Section 3 of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.core.watchdog import WatchdogParams
 from repro.memory.hierarchy import HierarchyParams
+
+if TYPE_CHECKING:  # layering: core never imports the fault subsystem
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass
@@ -90,6 +95,12 @@ class PFMParams:
     watchdog_rf_cycles: int = 200_000  # chicken-switch threshold (§2.4)
     fetch_policy: str = FETCH_POLICY_STALL  # §2.4 alternative designs
     component_overrides: dict = field(default_factory=dict)  # structure sizes
+    #: Graceful-degradation thresholds (all off by default; see
+    #: :mod:`repro.core.watchdog`).
+    watchdog: WatchdogParams = field(default_factory=WatchdogParams)
+    #: Declarative fault-injection plan applied to the fabric's queues and
+    #: agents (:mod:`repro.faults.plan`); None = fault-free.
+    fault_plan: "FaultPlan | None" = None
 
     def label(self) -> str:
         return (

@@ -68,6 +68,27 @@ class SimStats:
 
     memory_levels: dict[str, dict[str, float]] = field(default_factory=dict)
 
+    # graceful-degradation watchdog (repro.core.watchdog)
+    watchdog_fetch_timeouts: int = 0
+    watchdog_dead_declarations: int = 0
+    watchdog_squash_timeouts: int = 0
+    watchdog_override_disables: int = 0
+    watchdog_overrides_suppressed: int = 0
+    watchdog_load_throttle_events: int = 0
+    watchdog_loads_dropped: int = 0
+
+    # fault injection (repro.faults): events fired, by kind
+    fault_events: dict[str, int] = field(default_factory=dict)
+    #: Injected-load addresses the Load Agent had to align/clamp before
+    #: use (non-zero only under address-corrupting faults).
+    agent_loads_sanitized: int = 0
+
+    #: Digest of the retired instruction stream + final architectural
+    #: state (registers + memory); see :mod:`repro.core.archstate`.  Two
+    #: runs retire identical architectural state iff digests are equal —
+    #: the invariant the fault-injection oracle checks.
+    arch_digest: str = ""
+
     # ------------------------------------------------------------------ #
     # derived metrics
     # ------------------------------------------------------------------ #
@@ -134,4 +155,18 @@ class SimStats:
                 f"RST hit % (ROI)  {self.rst_hit_pct:.1f}",
                 f"fetch stall PFM  {self.fetch_stall_pfm_cycles} cycles",
             ]
+        if (
+            self.watchdog_fetch_timeouts
+            or self.watchdog_override_disables
+            or self.watchdog_load_throttle_events
+        ):
+            lines.append(
+                f"watchdog         {self.watchdog_fetch_timeouts} fetch"
+                f" timeouts, {self.watchdog_override_disables} override"
+                f" disables, {self.watchdog_load_throttle_events} load"
+                f" throttles"
+            )
+        if self.fault_events:
+            fired = sum(self.fault_events.values())
+            lines.append(f"faults injected  {fired}")
         return "\n".join(lines)

@@ -1,0 +1,264 @@
+"""Graceful-degradation watchdog for the core's PFM-facing side.
+
+Section 2.4 sketches a chicken switch: if the fetch unit waits too long
+on IntQ-F the whole fabric is disabled.  That is a blunt instrument —
+one glitch and the component is gone for the rest of the run.  This
+module refines it into three targeted defenses, each with dedicated
+:class:`~repro.core.stats.SimStats` counters:
+
+* **Fetch-stall timeout** — a fetch stalled on an empty IntQ-F past
+  ``fetch_timeout_cycles`` falls back to the core's own TAGE prediction
+  for that branch only.  If the component's observable activity
+  (predictions produced, queue pops) freezes across
+  ``fetch_timeout_disable_after`` consecutive timeouts, the component is
+  declared dead (a frozen clkC never refills IntQ-F) and the fabric is
+  disabled outright; a slow-but-alive component keeps consuming
+  observations between timeouts and is left alone.
+* **Override-accuracy breaker** — windowed accuracy of Fetch Agent
+  overrides below ``min_override_accuracy`` suppresses overrides for
+  ``override_disable_predictions`` FST hits, then re-enables for a trial
+  window.  Re-tripping during the trial doubles the suppression period
+  (hysteresis, capped); a clean window resets the backoff.
+* **MLB-thrash throttle** — when injected loads average more than
+  ``mlb_replay_threshold`` Missed-Load-Buffer replays over the last
+  ``mlb_window`` loads, *or* ``mlb_full_streak`` consecutive missed
+  loads all found the MLB at capacity (a full buffer defers acceptance
+  instead of replaying, so the replay count alone cannot see an
+  undersized or overwhelmed buffer; healthy fill bursts produce streaks
+  up to about the MLB capacity, chronic thrash far beyond it), the Load
+  Agent drops the next ``mlb_throttle_loads`` injection packets instead
+  of letting the MLB thrash the cache ports.
+
+All knobs default to ``None``/off so a plain configuration behaves
+exactly as before; the ``faults`` campaign enables them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class WatchdogParams:
+    """Graceful-degradation thresholds (all off by default)."""
+
+    #: Max core cycles fetch may stall waiting on IntQ-F before falling
+    #: back to the core's TAGE prediction (None = legacy unbounded wait,
+    #: backstopped only by ``PFMParams.watchdog_rf_cycles``).
+    fetch_timeout_cycles: int | None = None
+    #: Consecutive no-progress fetch timeouts before the component is
+    #: declared dead and the fabric disabled.
+    fetch_timeout_disable_after: int = 8
+    #: Core cycles the retire unit waits for a lost squash-done before
+    #: the watchdog un-stalls it (None = legacy fixed penalty).
+    squash_timeout_cycles: int | None = None
+
+    #: Minimum windowed override accuracy (None = breaker off).
+    min_override_accuracy: float | None = None
+    #: Overrides per accuracy evaluation window.
+    accuracy_window: int = 64
+    #: FST hits suppressed after a trip (doubles on re-trip, capped).
+    override_disable_predictions: int = 256
+    max_override_disable_predictions: int = 4096
+
+    #: Mean MLB replays per injected load that counts as thrash (None =
+    #: this trigger off).  Memory-bound run-ahead bursts legitimately
+    #: reach high means, so only extreme values are safe.
+    mlb_replay_threshold: float | None = None
+    #: Injected loads per thrash evaluation window.
+    mlb_window: int = 32
+    #: Consecutive MLB-full misses that count as thrash (None = this
+    #: trigger off).  Healthy fill bursts produce streaks up to about
+    #: the MLB capacity; 1.5x the paper's 64 entries is a safe default
+    #: when enabling this trigger.
+    mlb_full_streak: int | None = None
+    #: Injection packets dropped per throttle event.
+    mlb_throttle_loads: int = 128
+
+    def active(self) -> bool:
+        return (
+            self.fetch_timeout_cycles is not None
+            or self.min_override_accuracy is not None
+            or self.mlb_replay_threshold is not None
+            or self.mlb_full_streak is not None
+        )
+
+    def __post_init__(self) -> None:
+        if self.fetch_timeout_cycles is not None and self.fetch_timeout_cycles < 1:
+            raise ValueError("fetch_timeout_cycles must be >= 1")
+        if self.accuracy_window < 1:
+            raise ValueError("accuracy_window must be >= 1")
+        if self.min_override_accuracy is not None and not (
+            0.0 <= self.min_override_accuracy <= 1.0
+        ):
+            raise ValueError("min_override_accuracy must be in [0, 1]")
+        if self.mlb_window < 1:
+            raise ValueError("mlb_window must be >= 1")
+        if self.mlb_full_streak is not None and self.mlb_full_streak < 1:
+            raise ValueError("mlb_full_streak must be >= 1")
+
+
+class Watchdog:
+    """Per-run watchdog state; the fabric owns one instance."""
+
+    def __init__(self, params: WatchdogParams):
+        self.params = params
+        # fetch-stall timeout
+        self.component_dead = False
+        self.fetch_timeouts = 0
+        self.dead_declarations = 0
+        self.squash_timeouts = 0
+        self._consecutive_timeouts = 0
+        self._progress_at_last_timeout: object = None
+        # override-accuracy breaker
+        self.override_disables = 0
+        self.overrides_suppressed = 0
+        self._window_total = 0
+        self._window_correct = 0
+        self._suppress_remaining = 0
+        self._disable_period = params.override_disable_predictions
+        self._trial_window = False
+        # MLB-thrash throttle
+        self.load_throttle_events = 0
+        self.loads_dropped = 0
+        self._recent_replays: deque[int] = deque(maxlen=params.mlb_window)
+        self._full_streak = 0
+        self._throttle_remaining = 0
+
+    # ------------------------------------------------------------------ #
+    # fetch-stall timeout
+    # ------------------------------------------------------------------ #
+
+    def fetch_deadline(self, fetch_time: int) -> int | None:
+        """Latest core time fetch will wait for this branch's packet."""
+        if self.params.fetch_timeout_cycles is None:
+            return None
+        return fetch_time + self.params.fetch_timeout_cycles
+
+    def on_fetch_timeout(self, progress_token) -> None:
+        """A fetch-stall deadline expired.
+
+        *progress_token* is any equatable snapshot of the component's
+        observable activity (predictions produced, queue pops).  A
+        healthy-but-slow component — e.g. one waiting out a memory round
+        trip before it can predict — keeps consuming observations and
+        load returns between timeouts, so its token changes; a frozen
+        clkC changes nothing, and a run of identical-token timeouts
+        declares it dead."""
+        self.fetch_timeouts += 1
+        if progress_token == self._progress_at_last_timeout:
+            self._consecutive_timeouts += 1
+        else:
+            self._consecutive_timeouts = 1
+            self._progress_at_last_timeout = progress_token
+        if self._consecutive_timeouts >= self.params.fetch_timeout_disable_after:
+            if not self.component_dead:
+                self.dead_declarations += 1
+            self.component_dead = True
+
+    def on_fetch_delivered(self) -> None:
+        self._consecutive_timeouts = 0
+        self._progress_at_last_timeout = None
+
+    # ------------------------------------------------------------------ #
+    # override-accuracy breaker
+    # ------------------------------------------------------------------ #
+
+    def overrides_allowed(self) -> bool:
+        return self._suppress_remaining == 0
+
+    def note_suppressed(self) -> None:
+        """One FST hit served by the core's predictor while suppressed."""
+        self.overrides_suppressed += 1
+        if self._suppress_remaining > 0:
+            self._suppress_remaining -= 1
+            if self._suppress_remaining == 0:
+                # Re-enable for a trial window; a clean window resets the
+                # backoff, a re-trip doubles it (hysteresis).
+                self._trial_window = True
+                self._window_total = 0
+                self._window_correct = 0
+
+    def record_override(self, correct: bool) -> None:
+        """One consumed Fetch Agent override, graded against retirement."""
+        threshold = self.params.min_override_accuracy
+        if threshold is None:
+            return
+        self._window_total += 1
+        self._window_correct += int(correct)
+        if self._window_total < self.params.accuracy_window:
+            return
+        accuracy = self._window_correct / self._window_total
+        if accuracy < threshold:
+            self.override_disables += 1
+            if self._trial_window:
+                self._disable_period = min(
+                    self._disable_period * 2,
+                    self.params.max_override_disable_predictions,
+                )
+            self._suppress_remaining = self._disable_period
+        else:
+            self._disable_period = self.params.override_disable_predictions
+        self._trial_window = False
+        self._window_total = 0
+        self._window_correct = 0
+
+    # ------------------------------------------------------------------ #
+    # MLB-thrash throttle
+    # ------------------------------------------------------------------ #
+
+    def record_injected_load(
+        self, replays: int, missed: bool = False, mlb_full: bool = False
+    ) -> None:
+        """One injected (non-prefetch) load issued.
+
+        *replays* is the load's MLB replay count; *missed* says it went
+        through the MLB at all; *mlb_full* says it found the MLB at
+        capacity (deferred acceptance — the signature of a shrunk or
+        overwhelmed buffer, invisible in replay counts).
+        """
+        threshold = self.params.mlb_replay_threshold
+        streak_limit = self.params.mlb_full_streak
+        if threshold is None and streak_limit is None:
+            return
+        self._recent_replays.append(replays)
+        if missed:
+            self._full_streak = self._full_streak + 1 if mlb_full else 0
+        if self._throttle_remaining > 0:
+            return
+        trip = streak_limit is not None and self._full_streak >= streak_limit
+        if (
+            not trip
+            and threshold is not None
+            and len(self._recent_replays) == self._recent_replays.maxlen
+        ):
+            mean = sum(self._recent_replays) / len(self._recent_replays)
+            trip = mean > threshold
+        if trip:
+            self.load_throttle_events += 1
+            self._throttle_remaining = self.params.mlb_throttle_loads
+            self._recent_replays.clear()
+            self._full_streak = 0
+
+    def load_throttled(self) -> bool:
+        return self._throttle_remaining > 0
+
+    def note_load_dropped(self) -> None:
+        self.loads_dropped += 1
+        if self._throttle_remaining > 0:
+            self._throttle_remaining -= 1
+
+    # ------------------------------------------------------------------ #
+
+    def counters(self) -> dict[str, int]:
+        """Counter snapshot folded into ``SimStats`` at finalize."""
+        return {
+            "fetch_timeouts": self.fetch_timeouts,
+            "dead_declarations": self.dead_declarations,
+            "squash_timeouts": self.squash_timeouts,
+            "override_disables": self.override_disables,
+            "overrides_suppressed": self.overrides_suppressed,
+            "load_throttle_events": self.load_throttle_events,
+            "loads_dropped": self.loads_dropped,
+        }

@@ -24,6 +24,7 @@ import time
 from pathlib import Path
 
 from repro.experiments import astar_sweeps, bfs_sweeps, energy_fig18
+from repro.experiments import faults as faults_module
 from repro.experiments import fpga_table4, prefetch_sweeps, robustness
 from repro.experiments import slipstream_fig2, sweep as sweep_module
 from repro.experiments.pool import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, SweepPool
@@ -50,6 +51,14 @@ EXPERIMENTS = {
     "robust-patterns": robustness.astar_pattern_robustness,
     "robust-graphs": robustness.bfs_graph_robustness,
     "sweep": sweep_module.sweep,
+    "faults": faults_module.faults,
+}
+
+#: Experiments that produce a raw-stats payload for ``--json`` and have
+#: their own reduced window under ``--smoke``.
+PAYLOAD_EXPERIMENTS = {
+    "sweep": (sweep_module.run_sweep, sweep_module.SMOKE_WINDOW),
+    "faults": (faults_module.run_faults, faults_module.FAULT_SMOKE_WINDOW),
 }
 
 
@@ -70,7 +79,12 @@ def make_pool(args, experiment: str, window: int) -> SweepPool:
         )
         if args.no_resume and checkpoint.exists():
             checkpoint.unlink()
-    return SweepPool(jobs=args.jobs, cache_dir=cache_dir, checkpoint=checkpoint)
+    return SweepPool(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        checkpoint=checkpoint,
+        fail_fast=args.fail_fast,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,7 +115,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run the full-matrix sweep at a tiny window (CI smoke test)",
+        help="run at a tiny window (CI smoke test); alone it runs the"
+             " full-matrix sweep, combined with 'sweep' or 'faults' it"
+             " shrinks that experiment's window",
     )
     parser.add_argument(
         "--out",
@@ -114,7 +130,7 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         default=None,
         help="write raw per-point stats as deterministic JSON"
-             " (sweep and --smoke only)",
+             " (sweep, faults and --smoke only)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -128,6 +144,12 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the on-disk baseline cache and checkpointing",
     )
     parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first failed sweep point instead of retrying"
+             " crashed workers and summarizing failures at the end",
+    )
+    parser.add_argument(
         "--no-resume",
         action="store_true",
         help="discard any existing checkpoint instead of resuming from it",
@@ -136,8 +158,16 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment is None and not args.smoke:
         parser.error("an experiment id (or --smoke) is required")
-    if args.experiment is not None and args.smoke:
-        parser.error("--smoke replaces the experiment id; give one or the other")
+    if (
+        args.experiment is not None
+        and args.smoke
+        and args.experiment not in PAYLOAD_EXPERIMENTS
+    ):
+        parser.error(
+            "--smoke combines only with "
+            + "/".join(PAYLOAD_EXPERIMENTS)
+            + "; alone it runs the full-matrix sweep"
+        )
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
@@ -145,7 +175,7 @@ def main(argv: list[str] | None = None) -> int:
         print("shape  (aggregate shape-agreement metrics)")
         return 0
 
-    if args.smoke:
+    if args.smoke and args.experiment is None:
         window = args.window or sweep_module.SMOKE_WINDOW
         pool = make_pool(args, "smoke", window)
         started = time.time()
@@ -158,7 +188,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"raw stats written to {args.json}")
         return 0
 
-    window = args.window or DEFAULT_WINDOW
+    if args.smoke:
+        window = args.window or PAYLOAD_EXPERIMENTS[args.experiment][1]
+    else:
+        window = args.window or DEFAULT_WINDOW
 
     if args.experiment == "shape":
         from repro.experiments.compare import shape_report
@@ -179,8 +212,9 @@ def main(argv: list[str] | None = None) -> int:
             )
         pool = make_pool(args, name, window)
         started = time.time()
-        if name == "sweep":
-            result, payload = sweep_module.run_sweep(window, pool)
+        if name in PAYLOAD_EXPERIMENTS:
+            run_with_payload = PAYLOAD_EXPERIMENTS[name][0]
+            result, payload = run_with_payload(window, pool)
             if args.json:
                 Path(args.json).write_text(sweep_module.payload_json(payload))
         else:

@@ -1,0 +1,167 @@
+"""Fault-injection campaign: every built-in fault plan x a workload trio.
+
+Per workload the grid holds one plain-core baseline, one clean
+PFM-with-watchdog point, and one point per :data:`~repro.faults.plan.
+BUILTIN_PLANS` entry — all with the graceful-degradation watchdog armed
+at the campaign thresholds below.  After the sweep completes, every PFM
+point is checked against the same-workload baseline with the
+architectural-equivalence oracle: faults corrupt *timing-domain hints*
+only, so the retired architectural state must be bit-identical no matter
+what the fabric delivered.  A failing oracle is a safety bug, not a
+degraded run, and aborts the campaign.
+
+The rendered rows report each faulted run's IPC as a percentage of the
+clean watchdog-enabled run on the same workload — the graceful part of
+graceful degradation.  ``--json`` serializes the per-point stats plus
+the digests and oracle verdicts deterministically (sorted keys, no
+timestamps), byte-identical across ``--jobs`` values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.params import PFMParams
+from repro.core.watchdog import WatchdogParams
+from repro.experiments.pool import (
+    SweepPoint,
+    SweepPool,
+    baseline_point,
+    default_pool,
+    pfm_point,
+    stats_to_dict,
+)
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import DEFAULT_WINDOW
+from repro.faults import BUILTIN_PLANS, check_equivalence
+
+#: Campaign workloads: astar and bfs-roads exercise the branch-prediction
+#: component (squashes, FST overrides); libquantum exercises the
+#: prefetch/load-injection path with no FST predictions at all.
+FAULT_WORKLOADS = ("astar", "bfs-roads", "libquantum")
+
+#: Window used by ``faults --smoke`` (CI exercises the oracle and the
+#: watchdog plumbing, not the cycle model).
+FAULT_SMOKE_WINDOW = 2_000
+
+
+class OracleViolation(RuntimeError):
+    """A faulted run retired different architectural state than baseline."""
+
+
+def campaign_watchdog() -> WatchdogParams:
+    """Watchdog thresholds the campaign arms on every PFM point.
+
+    Calibrated so clean runs of every campaign workload trip nothing
+    (tests/test_faults.py pins this): the fetch deadline sits well above
+    healthy IntQ-F latency, the dead-declaration streak requires frozen
+    progress tokens, accuracy 0.6 is far below the component's healthy
+    windowed accuracy, and the MLB-full streak is 1.5x the buffer's
+    64-entry capacity (healthy fill bursts saturate at about capacity).
+    """
+    return WatchdogParams(
+        fetch_timeout_cycles=256,
+        fetch_timeout_disable_after=8,
+        squash_timeout_cycles=512,
+        min_override_accuracy=0.6,
+        accuracy_window=64,
+        mlb_full_streak=96,
+    )
+
+
+def _campaign_pfm(fault_plan=None) -> PFMParams:
+    return PFMParams(watchdog=campaign_watchdog(), fault_plan=fault_plan)
+
+
+def fault_points(
+    window: int, workloads: tuple[str, ...] = FAULT_WORKLOADS
+) -> list[SweepPoint]:
+    points = []
+    for name in workloads:
+        points.append(baseline_point(name, window))
+        points.append(
+            pfm_point(f"{name} [clean]", name, window, _campaign_pfm())
+        )
+        for plan_name, plan in BUILTIN_PLANS.items():
+            points.append(
+                pfm_point(
+                    f"{name} [fault:{plan_name}]",
+                    name,
+                    window,
+                    _campaign_pfm(plan),
+                )
+            )
+    return points
+
+
+def run_faults(
+    window: int = DEFAULT_WINDOW,
+    pool: SweepPool | None = None,
+    workloads: tuple[str, ...] = FAULT_WORKLOADS,
+) -> tuple[ExperimentResult, dict]:
+    """Run the campaign; return the rendered result and a JSON payload."""
+    pool = pool or default_pool()
+    points = fault_points(window, workloads)
+    stats = pool.run(points)
+
+    result = ExperimentResult(
+        experiment="Faults",
+        title=f"{len(BUILTIN_PLANS)} fault plans x {len(workloads)} workloads",
+        unit="% of clean watchdog-enabled IPC (clean rows: % of baseline)",
+    )
+    payload: dict = {
+        "window": window,
+        "workloads": list(workloads),
+        "plans": sorted(BUILTIN_PLANS),
+        "watchdog": dataclasses.asdict(campaign_watchdog()),
+        "points": {},
+    }
+    failures = []
+    for point in points:
+        point_stats = stats[point.label]
+        entry = {
+            "workload": point.workload,
+            "key": point.key(),
+            "ipc": point_stats.ipc,
+            "arch_digest": point_stats.arch_digest,
+            "stats": stats_to_dict(point_stats),
+        }
+        if not point.label.startswith("baseline:"):
+            baseline = stats[f"baseline:{point.workload}"]
+            verdict = check_equivalence(baseline, point_stats)
+            entry["oracle_ok"] = verdict.ok
+            if not verdict.ok:
+                failures.append(f"{point.label}: {verdict.reason}")
+            clean = stats[f"{point.workload} [clean]"]
+            if point.label.endswith("[clean]"):
+                result.add(
+                    point.label, 100.0 * point_stats.speedup_over(baseline)
+                )
+            else:
+                retained = (
+                    100.0 * point_stats.ipc / clean.ipc if clean.ipc else 0.0
+                )
+                entry["ipc_retained_pct"] = retained
+                result.add(point.label, retained)
+        payload["points"][point.label] = entry
+    payload["oracle_failures"] = failures
+    if failures:
+        raise OracleViolation(
+            "architectural-equivalence oracle failed for "
+            + "; ".join(failures)
+        )
+    checked = sum(
+        1 for p in points if not p.label.startswith("baseline:")
+    )
+    result.notes = (
+        f"oracle: {checked}/{checked} faulted+clean points retired"
+        " architectural state bit-identical to the plain baseline"
+    )
+    return result, payload
+
+
+def faults(window: int = DEFAULT_WINDOW,
+           pool: SweepPool | None = None) -> ExperimentResult:
+    """Registry entry point (rendered result only)."""
+    result, _ = run_faults(window, pool)
+    return result

@@ -22,6 +22,15 @@ Three properties the harness guarantees:
   point is appended to a JSONL file as it completes; a re-invocation of
   an interrupted sweep replays the file and only computes the remainder.
   The checkpoint is removed once the whole sweep has succeeded.
+* **Crash containment** — a point that raises, or a worker process that
+  dies (OOM-killed, segfaulted), is retried up to ``retries`` times with
+  ``retry_backoff``-second exponential backoff, in a fresh executor when
+  the pool itself broke.  Points that still fail are appended to the
+  checkpoint as ``{"key": ..., "failed": true, "error": ...}`` records —
+  skipped on replay so a resume retries them — the checkpoint is *kept*,
+  and :class:`SweepFailure` summarizes what was lost.  ``fail_fast=True``
+  (CLI ``--fail-fast``) restores the old raise-on-first-error behavior.
+  ``KeyboardInterrupt`` always propagates immediately.
 """
 
 from __future__ import annotations
@@ -31,7 +40,9 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -134,6 +145,24 @@ def _canonical_bytes(obj) -> bytes:
     return json.dumps(obj, sort_keys=True, default=_default).encode()
 
 
+class SweepFailure(RuntimeError):
+    """One or more sweep points failed after exhausting their retries.
+
+    ``errors`` maps point labels to the final error message; successful
+    points were checkpointed before this was raised, so re-running the
+    sweep resumes from them and recomputes only the failures.
+    """
+
+    def __init__(self, errors: dict[str, str]):
+        self.errors = dict(errors)
+        summary = "; ".join(
+            f"{label}: {message}" for label, message in sorted(errors.items())
+        )
+        super().__init__(
+            f"{len(errors)} sweep point(s) failed after retries: {summary}"
+        )
+
+
 def stats_to_dict(stats: SimStats) -> dict:
     return dataclasses.asdict(stats)
 
@@ -204,12 +233,22 @@ class SweepPool:
         jobs: int = 1,
         cache_dir: str | os.PathLike | None = None,
         checkpoint: str | os.PathLike | None = None,
+        retries: int = 2,
+        retry_backoff: float = 0.5,
+        fail_fast: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self.retries = 0 if fail_fast else retries
+        self.retry_backoff = retry_backoff
+        self.fail_fast = fail_fast
         self._memory_cache: dict[str, SimStats] = {}
         #: Accounting for the most recent run(): how many distinct points
         #: were computed vs replayed from checkpoint vs served from cache.
@@ -266,6 +305,11 @@ class SweepPool:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # torn final line from a killed run
+                if record.get("failed"):
+                    # Recorded so humans can see what died; a resumed
+                    # sweep retries the point rather than trusting it.
+                    done.pop(record["key"], None)
+                    continue
                 done[record["key"]] = stats_from_dict(record["stats"])
         return done
 
@@ -274,6 +318,15 @@ class SweepPool:
             return
         self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
         record = {"key": point.key(), "stats": stats_to_dict(stats)}
+        with self.checkpoint.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def _append_failure(self, point: SweepPoint, error: str) -> None:
+        if self.checkpoint is None:
+            return
+        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        record = {"key": point.key(), "failed": True, "error": error}
         with self.checkpoint.open("a") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
@@ -330,17 +383,16 @@ class SweepPool:
         # PFM/oracle runs cost more than plain baselines; dispatching them
         # first tightens the makespan (results are order-independent).
         todo.sort(key=lambda point: point.is_baseline)
-        if self.jobs == 1 or len(todo) <= 1:
-            for point in todo:
-                record(point, run_point(point))
-        else:
-            workers = min(self.jobs, len(todo))
-            with ProcessPoolExecutor(max_workers=workers) as executor:
-                futures = {
-                    executor.submit(run_point, point): point for point in todo
-                }
-                for future in as_completed(futures):
-                    record(futures[future], future.result())
+        failures = self._execute(todo, record)
+
+        self.last_run_info = {
+            "computed": len(todo), "resumed": resumed, "cached": cached,
+            "failed": len(failures),
+        }
+        if failures:
+            # Successful points are already checkpointed; keep the file so
+            # a re-invocation resumes from them and retries the failures.
+            raise SweepFailure(failures)
 
         for key, siblings in waiting.items():
             stats = finished.get(key)
@@ -349,11 +401,72 @@ class SweepPool:
             for point in siblings:
                 results[point.label] = stats
 
-        self.last_run_info = {
-            "computed": len(todo), "resumed": resumed, "cached": cached,
-        }
         self._clear_checkpoint()
         return results
+
+    def _execute(self, todo: list[SweepPoint], record) -> dict[str, str]:
+        """Run every point in *todo*, retrying crashes; map label->error.
+
+        Each round runs all still-pending points; a point that raises —
+        including :class:`BrokenProcessPool` when a worker process died
+        under it — is retried in the next round (under a fresh executor)
+        until it exhausts ``self.retries``, with exponential backoff
+        between rounds.  ``fail_fast`` re-raises the first error
+        unretried; ``KeyboardInterrupt`` always propagates.
+        """
+        remaining = list(todo)
+        attempts: dict[str, int] = {}
+        failures: dict[str, str] = {}
+        round_index = 0
+        while remaining:
+            if round_index:
+                time.sleep(self.retry_backoff * (2 ** (round_index - 1)))
+            retry: list[SweepPoint] = []
+
+            def on_error(point: SweepPoint, exc: Exception) -> None:
+                if self.fail_fast:
+                    raise exc
+                count = attempts.get(point.key(), 0) + 1
+                attempts[point.key()] = count
+                if count > self.retries:
+                    message = f"{type(exc).__name__}: {exc}"
+                    failures[point.label] = message
+                    self._append_failure(point, message)
+                else:
+                    retry.append(point)
+
+            # Retry rounds with jobs>1 stay in a (fresh) executor even for
+            # a single point: if its worker segfaulted, re-running it
+            # in-process would take the whole sweep down with it.
+            if self.jobs == 1 or (round_index == 0 and len(remaining) <= 1):
+                for point in remaining:
+                    try:
+                        record(point, run_point(point))
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        on_error(point, exc)
+            else:
+                workers = min(self.jobs, len(remaining))
+                with ProcessPoolExecutor(max_workers=workers) as executor:
+                    futures = {
+                        executor.submit(run_point, point): point
+                        for point in remaining
+                    }
+                    for future in as_completed(futures):
+                        point = futures[future]
+                        try:
+                            record(point, future.result())
+                        except KeyboardInterrupt:
+                            raise
+                        except Exception as exc:
+                            # A BrokenProcessPool lands here for every
+                            # in-flight future; each affected point gets
+                            # its retry in the next round's new executor.
+                            on_error(point, exc)
+            remaining = retry
+            round_index += 1
+        return failures
 
     def speedup_pct(self, results: dict[str, SimStats], label: str,
                     baseline_label: str) -> float:

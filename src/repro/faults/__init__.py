@@ -1,0 +1,28 @@
+"""Fault-injection subsystem: plans, injectors, and the equivalence oracle.
+
+The paper argues PFM components are *hints-only*: a buggy RF component
+can cost performance but never corrupt architectural state (overrides are
+verified, injected loads never write the PRF, observations are read-only).
+This package stress-tests that claim.  A declarative, seed-deterministic
+:class:`~repro.faults.plan.FaultPlan` corrupts the observe/intervene
+fabric — dropped/duplicated/bit-corrupted packets on ObsQ-R, IntQ-F,
+IntQ-IS and ObsQ-EX, stuck-at and garbage predictions, delayed or lost
+squash-done, a frozen-clkC dead component, MLB overflow pressure — while
+the architectural-equivalence oracle (:mod:`repro.faults.oracle`) asserts
+the retired instruction stream and final architectural state stay
+identical to the plain-core baseline, and the graceful-degradation
+watchdog (:mod:`repro.core.watchdog`) keeps the core making progress.
+"""
+
+from repro.faults.plan import BUILTIN_PLANS, FaultPlan, get_plan
+from repro.faults.inject import FaultInjector
+from repro.faults.oracle import OracleVerdict, check_equivalence
+
+__all__ = [
+    "BUILTIN_PLANS",
+    "FaultPlan",
+    "FaultInjector",
+    "OracleVerdict",
+    "check_equivalence",
+    "get_plan",
+]

@@ -1,0 +1,164 @@
+"""Seed-deterministic fault injectors for the PFM fabric.
+
+One :class:`FaultInjector` instance lives on a
+:class:`~repro.pfm.fabric.PFMFabric` when its ``PFMParams.fault_plan`` is
+set.  The fabric consults it at every queue boundary — observation pushes
+(ObsQ-R), prediction pushes (IntQ-F), load-packet pushes (IntQ-IS), load
+returns (ObsQ-EX) and the squash/squash-done handshake — so corruption
+happens *in transit*, exactly where the paper's clock-domain crossings
+sit, never inside architectural state.
+
+Injectors only ever mutate copies of packets.  The shared
+:class:`~repro.workloads.mem.MemoryImage` and the dynamic instruction
+stream are untouchable by construction, which is what lets the
+architectural-equivalence oracle demand bit-identical retired state.
+
+All randomness flows from ``random.Random(f"{seed}:{name}")`` — a string
+seed, hashed with SHA-512 internally, so decision streams are stable
+across processes and Python invocations (no ``hash()`` salting).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.faults.plan import FaultPlan
+from repro.pfm.packets import LoadPacket, LoadReturn, ObsPacket
+
+#: Bits eligible for flipping in corrupted values/addresses.  Kept within
+#: the low bits so corrupted quantities stay in a plausible numeric range
+#: (the point is wrong hints, not Python overflow artifacts).
+_FLIP_BITS = 20
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` at the fabric's queue boundaries."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = random.Random(f"{plan.seed}:{plan.name}")
+        self.counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _fire(self, probability: float, kind: str) -> bool:
+        if probability <= 0.0:
+            return False
+        if self._rng.random() >= probability:
+            return False
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        return True
+
+    def _count(self, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def _flip_bit(self, value: float) -> float:
+        corrupted = int(value) ^ (1 << self._rng.randrange(_FLIP_BITS))
+        return float(corrupted) if isinstance(value, float) else corrupted
+
+    # ------------------------------------------------------------------ #
+    # component liveness
+    # ------------------------------------------------------------------ #
+
+    def component_frozen(self, rf_cycle: int) -> bool:
+        """True once clkC is dead: the component never steps again."""
+        dead_at = self.plan.dead_at_rf_cycle
+        if dead_at is None or rf_cycle < dead_at:
+            return False
+        if "component_frozen" not in self.counts:
+            self._count("component_frozen")
+        return True
+
+    def mlb_entries(self, default: int) -> int:
+        if self.plan.mlb_entries_override is None:
+            return default
+        return self.plan.mlb_entries_override
+
+    # ------------------------------------------------------------------ #
+    # ObsQ-R: Retire Agent -> component
+    # ------------------------------------------------------------------ #
+
+    def on_obs(self, packet: ObsPacket) -> list[ObsPacket]:
+        """Transform one observation packet into 0, 1, or 2 packets."""
+        if self._fire(self.plan.obs_drop, "obs_drop"):
+            return []
+        if self._fire(self.plan.obs_corrupt, "obs_corrupt"):
+            if packet.value is not None:
+                packet = dataclasses.replace(
+                    packet, value=self._flip_bit(packet.value)
+                )
+            elif packet.taken is not None:
+                packet = dataclasses.replace(packet, taken=not packet.taken)
+        if self._fire(self.plan.obs_dup, "obs_dup"):
+            return [packet, dataclasses.replace(packet)]
+        return [packet]
+
+    # ------------------------------------------------------------------ #
+    # IntQ-F: component -> Fetch Agent
+    # ------------------------------------------------------------------ #
+
+    def on_pred(self, taken: bool) -> tuple[bool, bool]:
+        """Return ``(delivered, direction)`` for one prediction packet."""
+        if self._fire(self.plan.pred_drop, "pred_drop"):
+            return False, taken
+        if self.plan.pred_stuck is not None:
+            self._count("pred_stuck")
+            return True, self.plan.pred_stuck == "taken"
+        if self._fire(self.plan.pred_garbage, "pred_garbage"):
+            return True, self._rng.random() < 0.5
+        return True, taken
+
+    # ------------------------------------------------------------------ #
+    # IntQ-IS: component -> Load Agent
+    # ------------------------------------------------------------------ #
+
+    def on_load(self, packet: LoadPacket) -> list[LoadPacket]:
+        if self._fire(self.plan.load_drop, "load_drop"):
+            return []
+        if self._fire(self.plan.load_corrupt, "load_corrupt"):
+            packet = dataclasses.replace(
+                packet, address=int(self._flip_bit(packet.address))
+            )
+        if self._fire(self.plan.load_dup, "load_dup"):
+            return [packet, dataclasses.replace(packet)]
+        return [packet]
+
+    # ------------------------------------------------------------------ #
+    # ObsQ-EX: Load Agent -> component
+    # ------------------------------------------------------------------ #
+
+    def on_return(self, ret: LoadReturn) -> LoadReturn | None:
+        if self._fire(self.plan.ret_drop, "ret_drop"):
+            return None
+        if self._fire(self.plan.ret_corrupt, "ret_corrupt"):
+            return dataclasses.replace(ret, value=self._flip_bit(ret.value))
+        return ret
+
+    # ------------------------------------------------------------------ #
+    # squash / squash-done handshake
+    # ------------------------------------------------------------------ #
+
+    def squash_done(
+        self, squash_time: int, normal_done: int, clk_ratio: int, watchdog
+    ) -> int:
+        """Possibly delay or lose the squash-done signal.
+
+        A lost squash-done would stall the retire unit forever; the
+        watchdog's squash timeout un-stalls it (or, unwatched, a long
+        fixed penalty stands in for the eventual hardware reset).
+        """
+        done = normal_done
+        if self.plan.squash_done_delay:
+            self._count("squash_done_delay")
+            done += self.plan.squash_done_delay
+        if self._fire(self.plan.squash_done_lose, "squash_done_lose"):
+            if watchdog is not None and watchdog.params.squash_timeout_cycles:
+                watchdog.squash_timeouts += 1
+                return max(
+                    done, squash_time + watchdog.params.squash_timeout_cycles
+                )
+            # No watchdog: model the un-handshaked recovery as an order of
+            # magnitude of the normal protocol cost.
+            return done + 10 * max(1, normal_done - squash_time)
+        return done

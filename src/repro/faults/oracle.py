@@ -1,0 +1,73 @@
+"""Architectural-equivalence oracle.
+
+The paper's central safety claim is that RF components are *hints only*:
+any fault in the observe/intervene fabric may change timing but can never
+change what the program computes.  The oracle checks that claim end to
+end by comparing the :attr:`~repro.core.stats.SimStats.arch_digest` of a
+faulted PFM run against the plain-core baseline on the same workload.
+
+The digest (:mod:`repro.core.archstate`) folds the full retired
+instruction stream — sequence numbers, PCs, destination and store values,
+memory addresses, branch outcomes — plus the final register file and
+memory image into one SHA-256.  Equal digests therefore mean equal
+architectural behavior at every retired instruction, not merely equal
+final state.  Timing counters (cycles, stalls, watchdog events) are
+expected to differ and are deliberately not compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stats import SimStats
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """Outcome of one equivalence check."""
+
+    ok: bool
+    reason: str
+    baseline_digest: str
+    faulted_digest: str
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_equivalence(baseline: SimStats, faulted: SimStats) -> OracleVerdict:
+    """Compare a faulted run against its fault-free baseline.
+
+    Both runs must have executed the same workload for the same number of
+    instructions; the digests then decide equivalence.
+    """
+    if not baseline.arch_digest or not faulted.arch_digest:
+        return OracleVerdict(
+            ok=False,
+            reason="missing arch_digest (run predates digest support?)",
+            baseline_digest=baseline.arch_digest,
+            faulted_digest=faulted.arch_digest,
+        )
+    if baseline.instructions != faulted.instructions:
+        return OracleVerdict(
+            ok=False,
+            reason=(
+                "retired instruction counts differ: "
+                f"{baseline.instructions} != {faulted.instructions}"
+            ),
+            baseline_digest=baseline.arch_digest,
+            faulted_digest=faulted.arch_digest,
+        )
+    if baseline.arch_digest != faulted.arch_digest:
+        return OracleVerdict(
+            ok=False,
+            reason="architectural digests differ: fault leaked into state",
+            baseline_digest=baseline.arch_digest,
+            faulted_digest=faulted.arch_digest,
+        )
+    return OracleVerdict(
+        ok=True,
+        reason="architecturally equivalent",
+        baseline_digest=baseline.arch_digest,
+        faulted_digest=faulted.arch_digest,
+    )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.core.params import CoreParams, PFMParams
 from repro.core.resources import LaneScheduler
+from repro.core.watchdog import Watchdog
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pfm.component import CustomComponent, RFIo, RFTimings
 from repro.pfm.fetch_agent import FetchAgent
@@ -57,11 +58,27 @@ class PFMFabric:
             metadata.get("call_marker_pcs", ())
         )
 
+        self.watchdog = Watchdog(pfm.watchdog)
+        self.injector = None
+        mlb_entries = pfm.mlb_entries
+        if pfm.fault_plan is not None:
+            # Imported here so fault-free builds never touch the fault
+            # subsystem (core/pfm must not depend on repro.faults).
+            from repro.faults.inject import FaultInjector
+
+            self.injector = FaultInjector(pfm.fault_plan)
+            mlb_entries = self.injector.mlb_entries(pfm.mlb_entries)
+
         c = pfm.clk_ratio
         self.obs_q = TimedQueue("ObsQ-R", pfm.queue_size, crossing_latency=c)
-        self.intq_is = TimedQueue("IntQ-IS", pfm.queue_size)
+        # IntQ-IS push times are component pipe-exit times, nondecreasing
+        # by construction — assert it (ObsQ-R and ObsQ-EX legitimately
+        # reorder send times via PRF port contention and MLB re-flushes).
+        self.intq_is = TimedQueue("IntQ-IS", pfm.queue_size, monotonic_push=True)
         self.retq = TimedQueue("ObsQ-EX", pfm.queue_size, crossing_latency=c)
-        self.fetch_agent = FetchAgent(pfm.queue_size, c, pfm.width)
+        self.fetch_agent = FetchAgent(
+            pfm.queue_size, c, pfm.width, strict=self.injector is None
+        )
         self.retire_agent = RetireAgent(core_params, lanes, pfm.port)
         self.load_agent = LoadAgent(
             self.intq_is,
@@ -70,8 +87,10 @@ class PFMFabric:
             memory,
             lanes,
             core_params.ls_lanes(),
-            mlb_entries=pfm.mlb_entries,
+            mlb_entries=mlb_entries,
             replay_period=pfm.mlb_replay_period,
+            watchdog=self.watchdog,
+            injector=self.injector,
         )
 
         self._io = RFIo(self.timings, self)
@@ -108,6 +127,14 @@ class PFMFabric:
 
     def _step_rf(self) -> bool:
         """Run one RF cycle; returns False when provably quiescent."""
+        if self.injector is not None and self.injector.component_frozen(
+            self.rf_cycle
+        ):
+            # clkC is dead: time passes but the component never steps, so
+            # IntQ-F never refills and ObsQ-R never drains.  Not quiescent
+            # (queues may hold entries) — the watchdog must save the run.
+            self.rf_cycle += 1
+            return True
         if self.component.is_idle():
             nxt = self._next_event_time()
             if nxt is None:
@@ -151,27 +178,72 @@ class PFMFabric:
         """Supply the custom prediction for an FST-hit branch.
 
         Returns ``(taken, effective_fetch_time)``, or None when the
-        watchdog fired or the component is quiescent — the caller then
-        uses the core's own predictor (§2.4).
+        watchdog fired, a graceful-degradation defense tripped, or the
+        component is quiescent — the caller then uses the core's own
+        predictor (§2.4).  Every None path settles the prediction-stream
+        alignment itself: either the matching late packet is discarded
+        (fetch-timeout path) or fallback debt is recorded so the packet
+        is dropped when it eventually arrives.
         """
+        fa = self.fetch_agent
         if not self.enabled or not self.roi_active:
+            fa.note_fallback(fst_tag)
+            return None
+        wd = self.watchdog
+        if not wd.overrides_allowed():
+            # Accuracy breaker open: serve this FST hit from the core's
+            # predictor and drop the component's packet via the debt.
+            wd.note_suppressed()
+            fa.note_fallback(fst_tag)
             return None
         self.advance_to(fetch_time)
         if self.params.fetch_policy == "proceed":
             # §2.4 non-stalling design: use the packet only if it is
             # already waiting in IntQ-F; otherwise the fetch unit proceeds
-            # with the core's predictor (the caller records the drop debt).
-            return self.fetch_agent.try_pop(fst_tag, fetch_time, only_ready=True)
+            # with the core's predictor and the late packet is dropped.
+            result = fa.try_pop(fst_tag, fetch_time, only_ready=True)
+            if result is None:
+                fa.note_fallback(fst_tag)
+            return result
+        deadline = wd.fetch_deadline(fetch_time)
         guard = self._watchdog_budget
         while guard > 0:
-            result = self.fetch_agent.try_pop(fst_tag, fetch_time)
+            result = fa.try_pop(fst_tag, fetch_time, deadline=deadline)
             if result is not None:
+                wd.on_fetch_delivered()
                 return result
+            if deadline is not None and self._now() > deadline:
+                self._fetch_timeout(fst_tag)
+                return None
             if not self._step_rf():
+                fa.note_fallback(fst_tag)
                 return None  # quiescent: prediction will never arrive
             guard -= 1
         self.enabled = False  # watchdog fired: chicken switch (§2.4)
+        fa.note_fallback(fst_tag)
         return None
+
+    def _fetch_timeout(self, fst_tag: str) -> None:
+        """Fetch-stall deadline expired: fall back for this branch only.
+
+        The matching packet, if already produced (just late), is consumed
+        and discarded to keep the stream aligned; otherwise fallback debt
+        covers its eventual arrival.  A run of timeouts with no producer
+        progress declares the component dead and disables the fabric.
+        """
+        fa = self.fetch_agent
+        progress = (
+            fa.producer_call,
+            fa.producer_seq,
+            self.obs_q.pops,
+            self.intq_is.pops,
+            self.retq.pops,
+        )
+        self.watchdog.on_fetch_timeout(progress)
+        if not fa.drop_match(fst_tag):
+            fa.note_fallback(fst_tag)
+        if self.watchdog.component_dead:
+            self.enabled = False
 
     # ------------------------------------------------------------------ #
     # retire side
@@ -204,8 +276,24 @@ class PFMFabric:
     _DROP_PATIENCE_RF = 8
 
     def _obs_push(self, packet: ObsPacket, send_time: int, droppable: bool) -> None:
+        if self.injector is None:
+            self._obs_push_one(packet, send_time, droppable)
+            return
+        packets = self.injector.on_obs(packet)
+        for index, faulted in enumerate(packets):
+            # An injected duplicate never earns back-pressure patience.
+            self._obs_push_one(faulted, send_time, droppable or index > 0)
+
+    def _obs_push_one(
+        self, packet: ObsPacket, send_time: int, droppable: bool
+    ) -> None:
         self.advance_to(send_time)
         guard = self._DROP_PATIENCE_RF if droppable else self._watchdog_budget
+        if self.injector is not None and self.injector.component_frozen(
+            self.rf_cycle
+        ):
+            # A dead component never drains ObsQ-R; don't spin the budget.
+            guard = min(guard, self._DROP_PATIENCE_RF)
         while not self.obs_q.can_push() and guard > 0:
             if not self._step_rf():
                 break
@@ -228,6 +316,10 @@ class PFMFabric:
         c = self.timings.clk_ratio
         self._pending_squashes.append(squash_time + c)
         squash_done = squash_time + (self.timings.delay + 3) * c
+        if self.injector is not None:
+            squash_done = self.injector.squash_done(
+                squash_time, squash_done, c, self.watchdog
+            )
         self.fetch_agent.apply_squash(squash_done)
         return squash_done
 
@@ -261,6 +353,10 @@ class PFMFabric:
         return self.fetch_agent.pending_count() < self.params.queue_size * 4
 
     def pred_push(self, taken: bool, ready: int, tag: str) -> bool:
+        if self.injector is not None:
+            delivered, taken = self.injector.on_pred(taken)
+            if not delivered:
+                return True  # lost in transit: the component saw success
         if not self.fetch_agent.can_push(ready):
             return False
         return self.fetch_agent.push(taken, ready, tag)
@@ -272,6 +368,17 @@ class PFMFabric:
         return self.intq_is.can_push()
 
     def load_push(self, packet, ready: int) -> bool:
+        if self.injector is not None:
+            packets = self.injector.on_load(packet)
+            if not packets:
+                return True  # lost in transit: the component saw success
+            if not self.intq_is.can_push():
+                return False
+            self.intq_is.push(ready, packets[0])
+            for dup in packets[1:]:
+                if self.intq_is.can_push():  # a full queue sheds the dup
+                    self.intq_is.push(ready, dup)
+            return True
         if not self.intq_is.can_push():
             return False
         self.intq_is.push(ready, packet)

@@ -43,10 +43,17 @@ class FetchAgent:
     # astar stream can legitimately skip up to a full iteration of pairs.
     MAX_DROP_RUN = 64
 
-    def __init__(self, queue_size: int, clk_ratio: int, width: int):
+    def __init__(
+        self, queue_size: int, clk_ratio: int, width: int, strict: bool = True
+    ):
         self.queue_size = queue_size
         self.clk_ratio = clk_ratio
         self.width = width
+        #: With ``strict`` (the default), a drop run past MAX_DROP_RUN is a
+        #: model bug and raises.  Under fault injection the prediction
+        #: stream is corrupted *by design*, so the fabric clears it: the
+        #: agent stops dropping and lets the caller fall back instead.
+        self.strict = strict
         self._pending: deque[_PendEntry] = deque()
         self.producer_call = 0
         self.producer_seq = 0
@@ -127,15 +134,21 @@ class FetchAgent:
                 self.packets_dropped += 1
                 dropped_run += 1
                 if dropped_run > self.MAX_DROP_RUN:
-                    raise FetchAgentError(
-                        f"dropped {dropped_run} packets without matching "
-                        f"tag {fst_tag!r}: prediction stream misaligned"
-                    )
+                    if self.strict:
+                        raise FetchAgentError(
+                            f"dropped {dropped_run} packets without matching "
+                            f"tag {fst_tag!r}: prediction stream misaligned"
+                        )
+                    break  # corrupted stream: stop dropping, caller falls back
                 continue
             break
 
     def try_pop(
-        self, fst_tag: str, fetch_time: int, only_ready: bool = False
+        self,
+        fst_tag: str,
+        fetch_time: int,
+        only_ready: bool = False,
+        deadline: int | None = None,
     ) -> tuple[bool, int] | None:
         """Pop the prediction for the FST branch *fst_tag*.
 
@@ -148,6 +161,11 @@ class FetchAgent:
         whose ready time is in the future is left in place and None is
         returned — the fetch unit proceeds with the core's predictor and
         the late packet is dropped via the fallback-debt counter.
+
+        With ``deadline`` (the graceful-degradation watchdog), a matching
+        packet that will only be ready after the deadline is left in
+        place — the fetch-stall timeout path consumes it via
+        :meth:`drop_match` so the stream stays aligned without the stall.
         """
         self._drop_stale(fst_tag)
         if not self._pending:
@@ -161,11 +179,29 @@ class FetchAgent:
             return None
         if only_ready and head.ready > fetch_time:
             return None
+        if deadline is not None and head.ready > deadline:
+            return None
         self._pending.popleft()
         effective = max(fetch_time, head.ready)
         self.stall_cycles += effective - fetch_time
         self.predictions_supplied += 1
         return head.taken, effective
+
+    def drop_match(self, fst_tag: str) -> bool:
+        """Consume-and-discard the head packet if it matches *fst_tag*.
+
+        The fetch-stall timeout path: the packet exists but is too late to
+        wait for, so discarding it (rather than recording fallback debt)
+        keeps the stream aligned without double-counting the drop.
+        """
+        if not self._pending:
+            return False
+        head = self._pending[0]
+        if head.call == self.consumer_call and head.tag == fst_tag:
+            self._pending.popleft()
+            self.packets_dropped += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------ #
     # squash protocol

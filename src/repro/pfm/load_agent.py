@@ -19,11 +19,18 @@ import heapq
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pfm.packets import LoadPacket, LoadReturn
 from repro.pfm.queues import TimedQueue
-from repro.workloads.mem import MemoryImage
+from repro.workloads.mem import WORD_BYTES, MemoryImage
 
 
 class LoadAgent:
-    """IntQ-IS consumer; ObsQ-EX producer."""
+    """IntQ-IS consumer; ObsQ-EX producer.
+
+    ``watchdog`` (a :class:`~repro.core.watchdog.Watchdog`) gates packet
+    acceptance when its MLB-thrash throttle is open; ``injector`` (a
+    :class:`~repro.faults.inject.FaultInjector`) may drop or corrupt load
+    returns in transit.  Both are optional and duck-typed so the agent
+    carries no dependency on either subsystem.
+    """
 
     def __init__(
         self,
@@ -35,6 +42,8 @@ class LoadAgent:
         ls_lanes: tuple[int, ...],
         mlb_entries: int = 64,
         replay_period: int = 8,
+        watchdog=None,
+        injector=None,
     ):
         self._intq = intq
         self._retq = retq
@@ -44,12 +53,15 @@ class LoadAgent:
         self._ls_lanes = ls_lanes
         self._mlb_entries = mlb_entries
         self._replay_period = replay_period
+        self._watchdog = watchdog
+        self._injector = injector
         self._mlb_fills: list[int] = []  # outstanding missed-load fill times
         self._pending_returns: list[tuple[int, LoadReturn]] = []  # (ready, ret)
         self.loads_issued = 0
         self.prefetches_issued = 0
         self.load_misses = 0
         self.replays = 0
+        self.loads_sanitized = 0
 
     # ------------------------------------------------------------------ #
 
@@ -61,14 +73,26 @@ class LoadAgent:
                 break
             visible = self._intq.head_visible_time()
             self._intq.pop(now)
+            if self._watchdog is not None and self._watchdog.load_throttled():
+                # MLB-thrash throttle open: shed injection packets rather
+                # than let replays keep hammering the cache ports.
+                self._watchdog.note_load_dropped()
+                continue
             self._issue(packet, max(visible, 0))
         self._flush_returns(now)
 
     def _issue(self, packet: LoadPacket, earliest: int) -> None:
+        address = packet.address
+        if address < 0 or address % WORD_BYTES:
+            # In-transit corruption can hand the agent a torn address.
+            # Injected loads are hints and must never trap: align and
+            # clamp instead of letting the memory image raise.
+            address = max(0, address - address % WORD_BYTES)
+            self.loads_sanitized += 1
         lane, issue_cycle = self._lanes.reserve(self._ls_lanes, earliest)
         access_time = issue_cycle + 1  # address generation / translation
         ready, level = self._hierarchy.data_access(
-            packet.address,
+            address,
             access_time,
             from_agent=True,
             is_prefetch=packet.is_prefetch,
@@ -77,31 +101,44 @@ class LoadAgent:
             self.prefetches_issued += 1
             return
         self.loads_issued += 1
+        replay_rounds = 0
+        missed = False
+        mlb_full = False
         if level != "L1D" or ready > access_time + 2:
-            ready = self._mlb_schedule(access_time, ready)
-        value = self._memory.load(packet.address)
-        ret = LoadReturn(ident=packet.ident, value=value, address=packet.address)
+            missed = True
+            before = self.replays
+            ready, mlb_full = self._mlb_schedule(access_time, ready)
+            replay_rounds = self.replays - before
+        if self._watchdog is not None:
+            self._watchdog.record_injected_load(replay_rounds, missed, mlb_full)
+        value = self._memory.load(address)
+        ret = LoadReturn(ident=packet.ident, value=value, address=address)
+        if self._injector is not None:
+            ret = self._injector.on_return(ret)
+            if ret is None:
+                return
         self._pending_returns.append((ready, ret))
 
-    def _mlb_schedule(self, issue_time: int, fill_time: int) -> int:
+    def _mlb_schedule(self, issue_time: int, fill_time: int) -> tuple[int, bool]:
         """Missed load: park in the MLB and replay until it hits.
 
         The replay loop quantizes the effective latency to the replay
         period; a full MLB delays acceptance until the earliest
-        outstanding fill drains.
+        outstanding fill drains.  Returns ``(ready, mlb_was_full)``.
         """
         self.load_misses += 1
         heap = self._mlb_fills
         while heap and heap[0] <= issue_time:
             heapq.heappop(heap)
-        if len(heap) >= self._mlb_entries:
+        was_full = len(heap) >= self._mlb_entries
+        if was_full:
             issue_time = max(issue_time, heap[0])
         wait = max(0, fill_time - issue_time)
         rounds = (wait + self._replay_period - 1) // self._replay_period
         self.replays += rounds
         ready = issue_time + rounds * self._replay_period + 1
         heapq.heappush(heap, ready)
-        return ready
+        return ready, was_full
 
     def _flush_returns(self, now: int) -> None:
         """Push completed load values into ObsQ-EX, oldest-completion first."""

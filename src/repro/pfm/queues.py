@@ -19,21 +19,44 @@ class QueueFullError(RuntimeError):
     """Push attempted while the consumer has not freed an entry yet."""
 
 
+class QueueInvariantError(IndexError):
+    """Timestamp-domain invariant violated on a queue endpoint.
+
+    Subclasses :class:`IndexError` so callers treating "nothing to pop"
+    as an index condition keep working; the message carries a diagnosis
+    (which queue, which timestamps) instead of a bare index complaint.
+    """
+
+
 class TimedQueue:
     """Bounded FIFO whose pushes and pops carry timestamps.
 
     Entries become visible to the consumer ``crossing_latency`` time units
     after their push time.
+
+    With ``monotonic_push`` the queue additionally asserts (under
+    ``__debug__``) that push timestamps never decrease — the producer
+    side of some queues is a clocked pipeline whose exit times are
+    nondecreasing by construction, so a violation is a model bug, not a
+    workload condition.
     """
 
-    def __init__(self, name: str, capacity: int, crossing_latency: int = 0):
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        crossing_latency: int = 0,
+        monotonic_push: bool = False,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.name = name
         self.capacity = capacity
         self.crossing_latency = crossing_latency
+        self.monotonic_push = monotonic_push
         self._entries: deque[tuple[int, object]] = deque()  # (visible_time, item)
         self._pop_times: deque[int] = deque(maxlen=capacity)
+        self._last_push_time: int | None = None
         self.pushes = 0
         self.pops = 0
         self.push_backpressure = 0
@@ -66,6 +89,15 @@ class TimedQueue:
         if len(self._entries) >= self.capacity:
             self.push_backpressure += 1
             raise QueueFullError(f"{self.name}: push while full")
+        if __debug__ and self.monotonic_push:
+            last = self._last_push_time
+            if last is not None and now < last:
+                raise QueueInvariantError(
+                    f"{self.name}: non-monotonic push at t={now} after a "
+                    f"push at t={last} (producer pipeline exit times must "
+                    f"be nondecreasing)"
+                )
+        self._last_push_time = now
         self._entries.append((now + self.crossing_latency, item))
         self.pushes += 1
         self.max_occupancy = max(self.max_occupancy, len(self._entries))
@@ -91,10 +123,18 @@ class TimedQueue:
     def pop(self, now: int):
         """Pop the head entry at time *now* (must be visible)."""
         if not self._entries:
-            raise IndexError(f"{self.name}: pop from empty queue")
+            raise QueueInvariantError(
+                f"{self.name}: pop from empty queue at t={now} "
+                f"(pushes={self.pushes}, pops={self.pops}); consumer must "
+                f"peek_visible before popping"
+            )
         visible_time, item = self._entries[0]
         if visible_time > now:
-            raise IndexError(f"{self.name}: head not visible until {visible_time}")
+            raise QueueInvariantError(
+                f"{self.name}: pop at t={now} but head not visible until "
+                f"t={visible_time} (crossing_latency={self.crossing_latency}); "
+                f"consumer clock ran ahead of the synchronizer"
+            )
         self._entries.popleft()
         self._pop_times.append(now)
         self.pops += 1

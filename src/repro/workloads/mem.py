@@ -94,3 +94,12 @@ class MemoryImage:
     def touched_words(self) -> int:
         """Number of words actually materialized (for tests/diagnostics)."""
         return len(self._words)
+
+    def iter_words(self):
+        """Yield materialized ``(addr, value)`` pairs in address order.
+
+        Deterministic iteration over the final memory state, used by the
+        architectural digest (:mod:`repro.core.archstate`).
+        """
+        for addr in sorted(self._words):
+            yield addr, self._words[addr]

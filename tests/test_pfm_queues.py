@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.pfm.queues import QueueFullError, TimedQueue
+from repro.pfm.queues import QueueFullError, QueueInvariantError, TimedQueue
 
 
 def test_push_pop_fifo_order():
@@ -90,6 +90,50 @@ def test_stats():
 def test_capacity_validation():
     with pytest.raises(ValueError):
         TimedQueue("q", capacity=0)
+
+
+def test_invariant_error_is_an_index_error():
+    """Callers treating 'nothing to pop' as IndexError keep working."""
+    assert issubclass(QueueInvariantError, IndexError)
+
+
+def test_pop_before_visible_diagnostics():
+    q = TimedQueue("IntQ-F", capacity=4, crossing_latency=5)
+    q.push(10, "x")
+    with pytest.raises(QueueInvariantError) as exc_info:
+        q.pop(12)
+    message = str(exc_info.value)
+    assert "IntQ-F" in message
+    assert "t=12" in message and "t=15" in message
+    assert "crossing_latency=5" in message
+
+
+def test_pop_empty_diagnostics():
+    q = TimedQueue("ObsQ-R", capacity=2)
+    q.push(0, "a")
+    q.pop(1)
+    with pytest.raises(QueueInvariantError) as exc_info:
+        q.pop(3)
+    message = str(exc_info.value)
+    assert "ObsQ-R" in message
+    assert "pushes=1" in message and "pops=1" in message
+
+
+def test_monotonic_push_rejects_time_regression():
+    q = TimedQueue("IntQ-IS", capacity=4, monotonic_push=True)
+    q.push(10, "a")
+    q.push(10, "b")  # equal times are fine (same pipeline exit cycle)
+    q.push(12, "c")
+    with pytest.raises(QueueInvariantError, match="non-monotonic"):
+        q.push(11, "d")
+    assert q.occupancy == 3  # the offending push did not land
+
+
+def test_monotonic_push_off_by_default():
+    q = TimedQueue("ObsQ-R", capacity=4)
+    q.push(10, "a")
+    q.push(5, "b")  # PRF port contention legitimately reorders send times
+    assert q.occupancy == 2
 
 
 @given(st.lists(st.sampled_from(["push", "pop"]), min_size=1, max_size=200))

@@ -4,12 +4,15 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import sys
 
 import pytest
 
 from repro.core import PFMParams, SimStats
 from repro.experiments import pool as pool_module
 from repro.experiments.pool import (
+    SweepFailure,
     SweepPoint,
     SweepPool,
     baseline_point,
@@ -199,6 +202,156 @@ def test_resume_tolerates_torn_final_line(tmp_path, counted_run_point):
     results = SweepPool(checkpoint=checkpoint).run(points)
     assert counted_run_point == ["p"]
     assert "p" in results
+
+
+# ---------------------------------------------------------------------- #
+# crash retry / failure containment
+# ---------------------------------------------------------------------- #
+
+
+def _retry_pool(**kwargs) -> SweepPool:
+    kwargs.setdefault("retry_backoff", 0.0)
+    return SweepPool(**kwargs)
+
+
+def test_retry_params_validated():
+    with pytest.raises(ValueError):
+        SweepPool(retries=-1)
+    with pytest.raises(ValueError):
+        SweepPool(retry_backoff=-0.5)
+
+
+def test_transient_failure_retried_to_success(monkeypatch):
+    attempts: list[str] = []
+
+    def flaky(point):
+        attempts.append(point.label)
+        if len(attempts) < 2:
+            raise OSError("worker lost")
+        return _fake_stats()
+
+    monkeypatch.setattr(pool_module, "run_point", flaky)
+    point = pfm_point("p", "libquantum", WINDOW, PFMParams(delay=0))
+    results = _retry_pool().run([point])
+    assert attempts == ["p", "p"]
+    assert "p" in results
+
+
+def test_persistent_failure_raises_and_keeps_checkpoint(
+    tmp_path, monkeypatch
+):
+    def half_broken(point):
+        if point.label == "bad":
+            raise RuntimeError("always dies")
+        return _fake_stats()
+
+    monkeypatch.setattr(pool_module, "run_point", half_broken)
+    points = [
+        pfm_point("ok", "libquantum", WINDOW, PFMParams(delay=0)),
+        pfm_point("bad", "libquantum", WINDOW, PFMParams(delay=2)),
+    ]
+    checkpoint = tmp_path / "ck.jsonl"
+    pool = _retry_pool(checkpoint=checkpoint)
+    with pytest.raises(SweepFailure) as exc_info:
+        pool.run(points)
+    assert exc_info.value.errors == {"bad": "RuntimeError: always dies"}
+    assert pool.last_run_info["failed"] == 1
+
+    # The checkpoint survives: the success as stats, the failure marked.
+    assert checkpoint.exists()
+    records = [
+        json.loads(line) for line in checkpoint.read_text().splitlines()
+    ]
+    by_key = {record["key"]: record for record in records}
+    assert "stats" in by_key[points[0].key()]
+    assert by_key[points[1].key()]["failed"] is True
+    assert "always dies" in by_key[points[1].key()]["error"]
+
+
+def test_resume_retries_previously_failed_point(tmp_path, monkeypatch):
+    points = [
+        pfm_point("ok", "libquantum", WINDOW, PFMParams(delay=0)),
+        pfm_point("bad", "libquantum", WINDOW, PFMParams(delay=2)),
+    ]
+    checkpoint = tmp_path / "ck.jsonl"
+    checkpoint.write_text(
+        json.dumps(
+            {"key": points[0].key(), "stats": stats_to_dict(_fake_stats())}
+        )
+        + "\n"
+        + json.dumps(
+            {"key": points[1].key(), "failed": True, "error": "boom"}
+        )
+        + "\n"
+    )
+
+    calls: list[str] = []
+
+    def healed(point):
+        calls.append(point.label)
+        return _fake_stats()
+
+    monkeypatch.setattr(pool_module, "run_point", healed)
+    results = _retry_pool(checkpoint=checkpoint).run(points)
+    assert calls == ["bad"]  # only the failed point recomputed
+    assert set(results) == {"ok", "bad"}
+    assert not checkpoint.exists()  # fully successful sweep cleans up
+
+
+def test_fail_fast_raises_original_error_unretried(monkeypatch):
+    attempts: list[str] = []
+
+    def dies(point):
+        attempts.append(point.label)
+        raise ValueError("bad config")
+
+    monkeypatch.setattr(pool_module, "run_point", dies)
+    point = pfm_point("p", "libquantum", WINDOW, PFMParams(delay=0))
+    with pytest.raises(ValueError, match="bad config"):
+        _retry_pool(fail_fast=True).run([point])
+    assert attempts == ["p"]
+
+
+def test_retries_zero_fails_after_single_attempt(monkeypatch):
+    attempts: list[str] = []
+
+    def dies(point):
+        attempts.append(point.label)
+        raise RuntimeError("nope")
+
+    monkeypatch.setattr(pool_module, "run_point", dies)
+    point = pfm_point("p", "libquantum", WINDOW, PFMParams(delay=0))
+    with pytest.raises(SweepFailure):
+        _retry_pool(retries=0).run([point])
+    assert attempts == ["p"]
+
+
+_CRASH_FLAG = ""  # set per-test; forked workers inherit the value
+
+
+def _crash_once_run_point(point):
+    """Module-level so executor.submit can pickle it by reference."""
+    if point.label == "crashy" and not os.path.exists(_CRASH_FLAG):
+        with open(_CRASH_FLAG, "w") as handle:
+            handle.write("x")
+        os._exit(1)  # hard kill, as an OOM or segfault would
+    return _fake_stats()
+
+
+def test_worker_crash_retried_in_fresh_executor(tmp_path, monkeypatch):
+    """A worker process dying outright (BrokenProcessPool) is retried in
+    the next round's fresh executor and the sweep still completes."""
+    monkeypatch.setattr(
+        sys.modules[__name__], "_CRASH_FLAG", str(tmp_path / "crashed-once")
+    )
+    monkeypatch.setattr(pool_module, "run_point", _crash_once_run_point)
+    points = [
+        pfm_point("crashy", "libquantum", WINDOW, PFMParams(delay=0)),
+        pfm_point("ok", "libquantum", WINDOW, PFMParams(delay=2)),
+    ]
+    results = _retry_pool(jobs=2).run(points)
+    assert set(results) == {"crashy", "ok"}
+    assert os.path.exists(str(tmp_path / "crashed-once"))
 
 
 def test_interrupted_sweep_leaves_checkpoint(tmp_path, monkeypatch):
