@@ -7,6 +7,7 @@ window; divide to get instructions/second.
 """
 
 from repro.core import PFMParams, SimConfig, simulate
+from repro.telemetry import TelemetryParams
 from repro.workloads.astar import build_astar_workload
 from repro.workloads.bfs import build_bfs_workload
 from repro.workloads.graphs import road_graph
@@ -62,6 +63,28 @@ def test_throughput_prefetcher_libquantum(benchmark):
         iterations=1,
     )
     assert stats.agent_prefetches > 0
+
+
+def test_throughput_pfm_astar_telemetry(benchmark):
+    """Ring sink attached: bounds the probes' enabled-path overhead.
+
+    The no-sink case is ``test_throughput_pfm_astar`` above (probe sites
+    cost one ``None`` test each there).
+    """
+    stats = benchmark.pedantic(
+        lambda: simulate(
+            build_astar_workload(grid_width=128, grid_height=128),
+            SimConfig(
+                max_instructions=WINDOW,
+                pfm=PFMParams(delay=0),
+                telemetry=TelemetryParams(),
+            ),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.telemetry is not None
+    assert stats.telemetry["captured"] > 0
 
 
 def test_throughput_functional_executor(benchmark):

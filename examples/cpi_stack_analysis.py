@@ -7,8 +7,10 @@ synergy: fixing both bottlenecks recovers far more than the sum of fixing
 each (the paper's 11% + 152% vs 426% observation).  The PFM column shows
 which slices each custom component removes.
 
-Run:  python examples/cpi_stack_analysis.py
+Run:  python examples/cpi_stack_analysis.py [--window N]
 """
+
+import argparse
 
 from repro.core import PFMParams
 from repro.core.analysis import compare_stacks, cpi_stack
@@ -18,7 +20,12 @@ from repro.workloads.graphs import road_graph
 
 
 def main() -> None:
-    window = 15_000
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--window", type=int, default=15_000,
+        help="dynamic instructions per counterfactual run (default 15000)",
+    )
+    window = parser.parse_args().window
 
     print("================ astar ================")
     base = cpi_stack(build_astar_workload, window=window)

@@ -1,35 +1,47 @@
 """Visualize how PFM reshapes the pipeline.
 
-Uses the tracing core to render classic pipeline timelines for astar's
-hard branches, baseline vs PFM.  In the baseline you can see the long
-refill gaps after each mispredicted waymap/maparp branch; with the custom
-predictor those gaps disappear (and the occasional IntQ-F wait shows up
-as a late F).
+Uses the tracing core (a stage-only :mod:`repro.telemetry` capture) to
+render classic pipeline timelines for astar's hard branches, baseline vs
+PFM.  In the baseline you can see the long refill gaps after each
+mispredicted waymap/maparp branch; with the custom predictor those gaps
+disappear (and the occasional IntQ-F wait shows up as a late F).
 
-Run:  python examples/pipeline_visualization.py
+Run:  python examples/pipeline_visualization.py [--window N]
 """
+
+import argparse
 
 from repro.core import PFMParams, SimConfig
 from repro.core.pipeview import render_timeline, trace_pipeline
 from repro.workloads.astar import build_astar_workload
 
 
-def show(label: str, pfm: PFMParams | None) -> None:
+def show(label: str, pfm: PFMParams | None, window: int) -> None:
     core = trace_pipeline(
         build_astar_workload(grid_width=128, grid_height=128),
-        SimConfig(max_instructions=6000, pfm=pfm),
-        max_records=6000,
+        SimConfig(max_instructions=window, pfm=pfm),
+        max_records=window,
     )
     # Pick a window deep in the run (predictor warmed / component synced).
     print(f"--- {label} (IPC {core.stats.ipc:.2f}, "
           f"MPKI {core.stats.mpki:.1f}) ---")
-    print(render_timeline(core.records, start_seq=4000, count=24))
+    print(render_timeline(core.records, start_seq=window * 2 // 3, count=24))
     print()
 
 
 def main() -> None:
-    show("baseline core", None)
-    show("core + custom astar predictor (clk4_w4)", PFMParams(delay=0))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--window", type=int, default=6000,
+        help="dynamic instructions per run (default 6000)",
+    )
+    args = parser.parse_args()
+    show("baseline core", None, args.window)
+    show(
+        "core + custom astar predictor (clk4_w4)",
+        PFMParams(delay=0),
+        args.window,
+    )
 
 
 if __name__ == "__main__":

@@ -15,16 +15,23 @@ idealized runs (the same technique behind Figure 12's motivation bars):
 The PFM variant of the stack shows exactly which components of the
 baseline's stack a custom component removes — astar's predictor collapses
 the branch slice; bfs's engine eats into both slices at once.
+
+The intra-run detail — average cycles an instruction spends between each
+pair of pipeline stages, and squash counts by reason — comes from the
+:mod:`repro.telemetry` event stream of the measured run rather than any
+analysis-private instrumentation, so this module and ``pipeview`` share
+exactly one probe path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.core import simulate
 from repro.core.params import PFMParams, SimConfig
 from repro.core.stats import SimStats
+from repro.telemetry.params import TelemetryParams
 
 
 @dataclass(frozen=True)
@@ -37,6 +44,11 @@ class CPIStack:
     branch_cycles: int
     memory_cycles: int
     overlap_cycles: int
+    #: Mean cycles between consecutive stage pairs, from the measured
+    #: run's telemetry stage stream (empty when tracing was disabled).
+    stage_gaps: dict[str, float] = field(default_factory=dict)
+    #: Pipeline squashes by reason, from the squash event stream.
+    squash_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def cpi(self) -> float:
@@ -62,7 +74,49 @@ class CPIStack:
             bar = "#" * max(0, int(round(share / 2.5))) if share > 0 else ""
             lines.append(f"  {name:<8} {value:6.2f}  {share:5.1f}%  {bar}")
         lines.append(f"  {'total':<8} {total:6.2f}")
+        if self.stage_gaps:
+            gaps = "  ".join(
+                f"{name}={value:.1f}" for name, value in self.stage_gaps.items()
+            )
+            lines.append(f"  stage gaps (avg cycles): {gaps}")
+        if self.squash_counts:
+            squashes = "  ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.squash_counts.items())
+            )
+            lines.append(f"  squashes: {squashes}")
         return "\n".join(lines)
+
+
+def stage_gap_breakdown(snapshot: dict) -> dict[str, float]:
+    """Mean cycles between consecutive stages, from a telemetry snapshot.
+
+    ``front`` fetch→dispatch, ``issue_wait`` dispatch→issue, ``execute``
+    issue→complete, ``retire_wait`` complete→retire.
+    """
+    sums = {"front": 0, "issue_wait": 0, "execute": 0, "retire_wait": 0}
+    count = 0
+    for event in snapshot.get("events", ()):
+        if event["kind"] != "stage":
+            continue
+        count += 1
+        sums["front"] += event["dispatch"] - event["fetch"]
+        sums["issue_wait"] += event["issue"] - event["dispatch"]
+        sums["execute"] += event["complete"] - event["issue"]
+        sums["retire_wait"] += event["retire"] - event["complete"]
+    if not count:
+        return {}
+    return {name: total / count for name, total in sums.items()}
+
+
+def squash_breakdown(snapshot: dict) -> dict[str, int]:
+    """Squash counts by reason, from a telemetry snapshot."""
+    counts: dict[str, int] = {}
+    for event in snapshot.get("events", ()):
+        if event["kind"] == "squash":
+            reason = event["reason"]
+            counts[reason] = counts.get(reason, 0) + 1
+    return counts
 
 
 def cpi_stack(
@@ -74,15 +128,29 @@ def cpi_stack(
 
     *build_workload* must return a fresh workload per call (state is
     mutated by execution).  With *pfm*, the stack describes the PFM run
-    (its idealized variants also keep the component attached).
+    (its idealized variants also keep the component attached).  The
+    measured (non-idealized) run carries a stage+squash telemetry ring,
+    feeding the stack's intra-run breakdowns.
     """
-    def run(**kwargs) -> SimStats:
+    def run(telemetry: TelemetryParams | None = None, **kwargs) -> SimStats:
         return simulate(
             build_workload(),
-            SimConfig(max_instructions=window, pfm=pfm, **kwargs),
+            SimConfig(
+                max_instructions=window, pfm=pfm, telemetry=telemetry,
+                **kwargs,
+            ),
         )
 
-    base = run()
+    base = run(
+        telemetry=TelemetryParams(
+            # Stage events are one per retired instruction; size the ring
+            # so a full window plus its squashes fits without drops.
+            ring_capacity=2 * window,
+            sample_period=0,
+            groups=("stage", "squash"),
+        )
+    )
+    snapshot = base.telemetry or {}
     perf_branch = run(perfect_branch_prediction=True)
     perf_memory = run(perfect_dcache=True)
     perf_both = run(perfect_branch_prediction=True, perfect_dcache=True)
@@ -103,6 +171,8 @@ def cpi_stack(
         branch_cycles=branch - overlap,
         memory_cycles=memory - overlap,
         overlap_cycles=overlap,
+        stage_gaps=stage_gap_breakdown(snapshot),
+        squash_counts=squash_breakdown(snapshot),
     )
 
 

@@ -97,6 +97,16 @@ class SuperscalarCore:
                 workload.memory,
             )
 
+        self.telemetry = None
+        if config.telemetry is not None:
+            # Imported here so telemetry-free runs never touch the
+            # subsystem (layering mirrors the fault injector above).
+            from repro.telemetry.hub import TelemetryHub
+
+            self.telemetry = TelemetryHub(config.telemetry)
+            if self.fabric is not None:
+                self.telemetry.attach_fabric(self.fabric)
+
         self._lane_map = {
             OpClass.INT_ALU: (p.alu_lanes(), p.int_alu_latency, 0),
             OpClass.INT_MUL: (p.fp_lanes(), p.int_mul_latency, 0),
@@ -162,6 +172,9 @@ class SuperscalarCore:
             self.stats.watchdog_loads_dropped = wd.loads_dropped
             if self.fabric.injector is not None:
                 self.stats.fault_events = dict(self.fabric.injector.counts)
+            self.stats.queue_stats = self.fabric.queue_stats()
+        if self.telemetry is not None:
+            self.stats.telemetry = self.telemetry.snapshot()
 
     # ------------------------------------------------------------------ #
     # per-instruction pipeline
@@ -213,6 +226,14 @@ class SuperscalarCore:
 
         self._retire(dyn, complete_time)
         stats.instructions += 1
+
+        tel = self.telemetry
+        if tel is not None:
+            tel.stage(
+                dyn, fetch_time, dispatch_time, issue_time, complete_time,
+                self._prev_retire,
+            )
+            tel.maybe_sample(self._prev_retire)
 
     # ------------------------------------------------------------------ #
     # fetch
@@ -275,6 +296,8 @@ class SuperscalarCore:
             entry = fabric.fst.lookup(dyn.pc)
             if entry is not None:
                 stats.fetched_fst_hits += 1
+                if self.telemetry is not None:
+                    self.telemetry.agent(fetch_time, "fetch", "fst_hit")
                 result = fabric.predict(entry.tag, fetch_time)
                 if result is not None:
                     taken, effective = result
@@ -327,6 +350,8 @@ class SuperscalarCore:
         """Pipeline squash resolving at *resolve_time* (redirect + PFM sync)."""
         stats = self.stats
         stats.pipeline_squashes += 1
+        if self.telemetry is not None:
+            self.telemetry.squash(resolve_time, reason)
         redirect = resolve_time + 1
         if redirect > self._redirect_floor:
             stats.squash_refill_cycles += redirect - max(
@@ -478,6 +503,8 @@ class SuperscalarCore:
                 if was_active:
                     stats.retired_rst_hits += 1
                     self._count_obs(entry)
+                    if self.telemetry is not None:
+                        self.telemetry.agent(rt, "retire", "rst_hit")
                 fabric.on_retire(dyn, rt)
                 if not was_active and fabric.roi_active:
                     # Beginning of ROI (§2.1): the Retire Agent signals the

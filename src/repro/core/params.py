@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.watchdog import WatchdogParams
 from repro.memory.hierarchy import HierarchyParams
+from repro.telemetry.params import TelemetryParams
 
 if TYPE_CHECKING:  # layering: core never imports the fault subsystem
     from repro.faults.plan import FaultPlan
@@ -141,6 +142,9 @@ class SimConfig:
     perfect_branch_prediction: bool = False
     perfect_dcache: bool = False
     oracle: object | None = None
+    #: Introspection probes (:mod:`repro.telemetry`); None = no sink
+    #: attached, and the probe sites cost one pointer test each.
+    telemetry: TelemetryParams | None = None
 
     def __post_init__(self) -> None:
         if self.perfect_dcache:

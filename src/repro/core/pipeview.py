@@ -8,17 +8,25 @@ Renders a classic textual pipeline diagram from an instrumented run::
 Stages: F fetch, D dispatch (enters the issue queue), I issue, C complete,
 R retire.  Useful for inspecting how a PFM intervention (a stalled fetch
 waiting on IntQ-F, a squash-sync retire stall) reshapes the pipeline.
+
+Since the :mod:`repro.telemetry` subsystem this module is a thin view
+over its stage-event stream: :class:`TracingCore` is a plain
+:class:`~repro.core.core.SuperscalarCore` run with a stage-only telemetry
+ring attached, and ``records`` projects the captured
+:class:`~repro.telemetry.events.StageEvent` stream into
+:class:`StageRecord` rows for rendering.  There is exactly one
+instrumentation path — the hub's probe sites.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.core.core import SuperscalarCore
 from repro.core.params import SimConfig
-from repro.isa.instructions import OpClass
+from repro.telemetry.params import TelemetryParams
 from repro.workloads.base import Workload
-from repro.workloads.trace import DynInst
 
 
 @dataclass(slots=True)
@@ -36,58 +44,42 @@ class StageRecord:
 
 
 class TracingCore(SuperscalarCore):
-    """SuperscalarCore that records per-instruction stage timestamps."""
+    """SuperscalarCore with per-instruction stage capture via telemetry.
+
+    ``max_records`` bounds the telemetry ring; the head-anchored ring
+    keeps the *first* ``max_records`` instructions and counts the rest as
+    dropped.  Any ``telemetry`` already present on *config* is replaced
+    by the stage-only capture configuration.
+    """
 
     def __init__(self, workload: Workload, config: SimConfig,
                  max_records: int = 10_000):
+        config = dataclasses.replace(
+            config,
+            telemetry=TelemetryParams(
+                ring_capacity=max_records,
+                sample_period=0,
+                groups=("stage",),
+            ),
+        )
         super().__init__(workload, config)
-        self.records: list[StageRecord] = []
-        self._max_records = max_records
-        self._current: list[int] = []
 
-    def _fetch(self, dyn: DynInst) -> int:
-        fetch = super()._fetch(dyn)
-        self._current = [fetch, fetch, fetch, fetch]
-        return fetch
-
-    def _dispatch(self, dyn: DynInst, fetch_time: int) -> int:
-        dispatch = super()._dispatch(dyn, fetch_time)
-        self._current[1] = dispatch
-        return dispatch
-
-    def _execute(self, dyn: DynInst, dispatch_time: int):
-        issue, complete = super()._execute(dyn, dispatch_time)
-        self._current[2] = issue
-        self._current[3] = complete
-        return issue, complete
-
-    def _retire(self, dyn: DynInst, complete_time: int) -> None:
-        super()._retire(dyn, complete_time)
-        if len(self.records) < self._max_records:
-            fetch, dispatch, issue, complete = self._current
-            self.records.append(
-                StageRecord(
-                    seq=dyn.seq,
-                    pc=dyn.pc,
-                    text=_render_inst(dyn),
-                    fetch=fetch,
-                    dispatch=dispatch,
-                    issue=issue,
-                    complete=complete,
-                    retire=self._prev_retire,
-                )
+    @property
+    def records(self) -> list[StageRecord]:
+        """Captured stage events, oldest first, as render-ready records."""
+        return [
+            StageRecord(
+                seq=event.seq,
+                pc=event.pc,
+                text=event.label,
+                fetch=event.fetch,
+                dispatch=event.dispatch,
+                issue=event.issue,
+                complete=event.complete,
+                retire=event.retire,
             )
-
-
-def _render_inst(dyn: DynInst) -> str:
-    parts = [dyn.mnemonic]
-    if dyn.dst:
-        parts.append(dyn.dst)
-    parts.extend(dyn.srcs)
-    text = " ".join(parts)
-    if dyn.op_class is OpClass.BRANCH:
-        text += " (T)" if dyn.taken else " (NT)"
-    return text
+            for event in self.telemetry.sink.events
+        ]
 
 
 def render_timeline(

@@ -8,7 +8,13 @@ event counts the energy model (Figure 18) consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
+from dataclasses import dataclass, field, fields
+
+
+def _slug(text: str) -> str:
+    """Flatten an arbitrary label into a stable snake_case key segment."""
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
 
 
 @dataclass
@@ -89,6 +95,17 @@ class SimStats:
     #: the invariant the fault-injection oracle checks.
     arch_digest: str = ""
 
+    #: Per-queue counters from the fabric's TimedQueues plus the Fetch
+    #: Agent's IntQ-F: pushes, pops, max_occupancy (high-water mark),
+    #: backpressure, full_rejects, dropped.  Empty for plain-core runs.
+    queue_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    #: Telemetry snapshot (:meth:`repro.telemetry.TelemetryHub.snapshot`)
+    #: when the run was configured with ``SimConfig.telemetry``; plain
+    #: JSON-safe dicts so the payload survives worker pickling.  None when
+    #: no probes were attached.
+    telemetry: dict | None = None
+
     # ------------------------------------------------------------------ #
     # derived metrics
     # ------------------------------------------------------------------ #
@@ -123,6 +140,43 @@ class SimStats:
         if not self.pfm_predicted_branches:
             return 0.0
         return 1.0 - self.pfm_mispredicts / self.pfm_predicted_branches
+
+    def to_dict(self) -> dict[str, float | int | str]:
+        """Flat, stably ordered export of every counter + derived metric.
+
+        Dict-valued counters are flattened with slugged key segments
+        (``load_hits_l1``, ``mem_l2_misses``, ``queue_obsq_r_pushes``,
+        ``fault_drop_return``); the telemetry event snapshot is excluded
+        (it is bulk event data, not a scalar metric).  Keys are sorted so
+        CSV columns and manifest diffs are stable across runs.
+        """
+        flat: dict[str, float | int | str] = {}
+        for f in fields(self):
+            if f.name == "telemetry":
+                continue
+            value = getattr(self, f.name)
+            if f.name == "load_hits_by_level":
+                for level, count in value.items():
+                    flat[f"load_hits_{_slug(level)}"] = count
+            elif f.name == "memory_levels":
+                for level, level_stats in value.items():
+                    for stat, v in level_stats.items():
+                        flat[f"mem_{_slug(level)}_{_slug(stat)}"] = v
+            elif f.name == "fault_events":
+                for kind, count in value.items():
+                    flat[f"fault_{_slug(kind)}"] = count
+            elif f.name == "queue_stats":
+                for queue, queue_stats in value.items():
+                    for stat, v in queue_stats.items():
+                        flat[f"queue_{_slug(queue)}_{_slug(stat)}"] = v
+            else:
+                flat[f.name] = value
+        flat["ipc"] = self.ipc
+        flat["mpki"] = self.mpki
+        flat["fst_hit_pct"] = self.fst_hit_pct
+        flat["rst_hit_pct"] = self.rst_hit_pct
+        flat["pfm_accuracy"] = self.pfm_accuracy
+        return dict(sorted(flat.items()))
 
     def speedup_over(self, baseline: "SimStats") -> float:
         """IPC improvement relative to *baseline*, as a fraction.

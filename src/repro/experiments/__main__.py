@@ -27,6 +27,7 @@ from repro.experiments import astar_sweeps, bfs_sweeps, energy_fig18
 from repro.experiments import faults as faults_module
 from repro.experiments import fpga_table4, prefetch_sweeps, robustness
 from repro.experiments import slipstream_fig2, sweep as sweep_module
+from repro.experiments import trace as trace_module
 from repro.experiments.pool import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, SweepPool
 from repro.experiments.runner import DEFAULT_WINDOW
 
@@ -99,6 +100,12 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment id (see 'list'), or 'all'",
     )
     parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="workload to trace ('trace' only; default astar)",
+    )
+    parser.add_argument(
         "--window",
         type=int,
         default=None,
@@ -154,6 +161,47 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="discard any existing checkpoint instead of resuming from it",
     )
+    trace_group = parser.add_argument_group("trace options")
+    trace_group.add_argument(
+        "--perfetto",
+        metavar="FILE",
+        default=None,
+        help="write the Perfetto/Chrome trace-event JSON to FILE",
+    )
+    trace_group.add_argument(
+        "--trace-csv",
+        metavar="FILE",
+        default=None,
+        help="write the flat event CSV to FILE",
+    )
+    trace_group.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=None,
+        help="write the per-run metrics manifest (JSON) to FILE",
+    )
+    trace_group.add_argument(
+        "--config",
+        default=trace_module.DEFAULT_TRACE_CONFIG,
+        help=f"PFM configuration label to trace"
+             f" (default {trace_module.DEFAULT_TRACE_CONFIG!r})",
+    )
+    trace_group.add_argument(
+        "--ring",
+        type=int,
+        default=trace_module.DEFAULT_RING,
+        metavar="N",
+        help=f"telemetry ring-buffer capacity in events"
+             f" (default {trace_module.DEFAULT_RING})",
+    )
+    trace_group.add_argument(
+        "--sample-period",
+        type=int,
+        default=trace_module.DEFAULT_SAMPLE_PERIOD,
+        metavar="CYCLES",
+        help=f"occupancy sampler cadence in core cycles, 0 disables"
+             f" (default {trace_module.DEFAULT_SAMPLE_PERIOD})",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment is None and not args.smoke:
@@ -162,17 +210,61 @@ def main(argv: list[str] | None = None) -> int:
         args.experiment is not None
         and args.smoke
         and args.experiment not in PAYLOAD_EXPERIMENTS
+        and args.experiment != "trace"
     ):
         parser.error(
             "--smoke combines only with "
             + "/".join(PAYLOAD_EXPERIMENTS)
-            + "; alone it runs the full-matrix sweep"
+            + "/trace; alone it runs the full-matrix sweep"
         )
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
+        print("trace  (telemetry trace of one workload; see --perfetto)")
         print("shape  (aggregate shape-agreement metrics)")
+        return 0
+
+    if args.experiment == "trace":
+        from repro.telemetry.export import (
+            events_csv,
+            metrics_manifest,
+            perfetto_json,
+        )
+
+        target = args.target or "astar"
+        if args.smoke:
+            window = args.window or trace_module.TRACE_SMOKE_WINDOW
+        else:
+            window = args.window or DEFAULT_WINDOW
+        pool = make_pool(args, f"trace-{target}", window)
+        started = time.time()
+        result, traced, base = trace_module.run_trace(
+            target,
+            window,
+            pool,
+            config=args.config,
+            ring=args.ring,
+            sample_period=args.sample_period,
+        )
+        print(result.render())
+        print(f"   [{time.time() - started:.1f}s, jobs={args.jobs},"
+              f" {_run_info(pool)}]")
+        if args.perfetto:
+            Path(args.perfetto).write_text(perfetto_json(traced.telemetry))
+            print(f"perfetto trace written to {args.perfetto}"
+                  f" (load at https://ui.perfetto.dev)")
+        if args.trace_csv:
+            Path(args.trace_csv).write_text(events_csv(traced.telemetry))
+            print(f"event csv written to {args.trace_csv}")
+        if args.manifest:
+            import json as json_module
+
+            manifest = metrics_manifest(traced, baseline=base)
+            Path(args.manifest).write_text(
+                json_module.dumps(manifest, sort_keys=True, indent=2) + "\n"
+            )
+            print(f"metrics manifest written to {args.manifest}")
         return 0
 
     if args.smoke and args.experiment is None:

@@ -16,7 +16,7 @@ from repro.experiments.pool import (
     default_pool,
     pfm_point,
 )
-from repro.experiments.report import ExperimentResult
+from repro.experiments.report import ExperimentResult, add_stat_rows
 from repro.experiments.runner import DEFAULT_WINDOW
 
 WORKLOAD = "astar"
@@ -79,8 +79,10 @@ def table2(window: int = DEFAULT_WINDOW,
     )
     pool = pool or default_pool()
     stats = pool.run(table2_points(window))["default"]
-    result.add("retired hit RST", stats.rst_hit_pct)
-    result.add("fetched hit FST", stats.fst_hit_pct)
+    add_stat_rows(result, stats, [
+        ("retired hit RST", "rst_hit_pct"),
+        ("fetched hit FST", "fst_hit_pct"),
+    ])
     return result
 
 

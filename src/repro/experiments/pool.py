@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core import PFMParams, SimConfig, SimStats, simulate
+from repro.telemetry import TelemetryParams
 
 #: Environment override for the on-disk cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -93,6 +94,7 @@ class SweepPoint:
     oracle: str | None = None
     oracle_kwargs: dict = field(default_factory=dict)
     overrides: dict = field(default_factory=dict)
+    telemetry: TelemetryParams | None = None
 
     @property
     def is_baseline(self) -> bool:
@@ -102,6 +104,9 @@ class SweepPoint:
             and not self.perfect_branch_prediction
             and not self.perfect_dcache
             and self.oracle is None
+            # Telemetry-carrying runs haul their event snapshot along;
+            # never serve them as (or poison) a cached plain baseline.
+            and self.telemetry is None
         )
 
     def config_key(self) -> str:
@@ -116,6 +121,9 @@ class SweepPoint:
             "oracle_kwargs": self.oracle_kwargs,
             "overrides": self.overrides,
         }
+        if self.telemetry is not None:
+            # Added only when set so pre-existing cache keys still match.
+            spec["telemetry"] = dataclasses.asdict(self.telemetry)
         digest = hashlib.sha256(_canonical_bytes(spec))
         return digest.hexdigest()[:16]
 
@@ -185,6 +193,7 @@ def run_point(point: SweepPoint) -> SimStats:
         perfect_branch_prediction=point.perfect_branch_prediction,
         perfect_dcache=point.perfect_dcache,
         oracle=oracle,
+        telemetry=point.telemetry,
     )
     return simulate(workload, config)
 

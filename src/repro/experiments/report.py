@@ -49,3 +49,19 @@ class ExperimentResult:
 
 def render_all(results: list[ExperimentResult]) -> str:
     return "\n\n".join(r.render() for r in results)
+
+
+def add_stat_rows(result: ExperimentResult, stats,
+                  rows: list[tuple[str, str]]) -> None:
+    """Append rows plucked from ``SimStats.to_dict()`` by flat key.
+
+    ``rows`` is ``[(row_label, metric_key), ...]`` where *metric_key* is
+    a key of the flat export (e.g. ``rst_hit_pct``, ``load_hits_l1``,
+    ``queue_obsq_r_max_occupancy``).  A missing key raises ``KeyError``
+    naming it — no silent zero rows.
+    """
+    metrics = stats.to_dict()
+    for label, key in rows:
+        if key not in metrics:
+            raise KeyError(f"unknown SimStats metric {key!r} for row {label!r}")
+        result.add(label, metrics[key])

@@ -102,6 +102,7 @@ class PFMFabric:
         self._watchdog_budget = pfm.watchdog_rf_cycles
         self.obs_dropped = 0
         self.squashes_signalled = 0
+        self.probe = None  # optional telemetry hub (attach_fabric wires it)
 
     # ------------------------------------------------------------------ #
     # RF clock
@@ -300,6 +301,7 @@ class PFMFabric:
             guard -= 1
         if not self.obs_q.can_push():
             self.obs_dropped += 1
+            self.obs_q.note_reject(send_time)
             return
         send_time = max(send_time, self.obs_q.earliest_push(send_time))
         self.obs_q.push(send_time, packet)
@@ -321,6 +323,10 @@ class PFMFabric:
                 squash_time, squash_done, c, self.watchdog
             )
         self.fetch_agent.apply_squash(squash_done)
+        if self.probe is not None:
+            self.probe.agent(
+                squash_time, "fabric", "squash_sync", squash_done - squash_time
+            )
         return squash_done
 
     # ------------------------------------------------------------------ #
@@ -378,6 +384,8 @@ class PFMFabric:
             for dup in packets[1:]:
                 if self.intq_is.can_push():  # a full queue sheds the dup
                     self.intq_is.push(ready, dup)
+                else:
+                    self.intq_is.note_reject(ready)
             return True
         if not self.intq_is.can_push():
             return False
@@ -426,6 +434,16 @@ class PFMFabric:
     # ------------------------------------------------------------------ #
 
     def queue_stats(self) -> dict[str, dict[str, int]]:
-        return {
+        """Per-queue counter summaries for all four fabric queues.
+
+        IntQ-F lives inside the Fetch Agent (predictions carry ready
+        times through the delay pipeline rather than a TimedQueue), so
+        its summary comes from the agent; ObsQ-R additionally reports the
+        observation packets the Retire Agent shed on back-pressure.
+        """
+        stats = {
             q.name: q.stats() for q in (self.obs_q, self.intq_is, self.retq)
         }
+        stats["ObsQ-R"]["dropped"] = self.obs_dropped
+        stats["IntQ-F"] = self.fetch_agent.stats()
+        return stats

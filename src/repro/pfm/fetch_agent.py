@@ -61,8 +61,12 @@ class FetchAgent:
         self.predictions_supplied = 0
         self.packets_dropped = 0
         self.stall_cycles = 0
+        self.pushes = 0
+        self.full_rejects = 0
+        self.max_pending = 0  # high-water mark of the prediction stream
         self.enabled = True  # chicken switch (§2.4)
         self._fallback_debt: dict[str, int] = {}
+        self.probe = None  # optional telemetry hub
 
     # ------------------------------------------------------------------ #
     # producer side (called from the component via the fabric)
@@ -77,6 +81,7 @@ class FetchAgent:
 
     def push(self, taken: bool, ready: int, tag: str) -> bool:
         if not self.can_push(ready):
+            self.full_rejects += 1
             return False
         self._pending.append(
             _PendEntry(
@@ -88,6 +93,11 @@ class FetchAgent:
             )
         )
         self.producer_seq += 1
+        self.pushes += 1
+        if len(self._pending) > self.max_pending:
+            self.max_pending = len(self._pending)
+        if self.probe is not None:
+            self.probe.queue(ready, "IntQ-F", "push", len(self._pending))
         return True
 
     def new_call(self) -> None:
@@ -185,6 +195,13 @@ class FetchAgent:
         effective = max(fetch_time, head.ready)
         self.stall_cycles += effective - fetch_time
         self.predictions_supplied += 1
+        probe = self.probe
+        if probe is not None:
+            probe.queue(effective, "IntQ-F", "pop", len(self._pending))
+            if effective > fetch_time:
+                probe.agent(
+                    fetch_time, "fetch", "intqf_stall", effective - fetch_time
+                )
         return head.taken, effective
 
     def drop_match(self, fst_tag: str) -> bool:
@@ -219,3 +236,19 @@ class FetchAgent:
 
     def pending_count(self) -> int:
         return len(self._pending)
+
+    def stats(self) -> dict[str, int]:
+        """Counter summary shaped like :meth:`TimedQueue.stats`.
+
+        ``max_occupancy`` is the high-water mark of the whole pending
+        prediction stream (delay pipeline included), and ``dropped`` the
+        stale/fallback packets discarded to keep the stream aligned.
+        """
+        return {
+            "pushes": self.pushes,
+            "pops": self.predictions_supplied,
+            "max_occupancy": self.max_pending,
+            "backpressure": 0,
+            "full_rejects": self.full_rejects,
+            "dropped": self.packets_dropped,
+        }

@@ -62,6 +62,7 @@ class LoadAgent:
         self.load_misses = 0
         self.replays = 0
         self.loads_sanitized = 0
+        self.probe = None  # optional telemetry hub
 
     # ------------------------------------------------------------------ #
 
@@ -138,6 +139,13 @@ class LoadAgent:
         self.replays += rounds
         ready = issue_time + rounds * self._replay_period + 1
         heapq.heappush(heap, ready)
+        probe = self.probe
+        if probe is not None:
+            probe.agent(issue_time, "load", "mlb_fill", len(heap))
+            if rounds:
+                probe.agent(issue_time, "load", "mlb_replay", rounds)
+            if was_full:
+                probe.agent(issue_time, "load", "mlb_full", len(heap))
         return ready, was_full
 
     def _flush_returns(self, now: int) -> None:
@@ -166,3 +174,8 @@ class LoadAgent:
     @property
     def in_flight(self) -> int:
         return len(self._pending_returns) + self._intq.occupancy
+
+    @property
+    def mlb_occupancy(self) -> int:
+        """Outstanding Missed Load Buffer entries (occupancy sampler)."""
+        return len(self._mlb_fills)

@@ -60,7 +60,14 @@ class TimedQueue:
         self.pushes = 0
         self.pops = 0
         self.push_backpressure = 0
-        self.max_occupancy = 0
+        self.max_occupancy = 0  # high-water mark
+        #: Producer gave up on a full queue and shed the item (distinct
+        #: from ``push_backpressure``, which counts pushes that *raised*).
+        self.full_rejects = 0
+        #: Optional telemetry probe (:class:`~repro.telemetry.hub.TelemetryHub`);
+        #: attribute-check only, so an unattached queue pays one pointer
+        #: test per endpoint operation.
+        self.probe = None
 
     # ------------------------------------------------------------------ #
 
@@ -100,8 +107,17 @@ class TimedQueue:
         self._last_push_time = now
         self._entries.append((now + self.crossing_latency, item))
         self.pushes += 1
-        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        if len(self._entries) > self.max_occupancy:
+            self.max_occupancy = len(self._entries)
+        if self.probe is not None:
+            self.probe.queue(now, self.name, "push", len(self._entries))
         return now
+
+    def note_reject(self, now: int | None = None) -> None:
+        """Producer observed the queue full and shed the item."""
+        self.full_rejects += 1
+        if self.probe is not None and now is not None:
+            self.probe.queue(now, self.name, "drop", len(self._entries))
 
     # ------------------------------------------------------------------ #
 
@@ -138,6 +154,8 @@ class TimedQueue:
         self._entries.popleft()
         self._pop_times.append(now)
         self.pops += 1
+        if self.probe is not None:
+            self.probe.queue(now, self.name, "pop", len(self._entries))
         return item
 
     def drain(self, now: int) -> list:
@@ -164,4 +182,5 @@ class TimedQueue:
             "pops": self.pops,
             "max_occupancy": self.max_occupancy,
             "backpressure": self.push_backpressure,
+            "full_rejects": self.full_rejects,
         }

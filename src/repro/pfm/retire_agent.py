@@ -40,6 +40,7 @@ class RetireAgent:
             raise ValueError(f"unknown port option {port!r}")
         self.port_delay_cycles = 0
         self.packets_built = 0
+        self.probe = None  # optional telemetry hub
 
     def build_packet(
         self, dyn: DynInst, entry: RSTEntry, retire_time: int
@@ -49,6 +50,10 @@ class RetireAgent:
         if kind is SnoopKind.DEST_VALUE:
             send_time = self._lanes.earliest_free_port(self._port_lanes, retire_time)
             self.port_delay_cycles += send_time - retire_time
+            if self.probe is not None and send_time > retire_time:
+                self.probe.agent(
+                    retire_time, "retire", "prf_port_wait", send_time - retire_time
+                )
             packet = ObsPacket(
                 kind=kind,
                 tag=entry.tag,

@@ -1,0 +1,46 @@
+"""Telemetry configuration.
+
+Kept free of any ``repro.core`` import so :class:`TelemetryParams` can be
+embedded in :class:`~repro.core.params.SimConfig` (and pickled inside
+:class:`~repro.experiments.pool.SweepPoint`) without layering cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Event groups a hub can record.  ``stage`` is the per-instruction
+#: fetch/dispatch/issue/complete/retire record, ``squash`` the pipeline
+#: squash events, ``queue`` the fabric queue push/pop/drop stream,
+#: ``agent`` the Fetch/Load/Retire Agent events (FST/RST hits, IntQ-F
+#: stalls, MLB fill/replay, squash-sync), and ``sample`` the periodic
+#: occupancy/progress counters.
+EVENT_GROUPS = ("stage", "squash", "queue", "agent", "sample")
+
+
+@dataclass
+class TelemetryParams:
+    """Configuration of one run's telemetry hub.
+
+    ``ring_capacity`` bounds the event buffer: once full, later events
+    are counted as dropped instead of evicting earlier ones (the head of
+    the window stays intact and timestamps stay monotonic).
+    ``sample_period`` is the sampler cadence in core cycles; 0 disables
+    the samplers even when the ``sample`` group is enabled.
+    """
+
+    ring_capacity: int = 65_536
+    sample_period: int = 64
+    groups: tuple[str, ...] = EVENT_GROUPS
+
+    def __post_init__(self) -> None:
+        if self.ring_capacity < 1:
+            raise ValueError("ring_capacity must be >= 1")
+        if self.sample_period < 0:
+            raise ValueError("sample_period must be >= 0")
+        self.groups = tuple(self.groups)
+        unknown = [g for g in self.groups if g not in EVENT_GROUPS]
+        if unknown:
+            raise ValueError(
+                f"unknown telemetry group(s) {unknown}; known: {EVENT_GROUPS}"
+            )

@@ -1,0 +1,39 @@
+"""Periodic counter samplers.
+
+The cycle model is one-pass in the timestamp domain — there is no global
+per-cycle loop to hang a sampler off — so sampling piggybacks on retire
+progress: the hub polls the bank at every retired instruction and the
+bank fires once per crossed ``period`` boundary on the core-cycle grid.
+Readings are taken at the retire time that crossed the boundary, which
+keeps them deterministic (a pure function of the instruction stream).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class SamplerBank:
+    """Named counter tracks read on a fixed core-cycle cadence."""
+
+    def __init__(self, period: int):
+        self.period = period
+        self._next = period
+        self._tracks: list[tuple[str, Callable[[int], int]]] = []
+
+    def register(self, track: str, read: Callable[[int], int]) -> None:
+        """Add a counter track; *read* maps a core time to the value."""
+        self._tracks.append((track, read))
+
+    @property
+    def tracks(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self._tracks)
+
+    def due(self, now: int) -> bool:
+        return bool(self._tracks) and self.period > 0 and now >= self._next
+
+    def collect(self, now: int) -> list[tuple[str, int]]:
+        """Read every track at *now* and advance past the crossed boundary."""
+        readings = [(track, int(read(now))) for track, read in self._tracks]
+        self._next = (now // self.period + 1) * self.period
+        return readings

@@ -1,0 +1,33 @@
+"""Bounded event sink with drop accounting.
+
+The buffer is head-anchored: it keeps the first ``capacity`` events and
+counts everything after that as dropped, rather than evicting earlier
+entries.  A trace of the window's start with a known truncation point
+beats a trace with a hole in the middle — exporters stay monotonic and
+the drop count tells the analyst exactly how much was shed (the same
+contract the fabric's ObsQ-R gives droppable observation packets).
+"""
+
+from __future__ import annotations
+
+
+class RingBufferSink:
+    """Fixed-capacity event buffer; excess emissions are counted, not kept."""
+
+    __slots__ = ("capacity", "events", "dropped")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.events: list = []
+        self.dropped = 0
+
+    def emit(self, event) -> None:
+        if len(self.events) < self.capacity:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self.events)
