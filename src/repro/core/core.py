@@ -3,21 +3,30 @@
 See the package docstring for the modelling approach.  The public entry
 point is :func:`simulate`, which builds a core over a workload and returns
 its :class:`~repro.core.stats.SimStats`.
+
+The engine itself lives in :mod:`repro.core.stages`: four stage objects
+(fetch, dispatch, execute, retire) over a shared
+:class:`~repro.core.stages.context.PipelineContext`.
+:class:`SuperscalarCore` is the driver that walks each dynamic
+instruction through the stages in program order and finalizes the
+statistics; the PFM fabric attaches its three agents to the stages'
+:class:`~repro.core.stages.ports.AgentPort` hooks.
 """
 
 from __future__ import annotations
 
-from repro.core.archstate import ArchDigest
-from repro.core.params import SimConfig
-from repro.core.resources import HeapOccupancy, LaneScheduler, RingOccupancy
-from repro.core.stats import SimStats
-from repro.frontend.btb import BranchTargetBuffer, ReturnAddressStack
-from repro.frontend.tagescl import TageSCL
-from repro.isa.instructions import OpClass
-from repro.memory.cache import LINE_SHIFT
 from typing import TYPE_CHECKING
 
-from repro.memory.hierarchy import MemoryHierarchy
+from repro.core.archstate import ArchDigest
+from repro.core.params import SimConfig
+from repro.core.stages.context import PipelineContext
+from repro.core.stages.dispatch import DispatchStage
+from repro.core.stages.execute import ExecuteStage, InFlightStore
+from repro.core.stages.fetch import FetchStage
+from repro.core.stages.retire import RetireStage
+from repro.core.stats import SimStats
+from repro.isa.instructions import OpClass
+from repro.registry.predictors import make_predictor
 from repro.workloads.trace import DynInst
 
 if TYPE_CHECKING:  # avoid a circular import (workloads.base -> pfm -> core)
@@ -26,61 +35,44 @@ if TYPE_CHECKING:  # avoid a circular import (workloads.base -> pfm -> core)
 _PRUNE_INTERVAL = 8192
 _PRUNE_MARGIN = 4096
 
-
-class _InFlightStore:
-    """Store tracked for forwarding/disambiguation.
-
-    The window is time-based: a store occupies the store queue until its
-    retire time, so a younger load issuing before that time interacts with
-    it (forward or violate) even though the one-pass engine has already
-    fully processed the store.
-    """
-
-    __slots__ = ("seq", "addr", "addr_ready", "data_ready", "retire_time")
-
-    def __init__(self, seq: int, addr: int, addr_ready: int, data_ready: int):
-        self.seq = seq
-        self.addr = addr
-        self.addr_ready = addr_ready
-        self.data_ready = data_ready
-        self.retire_time: int | None = None
+#: Backwards-compatible alias; the class moved to the execute stage.
+_InFlightStore = InFlightStore
 
 
 class SuperscalarCore:
     """One-pass timing engine over a correct-path dynamic stream."""
-
-    #: Fetch bubble on a taken-control BTB miss (target found in decode).
-    _BTB_MISS_BUBBLE = 2
 
     def __init__(self, workload: "Workload", config: SimConfig):
         self.workload = workload
         self.config = config
         p = config.core
         self.params = p
-        self.stats = SimStats()
-        self.hierarchy = MemoryHierarchy(config.memory)
-        self.predictor = TageSCL()
-        self.btb = BranchTargetBuffer()
-        self.ras = ReturnAddressStack()
-        self.lanes = LaneScheduler(p.num_lanes, p.issue_width)
 
-        self._rob = RingOccupancy(p.rob_size)
-        self._iq = HeapOccupancy(p.iq_size)
-        self._ldq = RingOccupancy(p.ldq_size)
-        self._stq = RingOccupancy(p.stq_size)
-        self._fetchq = RingOccupancy(p.fetch_queue_size)
+        ctx = PipelineContext(config)
+        self.ctx = ctx
+        predictor = make_predictor(p.predictor)
+        self.fetch_stage = FetchStage(ctx, predictor)
+        self.dispatch_stage = DispatchStage(ctx)
+        self.execute_stage = ExecuteStage(ctx)
+        self.retire_stage = RetireStage(ctx, predictor)
 
-        self._reg_ready: dict[str, int] = {}
-        self._stores_by_line: dict[int, list[_InFlightStore]] = {}
+        # Bound-method fast paths for the per-instruction loop (one
+        # attribute hop instead of two on every stage call).
+        self._fetch = self.fetch_stage.fetch
+        self._predict_branch = self.fetch_stage.predict_branch
+        self._btb_redirect = self.fetch_stage.btb_redirect
+        self._predict_jump_target = self.fetch_stage.predict_jump_target
+        self._dispatch = self.dispatch_stage.dispatch
+        self._execute = self.execute_stage.execute
+        self._retire = self.retire_stage.retire
 
-        self._fetch_cycle = 0
-        self._fetch_used = 0
-        self._redirect_floor = 0
-        self._last_iline = -1
-        self._prev_retire = 0
-        self._retire_counts: dict[int, int] = {}
-        self._retire_floor = 0
-        self._first_retire: int | None = None
+        # Aliases kept for the public surface (tests, tools, notebooks).
+        self.stats = ctx.stats
+        self.hierarchy = ctx.hierarchy
+        self.lanes = ctx.lanes
+        self.predictor = predictor
+        self.btb = self.fetch_stage.btb
+        self.ras = self.fetch_stage.ras
 
         # Imported here: the fabric imports core params, so a module-level
         # import would be circular.
@@ -92,9 +84,12 @@ class SuperscalarCore:
                 workload.bitstream,
                 config.pfm,
                 p,
-                self.lanes,
-                self.hierarchy,
+                ctx.lanes,
+                ctx.hierarchy,
                 workload.memory,
+            )
+            self.fabric.attach_ports(
+                ctx.fetch_port, ctx.execute_port, ctx.retire_port
             )
 
         self.telemetry = None
@@ -104,20 +99,19 @@ class SuperscalarCore:
             from repro.telemetry.hub import TelemetryHub
 
             self.telemetry = TelemetryHub(config.telemetry)
+            ctx.telemetry = self.telemetry
             if self.fabric is not None:
                 self.telemetry.attach_fabric(self.fabric)
 
-        self._lane_map = {
-            OpClass.INT_ALU: (p.alu_lanes(), p.int_alu_latency, 0),
-            OpClass.INT_MUL: (p.fp_lanes(), p.int_mul_latency, 0),
-            OpClass.INT_DIV: (p.fp_lanes(), p.int_div_latency, p.int_div_latency),
-            OpClass.FP_ALU: (p.fp_lanes(), p.fp_alu_latency, 0),
-            OpClass.FP_MUL: (p.fp_lanes(), p.fp_mul_latency, 0),
-            OpClass.FP_DIV: (p.fp_lanes(), p.fp_div_latency, p.fp_div_latency),
-            OpClass.BRANCH: (p.alu_lanes(), p.branch_latency, 0),
-            OpClass.JUMP: (p.alu_lanes(), p.branch_latency, 0),
-            OpClass.HALT: (p.alu_lanes(), 1, 0),
-        }
+    # Read-only views of the cross-stage cursors (instrumented subclasses
+    # sample these around ``_process``).
+    @property
+    def _fetch_cycle(self) -> int:
+        return self.ctx.fetch_cycle
+
+    @property
+    def _prev_retire(self) -> int:
+        return self.ctx.prev_retire
 
     # ------------------------------------------------------------------ #
     # driver
@@ -139,29 +133,29 @@ class SuperscalarCore:
         return self.stats
 
     def _prune(self) -> None:
-        floor = min(self._prev_retire, self._fetch_cycle) - _PRUNE_MARGIN
+        ctx = self.ctx
+        floor = min(ctx.prev_retire, ctx.fetch_cycle) - _PRUNE_MARGIN
         if floor > 0:
-            self.lanes.prune(floor)
-        # Drop retire-slot counters older than the retire horizon.
-        stale = [c for c in self._retire_counts if c < self._prev_retire - 8]
-        for c in stale:
-            del self._retire_counts[c]
-        self._prune_stores()
+            ctx.lanes.prune(floor)
+        self.retire_stage.prune()
+        self.execute_stage.prune_stores()
 
     def _finalize(self) -> None:
-        start = self._first_retire or 0
-        self.stats.cycles = max(1, self._prev_retire - start)
+        ctx = self.ctx
+        start = ctx.first_retire or 0
+        self.stats.cycles = max(1, ctx.prev_retire - start)
         self.stats.memory_levels = self.hierarchy.level_stats()
         if self.fabric is not None:
-            fa = self.fabric.fetch_agent
-            la = self.fabric.load_agent
-            self.stats.agent_loads = la.loads_issued
-            self.stats.agent_prefetches = la.prefetches_issued
-            self.stats.agent_load_misses = la.load_misses
-            self.stats.mlb_replays = la.replays
-            self.stats.prf_port_delay_cycles = self.fabric.retire_agent.port_delay_cycles
-            self.stats.fetch_stall_pfm_cycles = fa.stall_cycles
-            self.stats.agent_loads_sanitized = la.loads_sanitized
+            fetch_agent = ctx.fetch_port.agent
+            load_agent = ctx.execute_port.agent
+            retire_agent = ctx.retire_port.agent
+            self.stats.agent_loads = load_agent.loads_issued
+            self.stats.agent_prefetches = load_agent.prefetches_issued
+            self.stats.agent_load_misses = load_agent.load_misses
+            self.stats.mlb_replays = load_agent.replays
+            self.stats.prf_port_delay_cycles = retire_agent.port_delay_cycles
+            self.stats.fetch_stall_pfm_cycles = fetch_agent.stall_cycles
+            self.stats.agent_loads_sanitized = load_agent.loads_sanitized
             wd = self.fabric.watchdog
             self.stats.watchdog_fetch_timeouts = wd.fetch_timeouts
             self.stats.watchdog_dead_declarations = wd.dead_declarations
@@ -181,10 +175,12 @@ class SuperscalarCore:
     # ------------------------------------------------------------------ #
 
     def _process(self, dyn: DynInst) -> None:
-        stats = self.stats
+        ctx = self.ctx
+        stats = ctx.stats
         fetch_time = self._fetch(dyn)
 
-        roi_fetch = self.fabric is not None and self.fabric.roi_fetch_active
+        fetch_agent = ctx.fetch_port.agent
+        roi_fetch = fetch_agent is not None and fetch_agent.roi_fetch_active
         if roi_fetch:
             stats.fetched_in_roi += 1
 
@@ -206,13 +202,13 @@ class SuperscalarCore:
 
         if mispredicted:
             stats.branch_mispredicts += 1
-            self._squash_at(complete_time, "branch")
+            ctx.squash_at(complete_time, "branch")
         if bundle_break:
             # A predicted-taken control op ends the fetch bundle.
-            self._fetch_used = self.params.fetch_width
+            ctx.fetch_used = ctx.params.fetch_width
 
         if dyn.dst is not None and dyn.dst != "zero":
-            self._reg_ready[dyn.dst] = complete_time
+            ctx.reg_ready[dyn.dst] = complete_time
             stats.prf_writes += 1
 
         if self.config.oracle is not None:
@@ -220,337 +216,20 @@ class SuperscalarCore:
             if extra:
                 # e.g. a slipstream leading-thread restart: stall the
                 # front end while the leading thread rolls back.
-                self._redirect_floor = max(
-                    self._redirect_floor, complete_time + extra
+                ctx.redirect_floor = max(
+                    ctx.redirect_floor, complete_time + extra
                 )
 
         self._retire(dyn, complete_time)
         stats.instructions += 1
 
-        tel = self.telemetry
+        tel = ctx.telemetry
         if tel is not None:
             tel.stage(
                 dyn, fetch_time, dispatch_time, issue_time, complete_time,
-                self._prev_retire,
+                ctx.prev_retire,
             )
-            tel.maybe_sample(self._prev_retire)
-
-    # ------------------------------------------------------------------ #
-    # fetch
-    # ------------------------------------------------------------------ #
-
-    def _fetch(self, dyn: DynInst) -> int:
-        stats = self.stats
-        cycle = self._fetch_cycle
-        used = self._fetch_used
-
-        if self._redirect_floor > cycle:
-            cycle = self._redirect_floor
-            used = 0
-        if used >= self.params.fetch_width:
-            cycle += 1
-            used = 0
-
-        fq_ready = self._fetchq.earliest_alloc(cycle)
-        if fq_ready > cycle:
-            cycle = fq_ready
-            used = 0
-
-        line = dyn.pc >> LINE_SHIFT
-        if line != self._last_iline:
-            ready = self.hierarchy.inst_access(dyn.pc, cycle)
-            if ready > cycle:
-                stats.fetch_stall_icache_cycles += ready - cycle
-                cycle = ready
-                used = 0
-            self._last_iline = line
-
-        self._fetch_cycle = cycle
-        self._fetch_used = used + 1
-
-        if self.fabric is not None:
-            self.fabric.on_fetch(dyn.pc)
-        return cycle
-
-    def _predict_branch(
-        self, dyn: DynInst, fetch_time: int, roi_fetch: bool
-    ) -> tuple[bool, int]:
-        """Return (predicted_direction, possibly-stalled fetch time)."""
-        stats = self.stats
-        stats.conditional_branches += 1
-
-        # The core's own predictor always runs (and always trains); the
-        # Fetch Agent merely overrides its output on FST hits (§2.2).
-        tage_prediction = self.predictor.predict(dyn.pc)
-
-        predicted = tage_prediction
-        if self.config.perfect_branch_prediction:
-            predicted = bool(dyn.taken)
-        elif self.config.oracle is not None:
-            oracle_prediction = self.config.oracle.predict(dyn)
-            if oracle_prediction is not None:
-                predicted = oracle_prediction
-
-        fabric = self.fabric
-        if fabric is not None and roi_fetch:
-            entry = fabric.fst.lookup(dyn.pc)
-            if entry is not None:
-                stats.fetched_fst_hits += 1
-                if self.telemetry is not None:
-                    self.telemetry.agent(fetch_time, "fetch", "fst_hit")
-                result = fabric.predict(entry.tag, fetch_time)
-                if result is not None:
-                    taken, effective = result
-                    if effective > fetch_time:
-                        # IntQ-F empty: the Fetch Agent stalls fetch (§2.2).
-                        self._fetch_cycle = effective
-                        self._fetch_used = 1
-                        fetch_time = effective
-                    predicted = taken
-                    stats.pfm_predicted_branches += 1
-                    if predicted != dyn.taken:
-                        stats.pfm_mispredicts += 1
-                    # Grade the consumed override for the watchdog's
-                    # accuracy breaker (no-op unless its threshold is set).
-                    fabric.watchdog.record_override(predicted == bool(dyn.taken))
-                else:
-                    # Watchdog/quiescence/degradation fallback to the
-                    # core's predictor; the fabric settled the alignment
-                    # (drop-or-debt) before returning None (§2.4).
-                    stats.pfm_fallback_predictions += 1
-        return predicted, fetch_time
-
-    def _btb_redirect(self, dyn: DynInst, fetch_time: int) -> None:
-        """Taken control flow needs its target from the BTB; a miss costs
-        a fetch bubble while the front end computes the target."""
-        predicted_target = self.btb.predict(dyn.pc)
-        if predicted_target != dyn.next_pc:
-            self.stats.btb_miss_bubbles += 1
-            bubble = fetch_time + self._BTB_MISS_BUBBLE
-            if bubble > self._redirect_floor:
-                self._redirect_floor = bubble
-            self.btb.update(dyn.pc, dyn.next_pc)
-
-    def _predict_jump_target(self, dyn: DynInst, fetch_time: int) -> bool:
-        """Jump target prediction; returns True on a (RAS) mispredict."""
-        if dyn.mnemonic == "jal" and dyn.dst is not None:
-            self.ras.push(dyn.pc + 4)
-            self._btb_redirect(dyn, fetch_time)
-            return False
-        if dyn.mnemonic == "jalr":
-            predicted = self.ras.pop()
-            if predicted != dyn.next_pc:
-                self.stats.ras_mispredicts += 1
-                return True  # resolved at execute like a branch mispredict
-            return False
-        self._btb_redirect(dyn, fetch_time)  # plain j
-        return False
-
-    def _squash_at(self, resolve_time: int, reason: str) -> None:
-        """Pipeline squash resolving at *resolve_time* (redirect + PFM sync)."""
-        stats = self.stats
-        stats.pipeline_squashes += 1
-        if self.telemetry is not None:
-            self.telemetry.squash(resolve_time, reason)
-        redirect = resolve_time + 1
-        if redirect > self._redirect_floor:
-            stats.squash_refill_cycles += redirect - max(
-                self._redirect_floor, self._fetch_cycle
-            )
-            self._redirect_floor = redirect
-        if self.fabric is not None:
-            done = self.fabric.on_core_squash(resolve_time, reason)
-            if done > self._retire_floor:
-                stats.retire_stall_squash_sync_cycles += done - resolve_time
-                self._retire_floor = done
-
-    # ------------------------------------------------------------------ #
-    # dispatch / execute
-    # ------------------------------------------------------------------ #
-
-    def _dispatch(self, dyn: DynInst, fetch_time: int) -> int:
-        dt = fetch_time + self.params.front_depth
-        dt = self._rob.earliest_alloc(dt)
-        dt = self._iq.earliest_alloc(dt)
-        if dyn.op_class is OpClass.LOAD:
-            dt = self._ldq.earliest_alloc(dt)
-        elif dyn.op_class is OpClass.STORE:
-            dt = self._stq.earliest_alloc(dt)
-        self._fetchq.allocate(dt)
-        return dt
-
-    def _src_ready(self, srcs: tuple[str, ...]) -> int:
-        ready = 0
-        reg_ready = self._reg_ready
-        for reg in srcs:
-            t = reg_ready.get(reg, 0)
-            if t > ready:
-                ready = t
-        return ready
-
-    def _execute(self, dyn: DynInst, dispatch_time: int) -> tuple[int, int]:
-        stats = self.stats
-        op = dyn.op_class
-        if op is OpClass.LOAD:
-            return self._execute_load(dyn, dispatch_time)
-        if op is OpClass.STORE:
-            return self._execute_store(dyn, dispatch_time)
-
-        lanes, latency, block = self._lane_map[op]
-        ready = max(dispatch_time + 1, self._src_ready(dyn.srcs))
-        _, issue = self.lanes.reserve(lanes, ready, block_cycles=block)
-        self._iq.allocate(issue)
-        stats.issued_ops += 1
-        stats.prf_reads += len(dyn.srcs)
-        return issue, issue + latency
-
-    def _execute_load(self, dyn: DynInst, dispatch_time: int) -> tuple[int, int]:
-        stats = self.stats
-        stats.loads += 1
-        ready = max(dispatch_time + 1, self._src_ready(dyn.srcs))
-        _, issue = self.lanes.reserve(self.params.ls_lanes(), ready)
-        self._iq.allocate(issue)
-        stats.issued_ops += 1
-        stats.prf_reads += len(dyn.srcs)
-        agen_done = issue + 1
-
-        conflict = self._latest_older_store(dyn, agen_done)
-        if conflict is not None:
-            if conflict.addr_ready > agen_done:
-                # The load issued before an older same-address store had
-                # resolved its address: memory-disambiguation violation.
-                stats.disambiguation_squashes += 1
-                violation = conflict.addr_ready
-                complete = max(violation, conflict.data_ready) + 1
-                self._squash_at(violation, "disambiguation")
-                return issue, complete
-            stats.store_forwards += 1
-            complete = max(agen_done, conflict.data_ready) + 1
-            return issue, complete
-
-        avail, level = self.hierarchy.data_access(dyn.mem_addr, agen_done)
-        stats.load_hits_by_level[level] = stats.load_hits_by_level.get(level, 0) + 1
-        return issue, avail
-
-    def _latest_older_store(self, dyn: DynInst, load_time: int) -> _InFlightStore | None:
-        """Youngest older same-address store still in the STQ at *load_time*."""
-        line = dyn.mem_addr >> LINE_SHIFT
-        stores = self._stores_by_line.get(line)
-        if not stores:
-            return None
-        best = None
-        for store in stores:
-            if (
-                store.addr == dyn.mem_addr
-                and store.seq < dyn.seq
-                and (store.retire_time is None or store.retire_time > load_time)
-                and (best is None or store.seq > best.seq)
-            ):
-                best = store
-        return best
-
-    def _execute_store(self, dyn: DynInst, dispatch_time: int) -> tuple[int, int]:
-        stats = self.stats
-        stats.stores += 1
-        base_reg, data_reg = dyn.srcs[0], dyn.srcs[1]
-        addr_src_ready = self._reg_ready.get(base_reg, 0)
-        data_src_ready = self._reg_ready.get(data_reg, 0)
-        ready = max(dispatch_time + 1, addr_src_ready)
-        _, issue = self.lanes.reserve(self.params.ls_lanes(), ready)
-        self._iq.allocate(issue)
-        stats.issued_ops += 1
-        stats.prf_reads += 2
-        addr_ready = issue + 1
-        data_ready = max(addr_ready, data_src_ready)
-
-        store = _InFlightStore(dyn.seq, dyn.mem_addr, addr_ready, data_ready)
-        line = dyn.mem_addr >> LINE_SHIFT
-        self._stores_by_line.setdefault(line, []).append(store)
-        return issue, addr_ready
-
-    # ------------------------------------------------------------------ #
-    # retire
-    # ------------------------------------------------------------------ #
-
-    def _retire(self, dyn: DynInst, complete_time: int) -> None:
-        stats = self.stats
-        rt = max(complete_time + 1, self._prev_retire, self._retire_floor)
-        counts = self._retire_counts
-        while counts.get(rt, 0) >= self.params.retire_width:
-            rt += 1
-        counts[rt] = counts.get(rt, 0) + 1
-        self._prev_retire = rt
-        if self._first_retire is None:
-            self._first_retire = rt
-
-        self._rob.allocate(rt)
-        if dyn.op_class is OpClass.LOAD:
-            self._ldq.allocate(rt)
-        elif dyn.op_class is OpClass.STORE:
-            self._stq.allocate(rt)
-            self._commit_store(dyn, rt)
-
-        if dyn.op_class is OpClass.BRANCH:
-            self.predictor.update(dyn.pc, bool(dyn.taken))
-
-        fabric = self.fabric
-        if fabric is not None:
-            was_active = fabric.roi_active
-            if was_active:
-                stats.retired_in_roi += 1
-            entry = fabric.rst.lookup(dyn.pc)
-            if entry is not None:
-                if was_active:
-                    stats.retired_rst_hits += 1
-                    self._count_obs(entry)
-                    if self.telemetry is not None:
-                        self.telemetry.agent(rt, "retire", "rst_hit")
-                fabric.on_retire(dyn, rt)
-                if not was_active and fabric.roi_active:
-                    # Beginning of ROI (§2.1): the Retire Agent signals the
-                    # core to squash its pipeline so core and component are
-                    # logically at the same point in the dynamic stream.
-                    self._squash_at(rt, "roi_begin")
-
-    def _count_obs(self, entry) -> None:
-        from repro.pfm.snoop import SnoopKind
-
-        stats = self.stats
-        stats.obs_packets += 1
-        if entry.kind is SnoopKind.DEST_VALUE:
-            stats.obs_dest_value += 1
-        elif entry.kind is SnoopKind.STORE_VALUE:
-            stats.obs_store_value += 1
-        elif entry.kind is SnoopKind.BRANCH_OUTCOME:
-            stats.obs_branch_outcome += 1
-
-    def _commit_store(self, dyn: DynInst, retire_time: int) -> None:
-        self.hierarchy.data_access(dyn.mem_addr, retire_time, is_store=True)
-        stores = self._stores_by_line.get(dyn.mem_addr >> LINE_SHIFT)
-        if stores:
-            for store in stores:
-                if store.seq == dyn.seq:
-                    store.retire_time = retire_time
-                    break
-
-    def _prune_stores(self) -> None:
-        """Drop committed stores no future load can still race with.
-
-        Any future load issues at or after the current fetch frontier, so
-        stores whose retire time is behind it are safely architectural.
-        """
-        floor = self._fetch_cycle
-        dead_lines = []
-        for line, stores in self._stores_by_line.items():
-            stores[:] = [
-                s
-                for s in stores
-                if s.retire_time is None or s.retire_time > floor
-            ]
-            if not stores:
-                dead_lines.append(line)
-        for line in dead_lines:
-            del self._stores_by_line[line]
+            tel.maybe_sample(ctx.prev_retire)
 
 
 def simulate(workload: "Workload", config: SimConfig) -> SimStats:

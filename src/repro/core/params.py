@@ -41,6 +41,10 @@ class CoreParams:
     num_ls_lanes: int = 2
     num_fp_lanes: int = 2
 
+    #: Conditional branch predictor, resolved through the predictor
+    #: registry (:mod:`repro.registry`); the paper's baseline is TAGE-SC-L.
+    predictor: str = "tagescl"
+
     # Execution latencies (cycles); division is unpipelined.
     int_alu_latency: int = 1
     int_mul_latency: int = 3

@@ -1,0 +1,45 @@
+"""Explicit stage architecture of the superscalar core.
+
+The cycle engine is decomposed into four stage objects sharing one
+:class:`~repro.core.stages.context.PipelineContext`:
+
+- :class:`~repro.core.stages.fetch.FetchStage` — front-end cursor,
+  direction/target prediction; Fetch Agent port (§2.2)
+- :class:`~repro.core.stages.dispatch.DispatchStage` — structural
+  allocation (ROB / IQ / LDQ / STQ / fetch queue)
+- :class:`~repro.core.stages.execute.ExecuteStage` — ALU issue path and
+  the LSU path (forwarding, disambiguation); Load Agent port (§2.3)
+- :class:`~repro.core.stages.retire.RetireStage` — in-order commit,
+  store commit; Retire Agent port (§2.1)
+
+Each PFM-facing stage exposes a uniform :class:`~repro.core.stages.
+ports.AgentPort`; :meth:`repro.pfm.fabric.PFMFabric.attach_ports` plugs
+one agent adapter into each.  A detached port is the plain-baseline fast
+path.  :class:`~repro.core.core.SuperscalarCore` remains the driver that
+walks an instruction through the stages in program order.
+"""
+
+from repro.core.stages.context import PipelineContext
+from repro.core.stages.dispatch import DispatchStage
+from repro.core.stages.execute import ExecuteStage, InFlightStore
+from repro.core.stages.fetch import FetchStage
+from repro.core.stages.ports import (
+    AgentPort,
+    ExecuteAgentHook,
+    FetchAgentHook,
+    RetireAgentHook,
+)
+from repro.core.stages.retire import RetireStage
+
+__all__ = [
+    "PipelineContext",
+    "AgentPort",
+    "FetchAgentHook",
+    "ExecuteAgentHook",
+    "RetireAgentHook",
+    "FetchStage",
+    "DispatchStage",
+    "ExecuteStage",
+    "InFlightStore",
+    "RetireStage",
+]

@@ -1,0 +1,38 @@
+"""Dispatch stage: structural-resource allocation between fetch and issue.
+
+An instruction dispatches once a ROB slot, an issue-queue slot, and (for
+memory ops) an LDQ/STQ slot all exist; the fetch-queue entry it occupied
+since fetch is released at dispatch time.  No agent attaches here — the
+paper's pipeline interfaces sit at fetch, the LSU path, and retire.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.stages.context import PipelineContext
+from repro.isa.instructions import OpClass
+
+if TYPE_CHECKING:
+    from repro.workloads.trace import DynInst
+
+
+class DispatchStage:
+    """Rename/dispatch: the in-order boundary into the out-of-order back end."""
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx: PipelineContext) -> None:
+        self.ctx = ctx
+
+    def dispatch(self, dyn: "DynInst", fetch_time: int) -> int:
+        ctx = self.ctx
+        dt = fetch_time + ctx.params.front_depth
+        dt = ctx.rob.earliest_alloc(dt)
+        dt = ctx.iq.earliest_alloc(dt)
+        if dyn.op_class is OpClass.LOAD:
+            dt = ctx.ldq.earliest_alloc(dt)
+        elif dyn.op_class is OpClass.STORE:
+            dt = ctx.stq.earliest_alloc(dt)
+        ctx.fetchq.allocate(dt)
+        return dt

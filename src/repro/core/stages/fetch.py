@@ -1,0 +1,147 @@
+"""Fetch stage: front-end cursor, branch prediction, and the Fetch Agent.
+
+Owns the front-end predictors (direction predictor, BTB, RAS) and the
+fetch bandwidth/redirect bookkeeping on the shared context.  The PFM
+Fetch Agent attaches to ``ctx.fetch_port`` (§2.2): it snoops every fetch
+PC, and on an FST hit its custom prediction overrides the core
+predictor's output — the core predictor still always runs and trains.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.stages.context import PipelineContext
+from repro.frontend.btb import BranchTargetBuffer, ReturnAddressStack
+from repro.memory.cache import LINE_SHIFT
+
+if TYPE_CHECKING:
+    from repro.frontend.predictor import BranchPredictor
+    from repro.workloads.trace import DynInst
+
+
+class FetchStage:
+    """Front end of the pipeline: fetch timing plus control prediction."""
+
+    #: Fetch bubble on a taken-control BTB miss (target found in decode).
+    _BTB_MISS_BUBBLE = 2
+
+    __slots__ = ("ctx", "predictor", "btb", "ras")
+
+    def __init__(self, ctx: PipelineContext, predictor: "BranchPredictor") -> None:
+        self.ctx = ctx
+        self.predictor = predictor
+        self.btb = BranchTargetBuffer()
+        self.ras = ReturnAddressStack()
+
+    def fetch(self, dyn: "DynInst") -> int:
+        ctx = self.ctx
+        stats = ctx.stats
+        cycle = ctx.fetch_cycle
+        used = ctx.fetch_used
+
+        if ctx.redirect_floor > cycle:
+            cycle = ctx.redirect_floor
+            used = 0
+        if used >= ctx.params.fetch_width:
+            cycle += 1
+            used = 0
+
+        fq_ready = ctx.fetchq.earliest_alloc(cycle)
+        if fq_ready > cycle:
+            cycle = fq_ready
+            used = 0
+
+        line = dyn.pc >> LINE_SHIFT
+        if line != ctx.last_iline:
+            ready = ctx.hierarchy.inst_access(dyn.pc, cycle)
+            if ready > cycle:
+                stats.fetch_stall_icache_cycles += ready - cycle
+                cycle = ready
+                used = 0
+            ctx.last_iline = line
+
+        ctx.fetch_cycle = cycle
+        ctx.fetch_used = used + 1
+
+        agent = ctx.fetch_port.agent
+        if agent is not None:
+            agent.on_fetch(dyn.pc)
+        return cycle
+
+    def predict_branch(
+        self, dyn: "DynInst", fetch_time: int, roi_fetch: bool
+    ) -> tuple[bool, int]:
+        """Return (predicted_direction, possibly-stalled fetch time)."""
+        ctx = self.ctx
+        stats = ctx.stats
+        stats.conditional_branches += 1
+
+        # The core's own predictor always runs (and always trains); the
+        # Fetch Agent merely overrides its output on FST hits (§2.2).
+        tage_prediction = self.predictor.predict(dyn.pc)
+
+        predicted = tage_prediction
+        config = ctx.config
+        if config.perfect_branch_prediction:
+            predicted = bool(dyn.taken)
+        elif config.oracle is not None:
+            oracle_prediction = config.oracle.predict(dyn)
+            if oracle_prediction is not None:
+                predicted = oracle_prediction
+
+        agent = ctx.fetch_port.agent
+        if agent is not None and roi_fetch:
+            entry = agent.lookup(dyn.pc)
+            if entry is not None:
+                stats.fetched_fst_hits += 1
+                if ctx.telemetry is not None:
+                    ctx.telemetry.agent(fetch_time, "fetch", "fst_hit")
+                result = agent.predict(entry.tag, fetch_time)
+                if result is not None:
+                    taken, effective = result
+                    if effective > fetch_time:
+                        # IntQ-F empty: the Fetch Agent stalls fetch (§2.2).
+                        ctx.fetch_cycle = effective
+                        ctx.fetch_used = 1
+                        fetch_time = effective
+                    predicted = taken
+                    stats.pfm_predicted_branches += 1
+                    if predicted != dyn.taken:
+                        stats.pfm_mispredicts += 1
+                    # Grade the consumed override for the watchdog's
+                    # accuracy breaker (no-op unless its threshold is set).
+                    agent.record_override(predicted == bool(dyn.taken))
+                else:
+                    # Watchdog/quiescence/degradation fallback to the
+                    # core's predictor; the fabric settled the alignment
+                    # (drop-or-debt) before returning None (§2.4).
+                    stats.pfm_fallback_predictions += 1
+        return predicted, fetch_time
+
+    def btb_redirect(self, dyn: "DynInst", fetch_time: int) -> None:
+        """Taken control flow needs its target from the BTB; a miss costs
+        a fetch bubble while the front end computes the target."""
+        ctx = self.ctx
+        predicted_target = self.btb.predict(dyn.pc)
+        if predicted_target != dyn.next_pc:
+            ctx.stats.btb_miss_bubbles += 1
+            bubble = fetch_time + self._BTB_MISS_BUBBLE
+            if bubble > ctx.redirect_floor:
+                ctx.redirect_floor = bubble
+            self.btb.update(dyn.pc, dyn.next_pc)
+
+    def predict_jump_target(self, dyn: "DynInst", fetch_time: int) -> bool:
+        """Jump target prediction; returns True on a (RAS) mispredict."""
+        if dyn.mnemonic == "jal" and dyn.dst is not None:
+            self.ras.push(dyn.pc + 4)
+            self.btb_redirect(dyn, fetch_time)
+            return False
+        if dyn.mnemonic == "jalr":
+            predicted = self.ras.pop()
+            if predicted != dyn.next_pc:
+                self.ctx.stats.ras_mispredicts += 1
+                return True  # resolved at execute like a branch mispredict
+            return False
+        self.btb_redirect(dyn, fetch_time)  # plain j
+        return False

@@ -1,0 +1,144 @@
+"""Agent ports: the fixed pipeline interfaces PFM agents attach to.
+
+The paper's three Agents observe and intervene at fixed points of the
+pipeline (§2.1–2.3): the Fetch Agent at the fetch stage (FST hits,
+prediction overrides), the Load Agent at the execute stage's LSU path
+(injected loads/prefetches via the MLB), and the Retire Agent at the
+retire stage (RST hits, observation packets, squash synchronization).
+
+Each :class:`~repro.core.stages` stage object exposes one
+:class:`AgentPort`; :class:`~repro.pfm.fabric.PFMFabric` plugs an
+adapter for each of its agents into the matching port when a core is
+built with a PFM configuration.  A detached port (``agent is None``) is
+the plain-baseline fast path — stages test the agent reference once per
+hook site, the same cost the inlined ``fabric is not None`` checks paid
+before the stage decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.pfm.snoop import FSTEntry, RSTEntry
+    from repro.workloads.trace import DynInst
+
+
+@runtime_checkable
+class FetchAgentHook(Protocol):
+    """What the fetch stage needs from an attached Fetch Agent (§2.2)."""
+
+    @property
+    def roi_fetch_active(self) -> bool:
+        """True once fetch has passed the begin-of-ROI marker."""
+        ...
+
+    def on_fetch(self, pc: int) -> None:
+        """Per-fetch bookkeeping (ROI entry, per-call markers)."""
+        ...
+
+    def lookup(self, pc: int) -> Optional["FSTEntry"]:
+        """Fetch Snoop Table lookup for *pc*."""
+        ...
+
+    def predict(self, tag: str, fetch_time: int) -> tuple[bool, int] | None:
+        """Custom prediction for an FST-hit branch, or ``None`` to fall
+        back to the core's own predictor (watchdog / quiescence, §2.4)."""
+        ...
+
+    def record_override(self, correct: bool) -> None:
+        """Grade a consumed override for the accuracy breaker."""
+        ...
+
+    @property
+    def stall_cycles(self) -> int:
+        """Fetch cycles spent stalled on IntQ-F (finalize-time stat)."""
+        ...
+
+
+@runtime_checkable
+class ExecuteAgentHook(Protocol):
+    """What the execute stage exposes to an attached Load Agent (§2.3).
+
+    The Load Agent's loads and prefetches enter the LSU path through the
+    shared lane scheduler and memory hierarchy (wired at fabric build
+    time); through this port the stage surfaces the agent's accounting
+    at finalize.
+    """
+
+    @property
+    def loads_issued(self) -> int: ...
+
+    @property
+    def prefetches_issued(self) -> int: ...
+
+    @property
+    def load_misses(self) -> int: ...
+
+    @property
+    def replays(self) -> int: ...
+
+    @property
+    def loads_sanitized(self) -> int: ...
+
+
+@runtime_checkable
+class RetireAgentHook(Protocol):
+    """What the retire stage needs from an attached Retire Agent (§2.1)."""
+
+    @property
+    def roi_active(self) -> bool:
+        """True while the component is enabled (inside the ROI)."""
+        ...
+
+    def lookup(self, pc: int) -> Optional["RSTEntry"]:
+        """Retire Snoop Table lookup for *pc*."""
+        ...
+
+    def on_retire(self, dyn: "DynInst", retire_time: int) -> None:
+        """Build and push the observation packet for an RST hit."""
+        ...
+
+    def on_squash(self, resolve_time: int, reason: str) -> int:
+        """Run the squash/squash-done protocol; returns squash-done time
+        (the Retire Agent stalls the retire unit until then)."""
+        ...
+
+    @property
+    def port_delay_cycles(self) -> int:
+        """PRF read-port contention delay (finalize-time stat)."""
+        ...
+
+
+class AgentPort:
+    """One stage's attachment point for one PFM agent.
+
+    At most one agent may be attached at a time — the paper's context
+    isolation (§2.4) swaps a context's component out before another's
+    goes in, and the same holds for the agent adapters here.
+    """
+
+    __slots__ = ("stage", "agent")
+
+    def __init__(self, stage: str) -> None:
+        self.stage = stage
+        self.agent: Any | None = None
+
+    def attach(self, agent: Any) -> None:
+        if self.agent is not None:
+            raise RuntimeError(
+                f"an agent is already attached to the {self.stage} port;"
+                " detach it first (one context at a time, §2.4)"
+            )
+        self.agent = agent
+
+    def detach(self) -> None:
+        self.agent = None
+
+    @property
+    def attached(self) -> bool:
+        return self.agent is not None
+
+    def __repr__(self) -> str:
+        state = "attached" if self.agent is not None else "detached"
+        return f"<AgentPort {self.stage}: {state}>"

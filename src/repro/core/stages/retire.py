@@ -1,0 +1,104 @@
+"""Retire stage: in-order commit, store commit, and the Retire Agent.
+
+Owns the retire-slot counters enforcing the retire width and commits
+stores to the memory hierarchy.  The PFM Retire Agent attaches to
+``ctx.retire_port`` (§2.1): it snoops every retired PC against the RST,
+builds observation packets for hits, and — via the squash/squash-done
+handshake routed through :meth:`PipelineContext.squash_at` — stalls the
+retire unit while the component rolls back.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.stages.context import PipelineContext
+from repro.isa.instructions import OpClass
+from repro.memory.cache import LINE_SHIFT
+
+if TYPE_CHECKING:
+    from repro.frontend.predictor import BranchPredictor
+    from repro.workloads.trace import DynInst
+
+
+class RetireStage:
+    """In-order retirement bounded by the retire width."""
+
+    __slots__ = ("ctx", "predictor", "retire_counts")
+
+    def __init__(self, ctx: PipelineContext, predictor: "BranchPredictor") -> None:
+        self.ctx = ctx
+        # Retire-time training of the front end's direction predictor
+        # (shared with the fetch stage).
+        self.predictor = predictor
+        self.retire_counts: dict[int, int] = {}
+
+    def retire(self, dyn: "DynInst", complete_time: int) -> None:
+        ctx = self.ctx
+        stats = ctx.stats
+        rt = max(complete_time + 1, ctx.prev_retire, ctx.retire_floor)
+        counts = self.retire_counts
+        while counts.get(rt, 0) >= ctx.params.retire_width:
+            rt += 1
+        counts[rt] = counts.get(rt, 0) + 1
+        ctx.prev_retire = rt
+        if ctx.first_retire is None:
+            ctx.first_retire = rt
+
+        ctx.rob.allocate(rt)
+        if dyn.op_class is OpClass.LOAD:
+            ctx.ldq.allocate(rt)
+        elif dyn.op_class is OpClass.STORE:
+            ctx.stq.allocate(rt)
+            self._commit_store(dyn, rt)
+
+        if dyn.op_class is OpClass.BRANCH:
+            self.predictor.update(dyn.pc, bool(dyn.taken))
+
+        agent = ctx.retire_port.agent
+        if agent is not None:
+            was_active = agent.roi_active
+            if was_active:
+                stats.retired_in_roi += 1
+            entry = agent.lookup(dyn.pc)
+            if entry is not None:
+                if was_active:
+                    stats.retired_rst_hits += 1
+                    self._count_obs(entry)
+                    if ctx.telemetry is not None:
+                        ctx.telemetry.agent(rt, "retire", "rst_hit")
+                agent.on_retire(dyn, rt)
+                if not was_active and agent.roi_active:
+                    # Beginning of ROI (§2.1): the Retire Agent signals the
+                    # core to squash its pipeline so core and component are
+                    # logically at the same point in the dynamic stream.
+                    ctx.squash_at(rt, "roi_begin")
+
+    def _count_obs(self, entry) -> None:
+        from repro.pfm.snoop import SnoopKind
+
+        stats = self.ctx.stats
+        stats.obs_packets += 1
+        if entry.kind is SnoopKind.DEST_VALUE:
+            stats.obs_dest_value += 1
+        elif entry.kind is SnoopKind.STORE_VALUE:
+            stats.obs_store_value += 1
+        elif entry.kind is SnoopKind.BRANCH_OUTCOME:
+            stats.obs_branch_outcome += 1
+
+    def _commit_store(self, dyn: "DynInst", retire_time: int) -> None:
+        ctx = self.ctx
+        ctx.hierarchy.data_access(dyn.mem_addr, retire_time, is_store=True)
+        stores = ctx.stores_by_line.get(dyn.mem_addr >> LINE_SHIFT)
+        if stores:
+            for store in stores:
+                if store.seq == dyn.seq:
+                    store.retire_time = retire_time
+                    break
+
+    def prune(self) -> None:
+        """Drop retire-slot counters older than the retire horizon."""
+        horizon = self.ctx.prev_retire - 8
+        stale = [c for c in self.retire_counts if c < horizon]
+        for c in stale:
+            del self.retire_counts[c]

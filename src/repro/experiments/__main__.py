@@ -219,10 +219,27 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     if args.experiment == "list":
+        from repro.registry import (
+            component_names,
+            predictor_names,
+            prefetcher_names,
+            workload_names,
+        )
+
+        print("experiments:")
         for name in EXPERIMENTS:
-            print(name)
-        print("trace  (telemetry trace of one workload; see --perfetto)")
-        print("shape  (aggregate shape-agreement metrics)")
+            print(f"  {name}")
+        print("  trace  (telemetry trace of one workload; see --perfetto)")
+        print("  shape  (aggregate shape-agreement metrics)")
+        for title, names in (
+            ("workloads", workload_names()),
+            ("components", component_names()),
+            ("predictors", predictor_names()),
+            ("prefetchers", prefetcher_names()),
+        ):
+            print(f"{title}:")
+            for name in names:
+                print(f"  {name}")
         return 0
 
     if args.experiment == "trace":

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentResult
-from repro.experiments.runner import build_workload
+from repro.registry import build_workload
 from repro.pfm.component import RFTimings
 from repro.power.fpga import FPGAEstimate, FPGAModel
 
@@ -34,9 +34,7 @@ def component_structures() -> dict[str, dict]:
     )
     structures["astar (4wide)"] = component.structure()
 
-    from repro.workloads.astar import build_astar_alt_workload
-
-    alt = build_astar_alt_workload()
+    alt = build_workload("astar-alt")
     alt_component = alt.bitstream.component_factory(
         narrow, alt.memory, alt.bitstream.metadata
     )

@@ -181,7 +181,7 @@ def stats_from_dict(payload: dict) -> SimStats:
 
 def run_point(point: SweepPoint) -> SimStats:
     """Evaluate one point (this is the function worker processes run)."""
-    from repro.experiments.runner import build_workload
+    from repro.registry import build_workload
 
     workload = build_workload(point.workload, **point.overrides)
     oracle = None

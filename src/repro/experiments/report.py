@@ -5,6 +5,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def aligned_rows(
+    rows: list[tuple[str, str]], *, indent: str = "   ", min_width: int = 12
+) -> list[str]:
+    """Render ``(label, cells)`` rows with one shared label column.
+
+    The label column is as wide as the longest label (at least
+    *min_width*); *cells* is the already-formatted remainder of the line.
+    Both report renderers — :meth:`ExperimentResult.render` and the sim
+    CLI's detailed breakdown — lay out their stat rows through here.
+    """
+    width = max([len(label) for label, _ in rows] + [min_width])
+    return [f"{indent}{label:<{width}} {cells}" for label, cells in rows]
+
+
 @dataclass
 class ExperimentResult:
     """One regenerated table or figure.
@@ -32,16 +46,16 @@ class ExperimentResult:
         raise KeyError(label)
 
     def render(self) -> str:
-        width = max([len(label) for label, _ in self.rows] + [12])
-        lines = [
-            f"== {self.experiment}: {self.title} ==",
-            f"   unit: {self.unit}",
-            f"   {'series':<{width}} {'measured':>10} {'paper':>10}",
-        ]
+        rows = [("series", f"{'measured':>10} {'paper':>10}")]
         for label, value in self.rows:
             paper_value = self.paper.get(label)
             paper_text = f"{paper_value:>10.1f}" if paper_value is not None else f"{'—':>10}"
-            lines.append(f"   {label:<{width}} {value:>10.1f} {paper_text}")
+            rows.append((label, f"{value:>10.1f} {paper_text}"))
+        lines = [
+            f"== {self.experiment}: {self.title} ==",
+            f"   unit: {self.unit}",
+            *aligned_rows(rows),
+        ]
         if self.notes:
             lines.append(f"   note: {self.notes}")
         return "\n".join(lines)

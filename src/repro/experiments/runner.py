@@ -1,65 +1,32 @@
-"""Workload builders and simulation helpers shared by the experiments.
+"""Simulation helpers shared by the experiments.
 
-Graphs and grids are deterministic (seeded), so each builder returns a
-fresh workload with identical initial state; baselines are cached per
-(workload, window) to avoid rerunning them for every sweep point.
+Workloads are resolved by name through the registry layer
+(:mod:`repro.registry`); graphs and grids are deterministic (seeded), so
+each build returns a fresh workload with identical initial state.
+Baselines are cached per (workload, window, overrides-digest) to avoid
+rerunning them for every sweep point.
 """
 
 from __future__ import annotations
 
-import functools
+import hashlib
 
 from repro.core import PFMParams, SimConfig, SimStats, simulate
-from repro.workloads.astar import build_astar_alt_workload, build_astar_workload
-from repro.workloads.bfs import build_bfs_workload
-from repro.workloads.bwaves import build_bwaves_workload
-from repro.workloads.graphs import powerlaw_graph, road_graph
-from repro.workloads.lbm import build_lbm_workload
-from repro.workloads.leslie import build_leslie_workload
-from repro.workloads.libquantum import build_libquantum_workload
-from repro.workloads.milc import build_milc_workload
+from repro.registry import build_workload
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "PREFETCH_WORKLOADS",
+    "build_workload",
+    "run_config",
+    "run_baseline",
+    "run_pfm",
+    "speedup_pct",
+    "pfm_speedup_pct",
+    "parse_config_label",
+]
 
 DEFAULT_WINDOW = 40_000
-
-
-@functools.lru_cache(maxsize=2)
-def _roads_graph():
-    return road_graph()
-
-
-@functools.lru_cache(maxsize=2)
-def _youtube_graph():
-    return powerlaw_graph()
-
-
-def build_workload(name: str, **overrides):
-    """Fresh workload by benchmark name."""
-    if name == "astar":
-        return build_astar_workload(**overrides)
-    if name == "astar-alt":
-        return build_astar_alt_workload(**overrides)
-    if name in ("bfs-roads", "bfs-youtube"):
-        kwargs = dict(overrides)
-        kwargs.setdefault(
-            "graph_name", "roads" if name == "bfs-roads" else "youtube"
-        )
-        if "graph" not in kwargs:
-            kwargs["graph"] = (
-                _roads_graph() if name == "bfs-roads" else _youtube_graph()
-            )
-        return build_bfs_workload(**kwargs)
-    if name == "libquantum":
-        return build_libquantum_workload(**overrides)
-    if name == "bwaves":
-        return build_bwaves_workload(**overrides)
-    if name == "lbm":
-        return build_lbm_workload(**overrides)
-    if name == "milc":
-        return build_milc_workload(**overrides)
-    if name == "leslie":
-        return build_leslie_workload(**overrides)
-    raise ValueError(f"unknown workload {name!r}")
-
 
 PREFETCH_WORKLOADS = ("libquantum", "bwaves", "lbm", "milc", "leslie")
 
@@ -69,14 +36,32 @@ def run_config(name: str, config: SimConfig, **overrides) -> SimStats:
     return simulate(build_workload(name, **overrides), config)
 
 
-_baseline_cache: dict[tuple, SimStats] = {}
+_baseline_cache: dict[tuple[str, int, str], SimStats] = {}
 
 
-def run_baseline(name: str, window: int = DEFAULT_WINDOW) -> SimStats:
-    """Baseline (plain core) run, cached per (workload, window)."""
-    key = (name, window)
+def _overrides_digest(overrides: dict) -> str:
+    """Canonical digest of builder overrides for the baseline-cache key.
+
+    Two calls with the same overrides under different spellings (keyword
+    order) collapse to one entry; calls with *different* overrides no
+    longer collide on the bare (name, window) pair.
+    """
+    if not overrides:
+        return ""
+    from repro.experiments.pool import _canonical_bytes
+
+    return hashlib.sha256(_canonical_bytes(overrides)).hexdigest()[:16]
+
+
+def run_baseline(
+    name: str, window: int = DEFAULT_WINDOW, **overrides
+) -> SimStats:
+    """Baseline (plain core) run, cached per (workload, window, overrides)."""
+    key = (name, window, _overrides_digest(overrides))
     if key not in _baseline_cache:
-        _baseline_cache[key] = run_config(name, SimConfig(max_instructions=window))
+        _baseline_cache[key] = run_config(
+            name, SimConfig(max_instructions=window), **overrides
+        )
     return _baseline_cache[key]
 
 
@@ -102,8 +87,12 @@ def pfm_speedup_pct(
     window: int = DEFAULT_WINDOW,
     **overrides,
 ) -> float:
-    """Speedup of a PFM configuration over the cached baseline, in %."""
-    base = run_baseline(name, window)
+    """Speedup of a PFM configuration over the cached baseline, in %.
+
+    Builder overrides apply to *both* runs — the baseline must simulate
+    the same workload instance the PFM run does.
+    """
+    base = run_baseline(name, window, **overrides)
     return speedup_pct(run_pfm(name, pfm, window, **overrides), base)
 
 

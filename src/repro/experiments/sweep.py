@@ -23,19 +23,11 @@ from repro.experiments.pool import (
 )
 from repro.experiments.report import ExperimentResult
 from repro.experiments.runner import DEFAULT_WINDOW, parse_config_label
+from repro.registry import workload_names
 
-#: All nine workloads the reproduction can build.
-SWEEP_WORKLOADS = (
-    "astar",
-    "astar-alt",
-    "bfs-roads",
-    "bfs-youtube",
-    "libquantum",
-    "bwaves",
-    "lbm",
-    "milc",
-    "leslie",
-)
+#: All workloads the reproduction can build, in registration order
+#: (the registry's autoload order keeps this stable across runs).
+SWEEP_WORKLOADS = workload_names()
 
 #: Default configuration grid (paper §3 notation).
 SWEEP_CONFIGS = (

@@ -9,8 +9,10 @@ switch.
 from __future__ import annotations
 
 from repro.frontend.predictor import BranchPredictor
+from repro.registry.predictors import register_predictor
 
 
+@register_predictor("always-taken")
 class AlwaysTakenPredictor(BranchPredictor):
     """Static always-taken."""
 
@@ -42,6 +44,7 @@ class SaturatingCounter:
             self.value -= 1
 
 
+@register_predictor("bimodal")
 class BimodalPredictor(BranchPredictor):
     """PC-indexed table of 2-bit counters."""
 
@@ -59,6 +62,7 @@ class BimodalPredictor(BranchPredictor):
         self._table[self._index(pc)].train(taken)
 
 
+@register_predictor("gshare")
 class GSharePredictor(BranchPredictor):
     """Global-history XOR PC indexed table of 2-bit counters."""
 

@@ -16,6 +16,7 @@ from repro.frontend.loop_predictor import LoopPredictor
 from repro.frontend.predictor import BranchPredictor
 from repro.frontend.statistical_corrector import StatisticalCorrector
 from repro.frontend.tage import Tage, TagePrediction
+from repro.registry.predictors import register_predictor
 
 
 @dataclass(slots=True)
@@ -28,6 +29,7 @@ class _PendingRecord:
     loop_overrode: bool
 
 
+@register_predictor("tagescl")
 class TageSCL(BranchPredictor):
     """TAGE + Statistical Corrector + Loop predictor."""
 

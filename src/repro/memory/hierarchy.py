@@ -13,9 +13,8 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.memory.cache import Cache, LINE_SHIFT
-from repro.memory.prefetch_nextline import NextNLinePrefetcher
-from repro.memory.prefetch_vldp import VLDPPrefetcher
 from repro.memory.tlb import TLB
+from repro.registry.prefetchers import make_prefetcher
 
 
 @dataclass
@@ -43,6 +42,10 @@ class HierarchyParams:
     dram_service_interval: int = 2
     nextline_degree: int = 2
     vldp_degree: int = 4
+    #: Prefetcher selections, resolved by name through the prefetcher
+    #: registry (:mod:`repro.registry`).
+    l1_prefetcher: str = "nextline"
+    l2_prefetcher: str = "vldp"
     enable_l1_prefetcher: bool = True
     enable_vldp: bool = True
     perfect_dcache: bool = False
@@ -71,8 +74,10 @@ class MemoryHierarchy:
         self.l2 = Cache("L2", p.l2_size, p.l2_assoc, mshrs=p.l2_mshrs)
         self.l3 = Cache("L3", p.l3_size, p.l3_assoc, mshrs=p.l3_mshrs)
         self.tlb = TLB(p.tlb_entries, p.tlb_walk_latency)
-        self.nextline = NextNLinePrefetcher(p.nextline_degree)
-        self.vldp = VLDPPrefetcher(degree=p.vldp_degree)
+        self.nextline = make_prefetcher(
+            p.l1_prefetcher, degree=p.nextline_degree
+        )
+        self.vldp = make_prefetcher(p.l2_prefetcher, degree=p.vldp_degree)
         self.stats = HierarchyStats()
         # Dedicated outstanding-prefetch buffer for Load-Agent prefetch
         # OPs: they neither consume demand MSHRs nor stall behind them;

@@ -7,7 +7,10 @@ they currently live and installs them in L1D.
 
 from __future__ import annotations
 
+from repro.registry.prefetchers import register_prefetcher
 
+
+@register_prefetcher("nextline")
 class NextNLinePrefetcher:
     """Sequential next-line prefetcher."""
 

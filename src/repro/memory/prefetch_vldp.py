@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.registry.prefetchers import register_prefetcher
+
 LINES_PER_PAGE = 64  # 4 KB page / 64 B lines
 PAGE_SHIFT_LINES = 6
 
@@ -46,6 +48,7 @@ class _DeltaTable:
                 entry[1] = 0
 
 
+@register_prefetcher("vldp")
 class VLDPPrefetcher:
     """Multi-level delta prefetcher operating on L2 (L1-miss) streams."""
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 from repro.pfm.component import CustomComponent, RFIo
 from repro.pfm.packets import ObsPacket, SquashPacket
 from repro.pfm.snoop import SnoopKind
+from repro.registry.components import register_component
 
 #: Each table mimics one program array: 32 KB / 16 bits per entry.
 DEFAULT_TABLE_ENTRIES = 16 * 1024
@@ -66,6 +67,7 @@ class _MimicTable:
         self._values[slot] = value
 
 
+@register_component("astar-alt")
 class AstarAltPredictor(CustomComponent):
     """Table-mimicking astar predictor (no Load Agent traffic)."""
 

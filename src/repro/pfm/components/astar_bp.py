@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from repro.pfm.component import CustomComponent, RFIo
 from repro.pfm.packets import ObsPacket, SquashPacket
 from repro.pfm.snoop import SnoopKind
+from repro.registry.components import register_component
 
 #: Neighbour plans: (row multiplier on yoffset, column delta).
 NEIGHBOUR_OFFSETS = (
@@ -61,6 +62,7 @@ class _IterationSlot:
     t2_way_pushed: bool = False  # waymap half of the current pair emitted
 
 
+@register_component("astar-custom-bp")
 class AstarBranchPredictor(CustomComponent):
     """Figure 7's design as an RF-cycle-stepped model."""
 

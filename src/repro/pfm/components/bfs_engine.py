@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from repro.pfm.component import CustomComponent, RFIo
 from repro.pfm.packets import ObsPacket, SquashPacket
 from repro.pfm.snoop import SnoopKind
+from repro.registry.components import register_component
 
 
 @dataclass(slots=True)
@@ -59,6 +60,7 @@ class _NodeRecord:
         return max(0, self.end - self.begin)
 
 
+@register_component("bfs-engine")
 class BfsEngine(CustomComponent):
     """Figure 11's T0-T3 design."""
 

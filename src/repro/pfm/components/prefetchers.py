@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.pfm.component import CustomComponent, RFIo
 from repro.pfm.packets import ObsPacket
 from repro.pfm.snoop import SnoopKind
+from repro.registry.components import register_component
 
 
 class AdaptiveDistanceController:
@@ -323,12 +324,14 @@ class StridePrefetchEngine(CustomComponent):
         }
 
 
+@register_component("libquantum-prefetcher")
 class LibquantumPrefetcher(StridePrefetchEngine):
     """Two simple strided sites: quantum_toffoli and quantum_sigma_x."""
 
     name = "libquantum-prefetcher"
 
 
+@register_component("milc-prefetcher")
 class MilcPrefetcher(StridePrefetchEngine):
     """A cluster of libquantum-like strided streams."""
 
@@ -340,6 +343,7 @@ class MilcPrefetcher(StridePrefetchEngine):
         return base
 
 
+@register_component("lbm-prefetcher")
 class LbmPrefetcher(StridePrefetchEngine):
     """MLP-aware cluster prefetcher: sets are pushed or skipped atomically."""
 
@@ -504,12 +508,14 @@ class NestedLoopPrefetchEngine(CustomComponent):
         }
 
 
+@register_component("bwaves-prefetcher")
 class BwavesPrefetcher(NestedLoopPrefetchEngine):
     """Five nested loops; each load keys on four of the five counters."""
 
     name = "bwaves-prefetcher"
 
 
+@register_component("leslie-prefetcher")
 class LesliePrefetcher(NestedLoopPrefetchEngine):
     """Multiple ROIs, each a two-to-four-deep loop nest."""
 

@@ -32,6 +32,7 @@ from typing import Callable
 from repro.pfm.component import CustomComponent, RFIo
 from repro.pfm.packets import ObsPacket, SquashPacket
 from repro.pfm.snoop import SnoopKind
+from repro.registry.components import register_component
 
 _T1_ID_FLAG = 1 << 20
 
@@ -89,6 +90,7 @@ class _Slot:
     t2_check_pushed: int = 0  # checks of the current index already pushed
 
 
+@register_component("templated-runahead")
 class TemplatedRunaheadPredictor(CustomComponent):
     """Generic T0/T1/T2 run-ahead predictor generated from a spec.
 

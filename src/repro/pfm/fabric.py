@@ -18,6 +18,8 @@ until then, and unconsumed predictions are replayed at W per RF cycle.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.params import CoreParams, PFMParams
 from repro.core.resources import LaneScheduler
 from repro.core.watchdog import Watchdog
@@ -30,6 +32,92 @@ from repro.pfm.queues import TimedQueue
 from repro.pfm.retire_agent import RetireAgent
 from repro.pfm.snoop import Bitstream, SnoopKind
 from repro.workloads.mem import MemoryImage
+
+if TYPE_CHECKING:
+    from repro.core.stages.ports import AgentPort
+    from repro.pfm.snoop import FSTEntry, RSTEntry
+
+
+class FabricFetchHook:
+    """Fetch Agent adapter satisfying :class:`~repro.core.stages.ports.
+    FetchAgentHook` — what the fetch stage sees of the fabric (§2.2).
+
+    The forwarding methods are bound at construction (the FST and
+    watchdog are fixed for the fabric's lifetime) so a hook call costs
+    the same as the direct fabric call it replaces.
+    """
+
+    __slots__ = ("_fabric", "on_fetch", "lookup", "predict", "record_override")
+
+    def __init__(self, fabric: "PFMFabric"):
+        self._fabric = fabric
+        self.on_fetch = fabric.on_fetch
+        self.lookup = fabric.fst.lookup
+        self.predict = fabric.predict
+        self.record_override = fabric.watchdog.record_override
+
+    @property
+    def roi_fetch_active(self) -> bool:
+        return self._fabric.roi_fetch_active
+
+    @property
+    def stall_cycles(self) -> int:
+        return self._fabric.fetch_agent.stall_cycles
+
+
+class FabricExecuteHook:
+    """Load Agent adapter satisfying :class:`~repro.core.stages.ports.
+    ExecuteAgentHook` — the agent's LSU-path accounting (§2.3)."""
+
+    __slots__ = ("_fabric",)
+
+    def __init__(self, fabric: "PFMFabric"):
+        self._fabric = fabric
+
+    @property
+    def loads_issued(self) -> int:
+        return self._fabric.load_agent.loads_issued
+
+    @property
+    def prefetches_issued(self) -> int:
+        return self._fabric.load_agent.prefetches_issued
+
+    @property
+    def load_misses(self) -> int:
+        return self._fabric.load_agent.load_misses
+
+    @property
+    def replays(self) -> int:
+        return self._fabric.load_agent.replays
+
+    @property
+    def loads_sanitized(self) -> int:
+        return self._fabric.load_agent.loads_sanitized
+
+
+class FabricRetireHook:
+    """Retire Agent adapter satisfying :class:`~repro.core.stages.ports.
+    RetireAgentHook` — RST snooping and squash sync (§2.1).
+
+    Forwarding methods are bound at construction (the RST is fixed for
+    the fabric's lifetime), matching the cost of the direct calls.
+    """
+
+    __slots__ = ("_fabric", "lookup", "on_retire", "on_squash")
+
+    def __init__(self, fabric: "PFMFabric"):
+        self._fabric = fabric
+        self.lookup = fabric.rst.lookup
+        self.on_retire = fabric.on_retire
+        self.on_squash = fabric.on_core_squash
+
+    @property
+    def roi_active(self) -> bool:
+        return self._fabric.roi_active
+
+    @property
+    def port_delay_cycles(self) -> int:
+        return self._fabric.retire_agent.port_delay_cycles
 
 
 class PFMFabric:
@@ -103,6 +191,26 @@ class PFMFabric:
         self.obs_dropped = 0
         self.squashes_signalled = 0
         self.probe = None  # optional telemetry hub (attach_fabric wires it)
+
+    # ------------------------------------------------------------------ #
+    # pipeline interface (agent ports)
+    # ------------------------------------------------------------------ #
+
+    def attach_ports(
+        self,
+        fetch_port: "AgentPort",
+        execute_port: "AgentPort",
+        retire_port: "AgentPort",
+    ) -> None:
+        """Plug one agent adapter into each stage's attachment point.
+
+        The paper's Agents sit at fixed pipeline interfaces (§2.1–2.3);
+        this is the software analogue of wiring them up at configuration
+        time.  Each port holds at most one agent.
+        """
+        fetch_port.attach(FabricFetchHook(self))
+        execute_port.attach(FabricExecuteHook(self))
+        retire_port.attach(FabricRetireHook(self))
 
     # ------------------------------------------------------------------ #
     # RF clock

@@ -1,0 +1,143 @@
+"""Generic name-to-factory registry with decorator registration.
+
+The paper's attachment story is that application-specific pieces are
+*enumerable and swappable*: a configuration bitstream names a component,
+a deployment names a workload, a core configuration names a predictor.
+This module supplies the one mechanism all of those share — a mapping
+from a stable string name to a factory, populated by decorators at
+module import time and consulted by name everywhere else.
+
+Registries autoload lazily: each lists the modules whose import
+registers its entries, and imports them on first lookup or enumeration.
+That keeps ``import repro.registry`` free of heavy transitive imports
+while guaranteeing that ``names()`` is complete whenever it is called.
+
+Unknown names raise :class:`UnknownNameError` (a ``ValueError``) that
+lists every valid name and suggests close matches; duplicate
+registrations raise :class:`DuplicateNameError` immediately at import.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(ValueError):
+    """Base class for registry failures (a ``ValueError`` for callers
+    that predate the registry layer and catch the old error type)."""
+
+
+class DuplicateNameError(RegistryError):
+    """Two registrations claimed the same name in one registry."""
+
+
+class UnknownNameError(RegistryError):
+    """Lookup of a name nothing registered; carries suggestions."""
+
+
+class Registry(Generic[T]):
+    """An ordered ``name -> entry`` mapping with decorator registration.
+
+    ``kind`` names what the registry holds ("workload", "component", ...)
+    for error messages; ``autoload`` lists modules to import before the
+    first lookup/enumeration (their import-time decorators populate the
+    registry).  Iteration order is registration order, which for
+    autoloaded registries is the ``autoload`` module order — stable, so
+    enumerations (CLI ``list``, sweep grids) are deterministic.
+    """
+
+    def __init__(self, kind: str, autoload: tuple[str, ...] = ()) -> None:
+        self.kind = kind
+        self._autoload = tuple(autoload)
+        self._loaded = not autoload
+        self._entries: dict[str, T] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, name: str) -> Callable[[T], T]:
+        """Decorator: register the decorated object under *name*.
+
+        Returns the object unchanged, so registration stacks with other
+        decorators and leaves the module namespace untouched.
+        """
+        if not name or not isinstance(name, str):
+            raise RegistryError(
+                f"{self.kind} names must be non-empty strings, got {name!r}"
+            )
+
+        def decorate(obj: T) -> T:
+            if name in self._entries:
+                raise DuplicateNameError(
+                    f"duplicate {self.kind} name {name!r}: already "
+                    f"registered as {self._entries[name]!r}"
+                )
+            self._entries[name] = obj
+            return obj
+
+        return decorate
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True  # set first: autoloaded modules may look up
+        for module in self._autoload:
+            importlib.import_module(module)
+
+    def get(self, name: str) -> T:
+        """Entry registered under *name*, or :class:`UnknownNameError`."""
+        self._ensure_loaded()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownNameError(self.unknown_message(name)) from None
+
+    def unknown_message(self, name: str) -> str:
+        """The error text for a failed lookup: near-misses, then all names."""
+        known = self.names()
+        suggestions = difflib.get_close_matches(name, known, n=3, cutoff=0.6)
+        hint = ""
+        if suggestions:
+            hint = "; did you mean " + " or ".join(
+                repr(match) for match in suggestions
+            ) + "?"
+        return (
+            f"unknown {self.kind} {name!r}{hint}"
+            f" (valid: {', '.join(known)})"
+        )
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, in registration order."""
+        self._ensure_loaded()
+        return tuple(self._entries)
+
+    def items(self) -> tuple[tuple[str, T], ...]:
+        self._ensure_loaded()
+        return tuple(self._entries.items())
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_loaded()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        status = "loaded" if self._loaded else "unloaded"
+        return (
+            f"<Registry {self.kind}: {len(self._entries)} entries"
+            f" ({status})>"
+        )

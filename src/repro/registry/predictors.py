@@ -1,0 +1,42 @@
+"""The branch-predictor registry: predictor name -> constructor.
+
+The core's own predictor (the one the Fetch Agent merely overrides on
+FST hits, §2.2) is selected by :attr:`repro.core.params.CoreParams.
+predictor`; the paper's baseline is TAGE-SC-L, and the simple reference
+predictors ride along for ablations and tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.registry.base import Registry
+
+if TYPE_CHECKING:
+    from repro.frontend.predictor import BranchPredictor
+
+PredictorFactory = Callable[..., "BranchPredictor"]
+
+PREDICTORS: Registry[PredictorFactory] = Registry(
+    "predictor",
+    autoload=(
+        "repro.frontend.tagescl",
+        "repro.frontend.simple",
+    ),
+)
+
+
+def register_predictor(
+    name: str,
+) -> Callable[[PredictorFactory], PredictorFactory]:
+    """Decorator: register a branch-predictor constructor under *name*."""
+    return PREDICTORS.register(name)
+
+
+def make_predictor(name: str, **kwargs: object) -> "BranchPredictor":
+    """Construct the predictor registered under *name*."""
+    return PREDICTORS.get(name)(**kwargs)
+
+
+def predictor_names() -> tuple[str, ...]:
+    return PREDICTORS.names()

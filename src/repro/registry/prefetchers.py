@@ -1,0 +1,40 @@
+"""The hardware-prefetcher registry: prefetcher name -> constructor.
+
+These are the *core-side* cache prefetchers the memory hierarchy trains
+on its demand streams (next-N-line into L1D, VLDP into L2), selected by
+:class:`~repro.memory.hierarchy.HierarchyParams` — distinct from the
+application-specific prefetch *components* synthesized in RF, which live
+in the component registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.registry.base import Registry
+
+PrefetcherFactory = Callable[..., object]
+
+PREFETCHERS: Registry[PrefetcherFactory] = Registry(
+    "prefetcher",
+    autoload=(
+        "repro.memory.prefetch_nextline",
+        "repro.memory.prefetch_vldp",
+    ),
+)
+
+
+def register_prefetcher(
+    name: str,
+) -> Callable[[PrefetcherFactory], PrefetcherFactory]:
+    """Decorator: register a prefetcher constructor under *name*."""
+    return PREFETCHERS.register(name)
+
+
+def make_prefetcher(name: str, **kwargs: object) -> object:
+    """Construct the prefetcher registered under *name*."""
+    return PREFETCHERS.get(name)(**kwargs)
+
+
+def prefetcher_names() -> tuple[str, ...]:
+    return PREFETCHERS.names()

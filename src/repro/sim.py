@@ -19,46 +19,53 @@ import sys
 import time
 
 from repro.core import SimConfig, SimStats, simulate
-from repro.experiments.runner import build_workload, parse_config_label
+from repro.experiments.report import aligned_rows
+from repro.experiments.runner import parse_config_label
 from repro.power.core_energy import CoreEnergyModel
-
-WORKLOADS = (
-    "astar",
-    "astar-alt",
-    "bfs-roads",
-    "bfs-youtube",
-    "libquantum",
-    "bwaves",
-    "lbm",
-    "milc",
-    "leslie",
-)
+from repro.registry import build_workload, workload_names
 
 
 def detailed_report(stats: SimStats) -> str:
     lines = [stats.summary(), ""]
     lines.append("memory hierarchy:")
-    for level, level_stats in (stats.memory_levels or {}).items():
-        lines.append(
-            f"  {level:<4} accesses {level_stats['accesses']:>8.0f}"
-            f"  misses {level_stats['misses']:>8.0f}"
-            f"  miss rate {100 * level_stats['miss_rate']:5.1f}%"
-        )
+    lines.extend(aligned_rows(
+        [
+            (
+                level,
+                f"accesses {level_stats['accesses']:>8.0f}"
+                f"  misses {level_stats['misses']:>8.0f}"
+                f"  miss rate {100 * level_stats['miss_rate']:5.1f}%",
+            )
+            for level, level_stats in (stats.memory_levels or {}).items()
+        ],
+        indent="  ",
+        min_width=4,
+    ))
     lines.append(f"  load hits by level: {stats.load_hits_by_level}")
     lines.append("")
     lines.append("front end:")
-    lines.append(f"  I-cache stall cycles   {stats.fetch_stall_icache_cycles}")
-    lines.append(f"  BTB miss bubbles       {stats.btb_miss_bubbles}")
-    lines.append(f"  RAS mispredicts        {stats.ras_mispredicts}")
-    lines.append(f"  store forwards         {stats.store_forwards}")
+    lines.extend(aligned_rows(
+        [
+            ("I-cache stall cycles", str(stats.fetch_stall_icache_cycles)),
+            ("BTB miss bubbles", str(stats.btb_miss_bubbles)),
+            ("RAS mispredicts", str(stats.ras_mispredicts)),
+            ("store forwards", str(stats.store_forwards)),
+        ],
+        indent="  ",
+    ))
     if stats.agent_loads or stats.agent_prefetches:
         lines.append("")
         lines.append("load agent:")
-        lines.append(f"  loads issued           {stats.agent_loads}")
-        lines.append(f"  prefetches issued      {stats.agent_prefetches}")
-        lines.append(f"  missed loads / replays "
-                     f"{stats.agent_load_misses} / {stats.mlb_replays}")
-        lines.append(f"  PRF port delay cycles  {stats.prf_port_delay_cycles}")
+        lines.extend(aligned_rows(
+            [
+                ("loads issued", str(stats.agent_loads)),
+                ("prefetches issued", str(stats.agent_prefetches)),
+                ("missed loads / replays",
+                 f"{stats.agent_load_misses} / {stats.mlb_replays}"),
+                ("PRF port delay cycles", str(stats.prf_port_delay_cycles)),
+            ],
+            indent="  ",
+        ))
     energy = CoreEnergyModel().energy(stats)
     lines.append("")
     lines.append(
@@ -75,7 +82,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.sim",
         description="Simulate a workload on the PFM substrate.",
     )
-    parser.add_argument("--workload", choices=WORKLOADS, required=True)
+    parser.add_argument("--workload", choices=workload_names(), required=True)
     parser.add_argument("--window", type=int, default=40_000,
                         help="dynamic instructions to simulate")
     parser.add_argument("--pfm", metavar="CONFIG", default=None,

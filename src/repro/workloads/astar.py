@@ -21,7 +21,9 @@ from __future__ import annotations
 import random
 
 from repro.isa.builder import ProgramBuilder
-from repro.pfm.snoop import Bitstream, FSTEntry, RSTEntry, SnoopKind
+from repro.pfm.snoop import FSTEntry, RSTEntry, SnoopKind
+from repro.registry.components import make_bitstream
+from repro.registry.workloads import register_workload
 from repro.workloads.base import Workload
 from repro.workloads.mem import WORD_BYTES, MemoryImage
 
@@ -71,6 +73,7 @@ def build_grid(
     return maparp
 
 
+@register_workload("astar")
 def build_astar_workload(
     grid_width: int = 320,
     grid_height: int = 320,
@@ -280,11 +283,6 @@ def build_astar_workload(
             RSTEntry(store_pc, SnoopKind.STORE_VALUE, f"waymap_store:{k}", droppable=True)
         )
 
-    if component_factory is None:
-        from repro.pfm.components.astar_bp import AstarBranchPredictor
-
-        component_factory = AstarBranchPredictor
-
     metadata = {
         "grid_width": grid_width,
         "grid_height": grid_height,
@@ -292,11 +290,11 @@ def build_astar_workload(
         "call_marker_pcs": [program.pcs_with_comment("snoop:worklist_base")[0]],
         "index_queue_entries": 8,
     }
-    bitstream = Bitstream(
-        name="astar-custom-bp",
+    bitstream = make_bitstream(
+        "astar-custom-bp",
+        component=component_factory or "astar-custom-bp",
         rst_entries=rst_entries,
         fst_entries=fst_entries,
-        component_factory=component_factory,
         metadata=metadata,
     )
     return Workload(
@@ -308,6 +306,7 @@ def build_astar_workload(
     )
 
 
+@register_workload("astar-alt")
 def build_astar_alt_workload(
     table_entries: int = 16 * 1024,
     **kwargs,
@@ -321,11 +320,7 @@ def build_astar_alt_workload(
     output-worklist reconciliation), and the waymap/maparp load values
     (table corrections).
     """
-    from repro.pfm.components.astar_alt import AstarAltPredictor
-
-    workload = build_astar_workload(
-        component_factory=AstarAltPredictor, **kwargs
-    )
+    workload = build_astar_workload(component_factory="astar-alt", **kwargs)
     program = workload.program
     bits = workload.bitstream
     bits.name = "astar-alt"

@@ -15,7 +15,9 @@ per page per visit — hostile to VLDP's per-page delta histories).
 from __future__ import annotations
 
 from repro.isa.builder import ProgramBuilder
-from repro.pfm.snoop import Bitstream, RSTEntry, SnoopKind
+from repro.pfm.snoop import RSTEntry, SnoopKind
+from repro.registry.components import make_bitstream
+from repro.registry.workloads import register_workload
 from repro.workloads.base import Workload
 from repro.workloads.mem import MemoryImage
 
@@ -23,6 +25,7 @@ from repro.workloads.mem import MemoryImage
 NJ, NK, NL = 16, 32, 6
 
 
+@register_workload("bwaves")
 def build_bwaves_workload(
     outer_sweeps: int = 64,
     component_factory=None,
@@ -110,11 +113,6 @@ def build_bwaves_workload(
         ),
     ]
 
-    if component_factory is None:
-        from repro.pfm.components.prefetchers import BwavesPrefetcher
-
-        component_factory = BwavesPrefetcher
-
     metadata = {
         "groups": [
             {
@@ -128,11 +126,10 @@ def build_bwaves_workload(
         ],
         "initial_distance": 8,
     }
-    bitstream = Bitstream(
-        name="bwaves-prefetcher",
+    bitstream = make_bitstream(
+        "bwaves-prefetcher",
+        component=component_factory or "bwaves-prefetcher",
         rst_entries=rst_entries,
-        fst_entries=[],
-        component_factory=component_factory,
         metadata=metadata,
     )
     return Workload(

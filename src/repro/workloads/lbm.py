@@ -11,7 +11,9 @@ policy the paper calls out.
 from __future__ import annotations
 
 from repro.isa.builder import ProgramBuilder
-from repro.pfm.snoop import Bitstream, RSTEntry, SnoopKind
+from repro.pfm.snoop import RSTEntry, SnoopKind
+from repro.registry.components import make_bitstream
+from repro.registry.workloads import register_workload
 from repro.workloads.base import Workload
 from repro.workloads.mem import MemoryImage
 
@@ -20,6 +22,7 @@ CELL_STRIDE = 80
 CLUSTER = 5  # delinquent loads per iteration
 
 
+@register_workload("lbm")
 def build_lbm_workload(
     cells: int = 60_000,
     component_factory=None,
@@ -93,11 +96,6 @@ def build_lbm_workload(
             )
         )
 
-    if component_factory is None:
-        from repro.pfm.components.prefetchers import LbmPrefetcher
-
-        component_factory = LbmPrefetcher
-
     metadata = {
         "sites": [
             {"tag": f"f{c}", "stride": CELL_STRIDE, "counter": "lbm"}
@@ -105,11 +103,10 @@ def build_lbm_workload(
         ],
         "initial_distance": 8,
     }
-    bitstream = Bitstream(
-        name="lbm-prefetcher",
+    bitstream = make_bitstream(
+        "lbm-prefetcher",
+        component=component_factory or "lbm-prefetcher",
         rst_entries=rst_entries,
-        fst_entries=[],
-        component_factory=component_factory,
         metadata=metadata,
     )
     return Workload(

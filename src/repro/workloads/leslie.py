@@ -13,7 +13,9 @@ and an update sweep) repeatedly, as the solver's outer time loop does.
 from __future__ import annotations
 
 from repro.isa.builder import ProgramBuilder
-from repro.pfm.snoop import Bitstream, RSTEntry, SnoopKind
+from repro.pfm.snoop import RSTEntry, SnoopKind
+from repro.registry.components import make_bitstream
+from repro.registry.workloads import register_workload
 from repro.workloads.base import Workload
 from repro.workloads.mem import MemoryImage
 
@@ -23,6 +25,7 @@ R2_NJ, R2_NK, R2_NL = 8, 16, 10  # smoothing: 3-deep
 R3_NK = 512  # update: long 1-deep rows under the outer sweep
 
 
+@register_workload("leslie")
 def build_leslie_workload(
     outer_sweeps: int = 48,
     component_factory=None,
@@ -147,11 +150,6 @@ def build_leslie_workload(
             )
         )
 
-    if component_factory is None:
-        from repro.pfm.components.prefetchers import LesliePrefetcher
-
-        component_factory = LesliePrefetcher
-
     metadata = {
         "groups": [
             {
@@ -184,11 +182,10 @@ def build_leslie_workload(
         ],
         "initial_distance": 8,
     }
-    bitstream = Bitstream(
-        name="leslie-prefetcher",
+    bitstream = make_bitstream(
+        "leslie-prefetcher",
+        component=component_factory or "leslie-prefetcher",
         rst_entries=rst_entries,
-        fst_entries=[],
-        component_factory=component_factory,
         metadata=metadata,
     )
     return Workload(

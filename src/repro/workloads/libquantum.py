@@ -13,7 +13,9 @@ from __future__ import annotations
 import random
 
 from repro.isa.builder import ProgramBuilder
-from repro.pfm.snoop import Bitstream, RSTEntry, SnoopKind
+from repro.pfm.snoop import RSTEntry, SnoopKind
+from repro.registry.components import make_bitstream
+from repro.registry.workloads import register_workload
 from repro.workloads.base import Workload
 from repro.workloads.mem import MemoryImage
 
@@ -21,6 +23,7 @@ from repro.workloads.mem import MemoryImage
 NODE_STRIDE = 16
 
 
+@register_workload("libquantum")
 def build_libquantum_workload(
     reg_size: int = 200_000,
     control1: int = 1 << 3,
@@ -117,11 +120,6 @@ def build_libquantum_workload(
         ),
     ]
 
-    if component_factory is None:
-        from repro.pfm.components.prefetchers import LibquantumPrefetcher
-
-        component_factory = LibquantumPrefetcher
-
     metadata = {
         "sites": [
             {"tag": "toffoli", "stride": NODE_STRIDE},
@@ -129,11 +127,10 @@ def build_libquantum_workload(
         ],
         "initial_distance": 8,
     }
-    bitstream = Bitstream(
-        name="libquantum-prefetcher",
+    bitstream = make_bitstream(
+        "libquantum-prefetcher",
+        component=component_factory or "libquantum-prefetcher",
         rst_entries=rst_entries,
-        fst_entries=[],
-        component_factory=component_factory,
         metadata=metadata,
     )
     return Workload(

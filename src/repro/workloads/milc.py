@@ -9,7 +9,9 @@ with the same adaptive distance control.
 from __future__ import annotations
 
 from repro.isa.builder import ProgramBuilder
-from repro.pfm.snoop import Bitstream, RSTEntry, SnoopKind
+from repro.pfm.snoop import RSTEntry, SnoopKind
+from repro.registry.components import make_bitstream
+from repro.registry.workloads import register_workload
 from repro.workloads.base import Workload
 from repro.workloads.mem import MemoryImage
 
@@ -18,6 +20,7 @@ LINK_STRIDE = 144
 DIRECTIONS = 4
 
 
+@register_workload("milc")
 def build_milc_workload(
     sites: int = 50_000,
     component_factory=None,
@@ -94,11 +97,6 @@ def build_milc_workload(
             )
         )
 
-    if component_factory is None:
-        from repro.pfm.components.prefetchers import MilcPrefetcher
-
-        component_factory = MilcPrefetcher
-
     metadata = {
         # Each direction's 144-byte link spans three cache lines; two
         # sub-sites per direction cover both loaded rows.
@@ -114,11 +112,10 @@ def build_milc_workload(
         ],
         "initial_distance": 8,
     }
-    bitstream = Bitstream(
-        name="milc-prefetcher",
+    bitstream = make_bitstream(
+        "milc-prefetcher",
+        component=component_factory or "milc-prefetcher",
         rst_entries=rst_entries,
-        fst_entries=[],
-        component_factory=component_factory,
         metadata=metadata,
     )
     return Workload(

@@ -1,0 +1,148 @@
+"""The registry layer: registration, lookup errors, project registries."""
+
+import pytest
+
+from repro.registry import (
+    DuplicateNameError,
+    Registry,
+    RegistryError,
+    UnknownNameError,
+    build_workload,
+    component_names,
+    make_bitstream,
+    make_predictor,
+    make_prefetcher,
+    predictor_names,
+    prefetcher_names,
+    workload_names,
+)
+
+
+# --------------------------------------------------------------------- #
+# the generic mechanism
+# --------------------------------------------------------------------- #
+
+def test_register_and_get_roundtrip():
+    reg = Registry("thing")
+
+    @reg.register("alpha")
+    def make_alpha():
+        return "alpha!"
+
+    assert reg.get("alpha") is make_alpha
+    assert "alpha" in reg
+    assert reg.names() == ("alpha",)
+    assert len(reg) == 1
+
+
+def test_decorator_returns_object_unchanged():
+    reg = Registry("thing")
+
+    class Widget:
+        pass
+
+    decorated = reg.register("widget")(Widget)
+    assert decorated is Widget
+
+
+def test_registration_order_is_iteration_order():
+    reg = Registry("thing")
+    for name in ("zebra", "apple", "mango"):
+        reg.register(name)(object())
+    assert reg.names() == ("zebra", "apple", "mango")
+    assert list(reg) == ["zebra", "apple", "mango"]
+
+
+def test_duplicate_name_rejected():
+    reg = Registry("thing")
+    reg.register("alpha")(object())
+    with pytest.raises(DuplicateNameError, match="duplicate thing name 'alpha'"):
+        reg.register("alpha")(object())
+
+
+def test_invalid_names_rejected():
+    reg = Registry("thing")
+    with pytest.raises(RegistryError):
+        reg.register("")
+    with pytest.raises(RegistryError):
+        reg.register(None)
+
+
+def test_unknown_name_lists_valid_names():
+    reg = Registry("thing")
+    reg.register("alpha")(object())
+    reg.register("beta")(object())
+    with pytest.raises(UnknownNameError) as exc:
+        reg.get("gamma")
+    message = str(exc.value)
+    assert "unknown thing 'gamma'" in message
+    assert "alpha" in message
+    assert "beta" in message
+
+
+def test_unknown_name_suggests_near_misses():
+    reg = Registry("thing")
+    reg.register("libquantum")(object())
+    reg.register("bwaves")(object())
+    with pytest.raises(UnknownNameError, match="did you mean 'libquantum'"):
+        reg.get("libquantun")
+
+
+def test_registry_errors_are_value_errors():
+    # Pre-registry callers catch ValueError for bad names; keep that.
+    assert issubclass(RegistryError, ValueError)
+    assert issubclass(UnknownNameError, RegistryError)
+    assert issubclass(DuplicateNameError, RegistryError)
+
+
+# --------------------------------------------------------------------- #
+# the project registries
+# --------------------------------------------------------------------- #
+
+def test_all_nine_workloads_registered():
+    assert workload_names() == (
+        "astar", "astar-alt", "bfs-roads", "bfs-youtube",
+        "libquantum", "bwaves", "lbm", "milc", "leslie",
+    )
+
+
+def test_component_registry_covers_bitstreams():
+    names = component_names()
+    for expected in (
+        "astar-custom-bp", "astar-alt", "bfs-engine", "templated-runahead",
+        "libquantum-prefetcher", "bwaves-prefetcher", "lbm-prefetcher",
+        "milc-prefetcher", "leslie-prefetcher",
+    ):
+        assert expected in names
+
+
+def test_predictor_registry():
+    names = predictor_names()
+    for expected in ("tagescl", "always-taken", "bimodal", "gshare"):
+        assert expected in names
+    predictor = make_predictor("always-taken")
+    assert predictor.predict(0x1000) is True
+
+
+def test_prefetcher_registry():
+    assert set(prefetcher_names()) == {"nextline", "vldp"}
+    nextline = make_prefetcher("nextline", degree=3)
+    assert nextline.on_access(10, now=0) == [11, 12, 13]
+
+
+def test_workload_unknown_name_suggestion():
+    with pytest.raises(UnknownNameError, match="did you mean 'astar'"):
+        build_workload("astr")
+
+
+def test_make_bitstream_unknown_component():
+    with pytest.raises(UnknownNameError, match="unknown component"):
+        make_bitstream("bs", component="no-such-component", rst_entries=[])
+
+
+def test_workload_builds_with_component_override():
+    from repro.registry import COMPONENTS
+
+    workload = build_workload("astar", component_factory="astar-alt")
+    assert workload.bitstream is not None
+    assert workload.bitstream.component_factory is COMPONENTS.get("astar-alt")
