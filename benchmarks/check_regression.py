@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Throughput regression gate over pytest-benchmark JSON exports.
+
+Compares a current ``--benchmark-json`` export against the committed
+``benchmarks/baseline.json`` and fails (exit 1) when any benchmark
+regressed beyond the tolerance.
+
+Cross-machine noise is the enemy: the baseline was recorded on one
+machine, CI runs on another, and a uniformly slower runner is not a
+regression.  The default mode therefore *normalizes*: each benchmark's
+current/baseline time ratio is divided by the median ratio across all
+benchmarks (the machine-speed factor), so only benchmarks that got
+slower **relative to the rest of the suite** trip the gate.  Pass
+``--absolute`` to compare raw times instead (same-machine runs).
+
+Usage::
+
+    PYTHONPATH=src pytest benchmarks/test_simulator_throughput.py \
+        --benchmark-only --benchmark-json=current.json
+    python benchmarks/check_regression.py current.json
+    python benchmarks/check_regression.py current.json --tolerance 0.10
+    python benchmarks/check_regression.py current.json --absolute
+
+Re-record the baseline after an intentional performance change::
+
+    PYTHONPATH=src pytest benchmarks/test_simulator_throughput.py \
+        --benchmark-only --benchmark-json=benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: >25% slower than the baseline (after normalization) fails the gate.
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    """Benchmark name -> median seconds from a pytest-benchmark export."""
+    payload = json.loads(path.read_text())
+    return {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    tolerance: float,
+    absolute: bool,
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, failure lines)."""
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        return ["no overlapping benchmarks between baseline and current"], [
+            "nothing to compare"
+        ]
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    machine_factor = 1.0 if absolute else statistics.median(ratios.values())
+
+    lines = [
+        f"mode: {'absolute' if absolute else 'normalized'}"
+        f" (machine factor {machine_factor:.3f}),"
+        f" tolerance {tolerance:.0%}, {len(shared)} benchmark(s)",
+    ]
+    failures = []
+    width = max(len(name) for name in shared)
+    for name in shared:
+        normalized = ratios[name] / machine_factor
+        delta = normalized - 1.0
+        flag = ""
+        if delta > tolerance:
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{name}: {delta:+.1%} vs baseline"
+                f" ({baseline[name] * 1000:.1f}ms -> {current[name] * 1000:.1f}ms)"
+            )
+        lines.append(
+            f"  {name:<{width}}  {baseline[name] * 1000:8.1f}ms"
+            f" -> {current[name] * 1000:8.1f}ms  {delta:+7.1%}{flag}"
+        )
+
+    only_base = sorted(set(baseline) - set(current))
+    if only_base:
+        lines.append(f"  (not in current run: {', '.join(only_base)})")
+    only_current = sorted(set(current) - set(baseline))
+    if only_current:
+        lines.append(
+            f"  (new, no baseline yet: {', '.join(only_current)} —"
+            f" re-record benchmarks/baseline.json to gate them)"
+        )
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path,
+                        help="pytest-benchmark JSON export of the current run")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).parent / "baseline.json",
+        help="recorded baseline export (default benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed slowdown fraction (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw times without the machine-speed normalization",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"baseline {args.baseline} missing; record it first", file=sys.stderr)
+        return 2
+    lines, failures = compare(
+        load_medians(args.baseline),
+        load_medians(args.current),
+        args.tolerance,
+        args.absolute,
+    )
+    print("\n".join(lines))
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed"
+              f" beyond {args.tolerance:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressed beyond the tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

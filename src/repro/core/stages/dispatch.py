@@ -8,7 +8,7 @@ paper's pipeline interfaces sit at fetch, the LSU path, and retire.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.stages.context import PipelineContext
 from repro.isa.instructions import OpClass
@@ -20,19 +20,30 @@ if TYPE_CHECKING:
 class DispatchStage:
     """Rename/dispatch: the in-order boundary into the out-of-order back end."""
 
-    __slots__ = ("ctx",)
+    __slots__ = (
+        "ctx",
+        "_front_depth", "_rob_earliest", "_iq_earliest",
+        "_ldq_earliest", "_stq_earliest", "_fq_allocate",
+    )
 
     def __init__(self, ctx: PipelineContext) -> None:
         self.ctx = ctx
+        # Hot-path hoists (per-run constants; see FetchStage).
+        self._front_depth: int = ctx.params.front_depth
+        self._rob_earliest: Callable[[int], int] = ctx.rob.earliest_alloc
+        self._iq_earliest: Callable[[int], int] = ctx.iq.earliest_alloc
+        self._ldq_earliest: Callable[[int], int] = ctx.ldq.earliest_alloc
+        self._stq_earliest: Callable[[int], int] = ctx.stq.earliest_alloc
+        self._fq_allocate: Callable[[int], None] = ctx.fetchq.allocate
 
     def dispatch(self, dyn: "DynInst", fetch_time: int) -> int:
-        ctx = self.ctx
-        dt = fetch_time + ctx.params.front_depth
-        dt = ctx.rob.earliest_alloc(dt)
-        dt = ctx.iq.earliest_alloc(dt)
-        if dyn.op_class is OpClass.LOAD:
-            dt = ctx.ldq.earliest_alloc(dt)
-        elif dyn.op_class is OpClass.STORE:
-            dt = ctx.stq.earliest_alloc(dt)
-        ctx.fetchq.allocate(dt)
+        dt = fetch_time + self._front_depth
+        dt = self._rob_earliest(dt)
+        dt = self._iq_earliest(dt)
+        op = dyn.op_class
+        if op is OpClass.LOAD:
+            dt = self._ldq_earliest(dt)
+        elif op is OpClass.STORE:
+            dt = self._stq_earliest(dt)
+        self._fq_allocate(dt)
         return dt

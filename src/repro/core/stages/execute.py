@@ -10,7 +10,7 @@ at finalize.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.stages.context import PipelineContext
 from repro.isa.instructions import OpClass
@@ -44,11 +44,19 @@ class InFlightStore:
 class ExecuteStage:
     """Issue, functional-unit, and LSU timing for one instruction."""
 
-    __slots__ = ("ctx", "lane_map")
+    __slots__ = (
+        "ctx", "lane_map",
+        "_ls_lanes", "_reserve", "_iq_allocate", "_reg_ready",
+    )
 
     def __init__(self, ctx: PipelineContext) -> None:
         self.ctx = ctx
         p = ctx.params
+        # Hot-path hoists (per-run constants; see FetchStage).
+        self._ls_lanes: tuple[int, ...] = p.ls_lanes()
+        self._reserve: Callable[..., tuple[int, int]] = ctx.lanes.reserve
+        self._iq_allocate: Callable[[int], None] = ctx.iq.allocate
+        self._reg_ready: dict[str, int] = ctx.reg_ready
         self.lane_map: dict[OpClass, tuple[tuple[int, ...], int, int]] = {
             OpClass.INT_ALU: (p.alu_lanes(), p.int_alu_latency, 0),
             OpClass.INT_MUL: (p.fp_lanes(), p.int_mul_latency, 0),
@@ -63,7 +71,7 @@ class ExecuteStage:
 
     def _src_ready(self, srcs: tuple[str, ...]) -> int:
         ready = 0
-        reg_ready = self.ctx.reg_ready
+        reg_ready = self._reg_ready
         for reg in srcs:
             t = reg_ready.get(reg, 0)
             if t > ready:
@@ -77,25 +85,26 @@ class ExecuteStage:
         if op is OpClass.STORE:
             return self._execute_store(dyn, dispatch_time)
 
-        ctx = self.ctx
-        stats = ctx.stats
+        stats = self.ctx.stats
         lanes, latency, block = self.lane_map[op]
-        ready = max(dispatch_time + 1, self._src_ready(dyn.srcs))
-        _, issue = ctx.lanes.reserve(lanes, ready, block_cycles=block)
-        ctx.iq.allocate(issue)
+        srcs = dyn.srcs
+        ready = max(dispatch_time + 1, self._src_ready(srcs))
+        _, issue = self._reserve(lanes, ready, block_cycles=block)
+        self._iq_allocate(issue)
         stats.issued_ops += 1
-        stats.prf_reads += len(dyn.srcs)
+        stats.prf_reads += len(srcs)
         return issue, issue + latency
 
     def _execute_load(self, dyn: "DynInst", dispatch_time: int) -> tuple[int, int]:
         ctx = self.ctx
         stats = ctx.stats
         stats.loads += 1
-        ready = max(dispatch_time + 1, self._src_ready(dyn.srcs))
-        _, issue = ctx.lanes.reserve(ctx.params.ls_lanes(), ready)
-        ctx.iq.allocate(issue)
+        srcs = dyn.srcs
+        ready = max(dispatch_time + 1, self._src_ready(srcs))
+        _, issue = self._reserve(self._ls_lanes, ready)
+        self._iq_allocate(issue)
         stats.issued_ops += 1
-        stats.prf_reads += len(dyn.srcs)
+        stats.prf_reads += len(srcs)
         agen_done = issue + 1
 
         conflict = self._latest_older_store(dyn, agen_done)
@@ -140,11 +149,12 @@ class ExecuteStage:
         stats = ctx.stats
         stats.stores += 1
         base_reg, data_reg = dyn.srcs[0], dyn.srcs[1]
-        addr_src_ready = ctx.reg_ready.get(base_reg, 0)
-        data_src_ready = ctx.reg_ready.get(data_reg, 0)
+        reg_ready = self._reg_ready
+        addr_src_ready = reg_ready.get(base_reg, 0)
+        data_src_ready = reg_ready.get(data_reg, 0)
         ready = max(dispatch_time + 1, addr_src_ready)
-        _, issue = ctx.lanes.reserve(ctx.params.ls_lanes(), ready)
-        ctx.iq.allocate(issue)
+        _, issue = self._reserve(self._ls_lanes, ready)
+        self._iq_allocate(issue)
         stats.issued_ops += 1
         stats.prf_reads += 2
         addr_ready = issue + 1

@@ -9,7 +9,7 @@ predictor's output — the core predictor still always runs and trains.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.stages.context import PipelineContext
 from repro.frontend.btb import BranchTargetBuffer, ReturnAddressStack
@@ -26,37 +26,47 @@ class FetchStage:
     #: Fetch bubble on a taken-control BTB miss (target found in decode).
     _BTB_MISS_BUBBLE = 2
 
-    __slots__ = ("ctx", "predictor", "btb", "ras")
+    __slots__ = (
+        "ctx", "predictor", "btb", "ras",
+        "_fetch_width", "_fq_earliest_alloc", "_inst_access",
+    )
 
     def __init__(self, ctx: PipelineContext, predictor: "BranchPredictor") -> None:
         self.ctx = ctx
         self.predictor = predictor
         self.btb = BranchTargetBuffer()
         self.ras = ReturnAddressStack()
+        # Hot-path hoists: these are per-run constants (the params and
+        # resource objects never rebind on the context), so the
+        # per-instruction loop pays one slot load instead of an
+        # attribute chain for each.
+        self._fetch_width: int = ctx.params.fetch_width
+        self._fq_earliest_alloc: Callable[[int], int] = ctx.fetchq.earliest_alloc
+        self._inst_access: Callable[[int, int], int] = ctx.hierarchy.inst_access
 
     def fetch(self, dyn: "DynInst") -> int:
         ctx = self.ctx
-        stats = ctx.stats
         cycle = ctx.fetch_cycle
         used = ctx.fetch_used
 
         if ctx.redirect_floor > cycle:
             cycle = ctx.redirect_floor
             used = 0
-        if used >= ctx.params.fetch_width:
+        if used >= self._fetch_width:
             cycle += 1
             used = 0
 
-        fq_ready = ctx.fetchq.earliest_alloc(cycle)
+        fq_ready = self._fq_earliest_alloc(cycle)
         if fq_ready > cycle:
             cycle = fq_ready
             used = 0
 
-        line = dyn.pc >> LINE_SHIFT
+        pc = dyn.pc
+        line = pc >> LINE_SHIFT
         if line != ctx.last_iline:
-            ready = ctx.hierarchy.inst_access(dyn.pc, cycle)
+            ready = self._inst_access(pc, cycle)
             if ready > cycle:
-                stats.fetch_stall_icache_cycles += ready - cycle
+                ctx.stats.fetch_stall_icache_cycles += ready - cycle
                 cycle = ready
                 used = 0
             ctx.last_iline = line
@@ -66,7 +76,7 @@ class FetchStage:
 
         agent = ctx.fetch_port.agent
         if agent is not None:
-            agent.on_fetch(dyn.pc)
+            agent.on_fetch(pc)
         return cycle
 
     def predict_branch(

@@ -10,7 +10,7 @@ retire unit while the component rolls back.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.stages.context import PipelineContext
 from repro.isa.instructions import OpClass
@@ -24,7 +24,10 @@ if TYPE_CHECKING:
 class RetireStage:
     """In-order retirement bounded by the retire width."""
 
-    __slots__ = ("ctx", "predictor", "retire_counts")
+    __slots__ = (
+        "ctx", "predictor", "retire_counts",
+        "_retire_width", "_rob_allocate", "_ldq_allocate", "_stq_allocate",
+    )
 
     def __init__(self, ctx: PipelineContext, predictor: "BranchPredictor") -> None:
         self.ctx = ctx
@@ -32,27 +35,34 @@ class RetireStage:
         # (shared with the fetch stage).
         self.predictor = predictor
         self.retire_counts: dict[int, int] = {}
+        # Hot-path hoists (per-run constants; see FetchStage).
+        self._retire_width: int = ctx.params.retire_width
+        self._rob_allocate: Callable[[int], None] = ctx.rob.allocate
+        self._ldq_allocate: Callable[[int], None] = ctx.ldq.allocate
+        self._stq_allocate: Callable[[int], None] = ctx.stq.allocate
 
     def retire(self, dyn: "DynInst", complete_time: int) -> None:
         ctx = self.ctx
         stats = ctx.stats
         rt = max(complete_time + 1, ctx.prev_retire, ctx.retire_floor)
         counts = self.retire_counts
-        while counts.get(rt, 0) >= ctx.params.retire_width:
+        width = self._retire_width
+        get = counts.get
+        while get(rt, 0) >= width:
             rt += 1
-        counts[rt] = counts.get(rt, 0) + 1
+        counts[rt] = get(rt, 0) + 1
         ctx.prev_retire = rt
         if ctx.first_retire is None:
             ctx.first_retire = rt
 
-        ctx.rob.allocate(rt)
-        if dyn.op_class is OpClass.LOAD:
-            ctx.ldq.allocate(rt)
-        elif dyn.op_class is OpClass.STORE:
-            ctx.stq.allocate(rt)
+        self._rob_allocate(rt)
+        op = dyn.op_class
+        if op is OpClass.LOAD:
+            self._ldq_allocate(rt)
+        elif op is OpClass.STORE:
+            self._stq_allocate(rt)
             self._commit_store(dyn, rt)
-
-        if dyn.op_class is OpClass.BRANCH:
+        elif op is OpClass.BRANCH:
             self.predictor.update(dyn.pc, bool(dyn.taken))
 
         agent = ctx.retire_port.agent

@@ -88,6 +88,63 @@ def make_pool(args, experiment: str, window: int) -> SweepPool:
     )
 
 
+def _dir_size(path: Path) -> tuple[int, int]:
+    """(file count, total bytes) under *path*, recursively."""
+    files = 0
+    total = 0
+    if path.is_dir():
+        for entry in path.rglob("*"):
+            if entry.is_file():
+                files += 1
+                total += entry.stat().st_size
+    return files, total
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{n} B"
+        value /= 1024
+    return f"{n} B"
+
+
+def _cache_command(parser, args) -> int:
+    """The ``cache`` subcommand: inspect or clear the `.repro-cache/` store."""
+    from repro.workloads import tracecache
+
+    action = args.target or "list"
+    base = Path(args.cache_dir)
+    if action == "clear":
+        removed, freed = tracecache.clear_traces(base)
+        print(f"removed {removed} compiled trace(s), freed {_fmt_bytes(freed)}"
+              f" from {tracecache.trace_dir(base)}")
+        return 0
+    if action != "list":
+        parser.error(f"unknown cache action {action!r}; use 'list' or 'clear'")
+
+    entries = tracecache.trace_files(base)
+    print(f"cache directory: {base}")
+    print(f"compiled traces ({tracecache.trace_dir(base)}):")
+    if not entries:
+        print("  (none)")
+    total = 0
+    for entry in entries:
+        total += entry["size_bytes"]
+        if entry["valid"]:
+            halted = ", halted" if entry["halted"] else ""
+            print(f"  {entry['path'].name}  {_fmt_bytes(entry['size_bytes'])}"
+                  f"  ({entry['workload']}, {entry['length']} insts{halted})")
+        else:
+            print(f"  {entry['path'].name}  {_fmt_bytes(entry['size_bytes'])}"
+                  f"  (unreadable — will be recompiled on next use)")
+    print(f"  total: {len(entries)} file(s), {_fmt_bytes(total)}")
+    for label, sub in (("baselines", "baselines"), ("checkpoints", "checkpoints")):
+        files, size = _dir_size(base / sub)
+        print(f"{label}: {files} file(s), {_fmt_bytes(size)}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -103,7 +160,8 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         nargs="?",
         default=None,
-        help="workload to trace ('trace' only; default astar)",
+        help="workload to trace ('trace' only; default astar), or the"
+             " cache action ('cache' only: list/clear, default list)",
     )
     parser.add_argument(
         "--window",
@@ -231,6 +289,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         print("  trace  (telemetry trace of one workload; see --perfetto)")
         print("  shape  (aggregate shape-agreement metrics)")
+        print("  cache  (inspect/clear the compiled-trace store)")
         for title, names in (
             ("workloads", workload_names()),
             ("components", component_names()),
@@ -241,6 +300,9 @@ def main(argv: list[str] | None = None) -> int:
             for name in names:
                 print(f"  {name}")
         return 0
+
+    if args.experiment == "cache":
+        return _cache_command(parser, args)
 
     if args.experiment == "trace":
         from repro.telemetry.export import (

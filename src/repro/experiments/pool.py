@@ -39,7 +39,6 @@ import dataclasses
 import hashlib
 import json
 import os
-import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -48,12 +47,11 @@ from pathlib import Path
 
 from repro.core import PFMParams, SimConfig, SimStats, simulate
 from repro.telemetry import TelemetryParams
-
-#: Environment override for the on-disk cache location.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-#: Default on-disk cache directory (relative to the invocation cwd).
-DEFAULT_CACHE_DIR = ".repro-cache"
+from repro.workloads.tracecache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    canonical_bytes,
+)
 
 #: Named oracle factories, so oracle-driven points stay declarative and
 #: picklable (the factory runs inside the worker, next to the workload).
@@ -132,25 +130,9 @@ class SweepPoint:
         return f"{self.workload}-w{self.window}-{self.config_key()}"
 
 
-def _canonical_bytes(obj) -> bytes:
-    """Deterministic byte encoding of a point spec.
-
-    JSON with sorted keys covers the declarative core; builder overrides
-    may carry structured values (e.g. a prebuilt graph), which fall back
-    to a pickle digest — deterministic for the list/dataclass payloads
-    the workload builders accept.
-    """
-
-    def _default(value):
-        if dataclasses.is_dataclass(value) and not isinstance(value, type):
-            return dataclasses.asdict(value)
-        return {
-            "__pickle_sha256__": hashlib.sha256(
-                pickle.dumps(value, protocol=4)
-            ).hexdigest()
-        }
-
-    return json.dumps(obj, sort_keys=True, default=_default).encode()
+# Canonical spec encoding is shared with the trace cache so sweep-point
+# keys and trace-cache memo keys agree on what "the same overrides" means.
+_canonical_bytes = canonical_bytes
 
 
 class SweepFailure(RuntimeError):

@@ -41,6 +41,13 @@ class TimedQueue:
     workload condition.
     """
 
+    __slots__ = (
+        "name", "capacity", "crossing_latency", "monotonic_push",
+        "_entries", "_pop_times", "_last_push_time",
+        "pushes", "pops", "push_backpressure", "max_occupancy",
+        "full_rejects", "probe",
+    )
+
     def __init__(
         self,
         name: str,

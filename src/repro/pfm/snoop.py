@@ -56,6 +56,8 @@ class FSTEntry:
 class RetireSnoopTable:
     """PC-indexed lookup of RST entries."""
 
+    __slots__ = ("_by_pc", "entries")
+
     def __init__(self, entries: list[RSTEntry]):
         self._by_pc: dict[int, RSTEntry] = {}
         for entry in entries:
@@ -73,6 +75,8 @@ class RetireSnoopTable:
 
 class FetchSnoopTable:
     """PC-indexed lookup of FST entries."""
+
+    __slots__ = ("_by_pc", "entries")
 
     def __init__(self, entries: list[FSTEntry]):
         self._by_pc: dict[int, FSTEntry] = {}

@@ -40,8 +40,17 @@ def register_workload(name: str) -> Callable[[WorkloadBuilder], WorkloadBuilder]
 
 
 def build_workload(name: str, **overrides: object) -> "Workload":
-    """Fresh workload by benchmark name (builder kwargs as overrides)."""
-    return WORKLOADS.get(name)(**overrides)
+    """Fresh workload by benchmark name (builder kwargs as overrides).
+
+    The built workload is stamped with its compiled-trace identity
+    (:func:`repro.workloads.tracecache.annotate`) so ``simulate()`` can
+    replay a cached correct-path stream instead of re-executing it.
+    """
+    from repro.workloads.tracecache import annotate
+
+    workload = WORKLOADS.get(name)(**overrides)
+    annotate(workload, name, dict(overrides))
+    return workload
 
 
 def workload_names() -> tuple[str, ...]:

@@ -98,9 +98,21 @@ def main(argv: list[str] | None = None) -> int:
                              " baseline run concurrently when N > 1)")
     parser.add_argument("--report", action="store_true",
                         help="print the detailed breakdown")
+    parser.add_argument("--profile", metavar="FILE", nargs="?",
+                        const="sim-profile.pstats", default=None,
+                        help="profile the run under cProfile and write a"
+                             " pstats dump (default sim-profile.pstats;"
+                             " inspect with python -m pstats FILE)")
     args = parser.parse_args(argv)
 
     pfm = parse_config_label(args.pfm) if args.pfm else None
+
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
 
     started = time.time()
     baseline = None
@@ -140,9 +152,15 @@ def main(argv: list[str] | None = None) -> int:
                 SimConfig(max_instructions=args.window),
             )
     elapsed = time.time() - started
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
 
     print(f"workload {args.workload}, window {args.window} "
           f"({elapsed:.1f}s wall clock)")
+    if profiler is not None:
+        print(f"cProfile dump written to {args.profile}"
+              f" (inspect with: python -m pstats {args.profile})")
     if pfm is not None:
         print(f"PFM: {pfm.label()}")
     print()

@@ -16,6 +16,7 @@ would derive from the binary shipped alongside the configuration bitstream.
 from repro.workloads.base import Workload
 from repro.workloads.mem import MemoryImage, WORD_BYTES
 from repro.workloads.trace import DynInst, FunctionalExecutor
+from repro.workloads.tracecache import CompiledTrace, TraceCursor
 
 __all__ = [
     "Workload",
@@ -23,4 +24,6 @@ __all__ = [
     "WORD_BYTES",
     "DynInst",
     "FunctionalExecutor",
+    "CompiledTrace",
+    "TraceCursor",
 ]

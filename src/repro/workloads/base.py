@@ -23,6 +23,14 @@ class Workload:
         bitstream: PFM configuration for this workload's custom component,
             or None for plain-core workloads.
         metadata: free-form notes (grid size, graph, array sizes, ...).
+        trace_key: content digest identifying this workload in the
+            compiled-trace cache, stamped by the registry's
+            ``build_workload``; None for hand-assembled workloads
+            (those always execute functionally).
+        build_ref: ``(registry name, overrides)`` recipe to rebuild a
+            fresh copy, stamped alongside ``trace_key`` — trace
+            compilation consumes a dedicated rebuild so this instance's
+            memory image stays pristine for the simulation itself.
     """
 
     name: str
@@ -32,6 +40,8 @@ class Workload:
     entry: str | None = None
     bitstream: Bitstream | None = None
     metadata: dict = field(default_factory=dict)
+    trace_key: str | None = None
+    build_ref: tuple[str, dict] | None = None
 
     def executor(self) -> FunctionalExecutor:
         """Fresh functional executor over this workload's state.

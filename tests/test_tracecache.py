@@ -1,0 +1,293 @@
+"""Compiled-trace replay cache correctness.
+
+The cache may only ever change *when* work happens, never *what* the
+simulator computes: every test here pins the architectural digest — the
+hash over the retired stream plus final register/memory state — across
+the executed, cold-compiled, in-process-memoized, and warm-on-disk
+paths, plus the failure modes (corrupted file, changed build params,
+registry-bypassing workloads) where the cache must step aside rather
+than lie.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.core import SimConfig, simulate
+from repro.experiments.runner import parse_config_label
+from repro.registry import build_workload, workload_names
+from repro.workloads import tracecache
+from repro.workloads.astar import build_astar_workload
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_WINDOW = 5_000
+PFM_CONFIG = "clk4_w4, delay4, queue32, portLS1"
+
+SMALL_WINDOW = 1_500
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """Each test starts from an empty in-process trace memo.
+
+    The on-disk side is already per-test (the shared autouse fixture
+    points ``REPRO_CACHE_DIR`` at a tmp dir); the module-level memo
+    would otherwise leak compiled traces between tests and hide the
+    cold/warm distinction these tests assert on.
+    """
+    tracecache.reset_memory_cache()
+    yield
+    tracecache.reset_memory_cache()
+
+
+def _simulate(workload, window: int, pfm_label: str | None = None):
+    pfm = parse_config_label(pfm_label) if pfm_label else None
+    return simulate(workload, SimConfig(max_instructions=window, pfm=pfm))
+
+
+def _executed_digest(name: str, window: int, monkeypatch, **overrides) -> str:
+    monkeypatch.setenv(tracecache.NO_TRACE_CACHE_ENV, "1")
+    digest = _simulate(build_workload(name, **overrides), window).arch_digest
+    monkeypatch.delenv(tracecache.NO_TRACE_CACHE_ENV)
+    return digest
+
+
+# --------------------------------------------------------------------- #
+# digest identity
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_executed_vs_replayed_digest_all_workloads(name, monkeypatch):
+    """Replay is architecturally invisible for every registered workload."""
+    executed = _executed_digest(name, SMALL_WINDOW, monkeypatch)
+
+    cold = _simulate(build_workload(name), SMALL_WINDOW).arch_digest
+    assert tracecache.STATS["compiles"] == 1
+    assert tracecache.STATS["replays"] == 1
+    assert cold == executed
+
+    warm = _simulate(build_workload(name), SMALL_WINDOW).arch_digest
+    assert tracecache.STATS["memo_hits"] == 1
+    assert warm == executed
+
+
+GOLDEN_CASES = [
+    (workload, variant)
+    for workload in workload_names()
+    for variant in ("baseline", "pfm")
+]
+
+
+@pytest.mark.parametrize(
+    "workload,variant",
+    GOLDEN_CASES,
+    ids=[f"{w}-{v}" for w, v in GOLDEN_CASES],
+)
+def test_golden_digest_enabled_disabled_and_warm(workload, variant, monkeypatch):
+    """All 18 golden cases: digest byte-identical to the committed golden
+    with the cache disabled, enabled (cold compile), and warm on disk."""
+    golden_path = GOLDEN_DIR / f"{workload}--{variant}.json"
+    golden = json.loads(golden_path.read_text())["stats"]["arch_digest"]
+    pfm_label = None if variant == "baseline" else PFM_CONFIG
+
+    monkeypatch.setenv(tracecache.NO_TRACE_CACHE_ENV, "1")
+    disabled = _simulate(
+        build_workload(workload), GOLDEN_WINDOW, pfm_label
+    ).arch_digest
+    monkeypatch.delenv(tracecache.NO_TRACE_CACHE_ENV)
+    assert disabled == golden
+
+    cold = _simulate(
+        build_workload(workload), GOLDEN_WINDOW, pfm_label
+    ).arch_digest
+    assert cold == golden
+    assert tracecache.STATS["compiles"] == 1
+
+    # Drop the memo so the next run must come off the on-disk file.
+    tracecache.reset_memory_cache()
+    warm = _simulate(
+        build_workload(workload), GOLDEN_WINDOW, pfm_label
+    ).arch_digest
+    assert warm == golden
+    assert tracecache.STATS["disk_hits"] == 1
+    assert tracecache.STATS["compiles"] == 0
+
+
+def test_baseline_and_pfm_share_one_compilation():
+    """Hints never change the correct path, so one trace serves both."""
+    _simulate(build_workload("astar"), SMALL_WINDOW)
+    _simulate(build_workload("astar"), SMALL_WINDOW, PFM_CONFIG)
+    assert tracecache.STATS["compiles"] == 1
+    assert tracecache.STATS["replays"] == 2
+
+
+# --------------------------------------------------------------------- #
+# keying and invalidation
+# --------------------------------------------------------------------- #
+
+
+def test_build_param_change_invalidates(monkeypatch):
+    """Changed builder params produce a different content key and a
+    fresh compilation — never a replay of the old trace."""
+    small = build_workload("astar")
+    large = build_workload("astar", grid_width=24, grid_height=24)
+    assert small.trace_key is not None
+    assert large.trace_key is not None
+    assert small.trace_key != large.trace_key
+
+    _simulate(small, SMALL_WINDOW)
+    assert tracecache.STATS["compiles"] == 1
+    digest = _simulate(large, SMALL_WINDOW).arch_digest
+    assert tracecache.STATS["compiles"] == 2
+
+    executed = _executed_digest(
+        "astar", SMALL_WINDOW, monkeypatch, grid_width=24, grid_height=24
+    )
+    assert digest == executed
+
+
+def test_identical_builds_share_a_key():
+    a = build_workload("astar")
+    b = build_workload("astar")
+    assert a.trace_key == b.trace_key
+    assert a.build_ref == ("astar", {})
+
+
+def test_direct_builder_bypasses_cache():
+    """Hand-built workloads carry no trace identity and always execute."""
+    workload = build_astar_workload()
+    assert workload.trace_key is None
+    assert tracecache.get_trace(workload, SMALL_WINDOW) is None
+    stats = _simulate(workload, SMALL_WINDOW)
+    assert tracecache.STATS["compiles"] == 0
+    assert tracecache.STATS["replays"] == 0
+    assert stats.instructions == SMALL_WINDOW
+
+
+def test_escape_hatch_disables_everything(monkeypatch):
+    monkeypatch.setenv(tracecache.NO_TRACE_CACHE_ENV, "1")
+    _simulate(build_workload("astar"), SMALL_WINDOW)
+    assert tracecache.STATS["compiles"] == 0
+    assert tracecache.STATS["replays"] == 0
+    assert not tracecache.trace_files()
+
+
+# --------------------------------------------------------------------- #
+# durability
+# --------------------------------------------------------------------- #
+
+
+def _single_trace_file() -> Path:
+    entries = tracecache.trace_files()
+    assert len(entries) == 1
+    return entries[0]["path"]
+
+
+def test_corrupted_file_recovers_by_recompiling(monkeypatch):
+    executed = _executed_digest("astar", SMALL_WINDOW, monkeypatch)
+    _simulate(build_workload("astar"), SMALL_WINDOW)
+    path = _single_trace_file()
+
+    path.write_bytes(b"\x00not a pickle")
+    tracecache.reset_memory_cache()
+    digest = _simulate(build_workload("astar"), SMALL_WINDOW).arch_digest
+    assert digest == executed
+    assert tracecache.STATS["recoveries"] == 1
+    assert tracecache.STATS["compiles"] == 1
+    # The recompile healed the file in place.
+    assert tracecache.trace_files()[0]["valid"]
+
+
+def test_truncated_payload_recovers(monkeypatch):
+    """A structurally valid pickle with mismatched columns is rejected."""
+    executed = _executed_digest("astar", SMALL_WINDOW, monkeypatch)
+    _simulate(build_workload("astar"), SMALL_WINDOW)
+    path = _single_trace_file()
+
+    payload = pickle.loads(path.read_bytes())
+    payload["pcs"] = payload["pcs"][: len(payload["pcs"]) // 2]
+    path.write_bytes(pickle.dumps(payload, protocol=4))
+    tracecache.reset_memory_cache()
+    digest = _simulate(build_workload("astar"), SMALL_WINDOW).arch_digest
+    assert digest == executed
+    assert tracecache.STATS["recoveries"] == 1
+
+
+def test_stale_version_recompiles(monkeypatch):
+    executed = _executed_digest("astar", SMALL_WINDOW, monkeypatch)
+    _simulate(build_workload("astar"), SMALL_WINDOW)
+    path = _single_trace_file()
+
+    payload = pickle.loads(path.read_bytes())
+    payload["version"] = tracecache.TRACE_VERSION + 1
+    path.write_bytes(pickle.dumps(payload, protocol=4))
+    tracecache.reset_memory_cache()
+    digest = _simulate(build_workload("astar"), SMALL_WINDOW).arch_digest
+    assert digest == executed
+    assert tracecache.STATS["compiles"] == 1
+
+
+def test_window_growth_extends_the_trace(monkeypatch):
+    """A longer window than any compiled trace recompiles to cover it."""
+    short = 500
+    _simulate(build_workload("astar"), short)
+    assert tracecache.STATS["compiles"] == 1
+
+    executed = _executed_digest("astar", SMALL_WINDOW, monkeypatch)
+    digest = _simulate(build_workload("astar"), SMALL_WINDOW).arch_digest
+    assert digest == executed
+    assert tracecache.STATS["compiles"] == 2
+
+    # ...and the longer trace now serves the shorter window from memo.
+    _simulate(build_workload("astar"), short)
+    assert tracecache.STATS["compiles"] == 2
+    assert tracecache.STATS["memo_hits"] == 1
+
+
+def test_compile_floor_covers_campaign_windows(monkeypatch):
+    """At campaign scale one compilation is shared across windows: a
+    window at the floor threshold compiles out to the configured floor."""
+    monkeypatch.setenv(tracecache.TRACE_FLOOR_ENV, "12000")
+    _simulate(build_workload("astar"), tracecache.FLOOR_THRESHOLD)
+    entries = tracecache.trace_files()
+    assert entries[0]["length"] == 12_000
+
+    # Any window under the compiled length is a memo hit, no recompile.
+    _simulate(build_workload("astar"), 11_000)
+    assert tracecache.STATS["compiles"] == 1
+    assert tracecache.STATS["memo_hits"] == 1
+
+
+def test_trace_max_gates_giant_windows(monkeypatch):
+    monkeypatch.setenv(tracecache.TRACE_MAX_ENV, "1000")
+    _simulate(build_workload("astar"), SMALL_WINDOW)
+    assert tracecache.STATS["compiles"] == 0
+    assert tracecache.STATS["replays"] == 0
+
+
+# --------------------------------------------------------------------- #
+# the cache CLI
+# --------------------------------------------------------------------- #
+
+
+def test_cache_cli_list_and_clear(capsys):
+    from repro.experiments.__main__ import main
+
+    _simulate(build_workload("astar"), SMALL_WINDOW)
+    assert main(["cache", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "astar" in out
+    assert "compiled traces" in out
+
+    assert main(["cache", "clear"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 compiled trace(s)" in out
+    assert not tracecache.trace_files()
+
+    assert main(["cache"]) == 0
+    assert "(none)" in capsys.readouterr().out
