@@ -86,6 +86,25 @@ def compare(
             f" -> {current[name] * 1000:8.1f}ms  {delta:+7.1%}{flag}"
         )
 
+    # Per-backend medians: the numpy replay entries ride a different
+    # code path than the reference engine, so a vectorization regression
+    # can hide inside an overall-median pass.  Group by engine (numpy
+    # benchmarks carry "numpy" in their name) and report each group's
+    # median normalized ratio alongside the per-benchmark rows.
+    by_backend: dict[str, list[float]] = {}
+    for name in shared:
+        backend = "numpy" if "numpy" in name else "python"
+        by_backend.setdefault(backend, []).append(
+            ratios[name] / machine_factor
+        )
+    for backend in sorted(by_backend):
+        group_median = statistics.median(by_backend[backend])
+        lines.append(
+            f"  [{backend}] median normalized ratio"
+            f" {group_median:.3f} over {len(by_backend[backend])}"
+            f" benchmark(s)"
+        )
+
     only_base = sorted(set(baseline) - set(current))
     if only_base:
         lines.append(f"  (not in current run: {', '.join(only_base)})")

@@ -10,7 +10,7 @@ import shutil
 
 import pytest
 
-from repro.core import PFMParams, SimConfig, simulate
+from repro.core import CoreParams, PFMParams, SimConfig, simulate
 from repro.registry import build_workload
 from repro.telemetry import TelemetryParams
 from repro.workloads import tracecache
@@ -140,10 +140,18 @@ def test_throughput_stage_pipeline_vs_seed_pfm(benchmark):
 _trace_timings: dict[str, float] = {}
 
 
-def _registry_astar_run():
+def _registry_astar_run(backend: str = "python"):
+    """Registry-built run with the engine pinned.
+
+    The cold/warm benchmarks pin ``python`` so their numbers keep
+    measuring the reference engine (and stay comparable to the recorded
+    baseline); the numpy entries pin ``numpy`` explicitly.
+    """
     return simulate(
         build_workload("astar", grid_width=128, grid_height=128),
-        SimConfig(max_instructions=WINDOW),
+        SimConfig(
+            core=CoreParams(backend=backend), max_instructions=WINDOW
+        ),
     )
 
 
@@ -193,6 +201,7 @@ def test_throughput_trace_warm_replay(benchmark, _isolated_trace_cache):
     # Speedup from the per-test minima: scheduling noise only ever adds
     # time, so min is the cleanest estimator of the true cost of each path.
     warm = benchmark.stats.stats.min
+    _trace_timings["warm"] = warm
     cold = _trace_timings.get("cold")
     if cold is not None:
         speedup = cold / warm
@@ -201,6 +210,44 @@ def test_throughput_trace_warm_replay(benchmark, _isolated_trace_cache):
             f"warm replay only {speedup:.2f}x the cold-compile path"
             f" (cold {cold:.3f}s, warm {warm:.3f}s); the compiled-trace"
             f" cache should be paying for itself"
+        )
+
+
+def test_throughput_trace_warm_replay_numpy(benchmark, _isolated_trace_cache):
+    """Vectorized warm replay: same memoized trace, numpy backend.
+
+    This is the PR's headline gate — the chunked replay must clear 2x
+    the warm *python* replay (measured by the benchmark above in the
+    same process) while staying byte-identical (the differential suite
+    in ``tests/test_backend_equivalence.py`` pins the identity half).
+    """
+    from repro.backends import have_numpy
+
+    if not have_numpy():
+        pytest.skip("numpy not installed")
+    _registry_astar_run()  # prewarm: compile once, outside the timer
+    stats = benchmark.pedantic(
+        lambda: _registry_astar_run(backend="numpy"), rounds=5, iterations=1
+    )
+    assert stats.instructions == WINDOW
+    assert stats.backend == "numpy"  # replay engaged, no silent fallback
+    assert stats.backend_fallbacks == 0
+    assert tracecache.STATS["compiles"] == 1
+
+    benchmark.extra_info["inst_per_sec"] = round(
+        WINDOW / benchmark.stats.stats.median
+    )
+    vec = benchmark.stats.stats.min
+    warm = _trace_timings.get("warm")
+    if warm is not None:
+        speedup = warm / vec
+        benchmark.extra_info["numpy_vs_python_warm_speedup"] = round(
+            speedup, 2
+        )
+        assert speedup >= 2.0, (
+            f"numpy warm replay only {speedup:.2f}x the python warm path"
+            f" (python {warm:.3f}s, numpy {vec:.3f}s); the vectorized"
+            f" backend should clear 2x"
         )
 
 

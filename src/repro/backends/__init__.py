@@ -1,0 +1,51 @@
+"""Pluggable execution backends for the cycle engine's hot loop.
+
+``python`` is the reference engine: every instruction walks through the
+four stage objects (:mod:`repro.core.stages`) one at a time.  ``numpy``
+replays a warm :class:`~repro.workloads.tracecache.CompiledTrace` in
+vectorized chunks — per-trace precomputed predictor/BTB/RAS outcome
+streams, digest byte prefixes, and integer-indexed register scoreboards
+feed a fused loop that calls the same live resource and memory-hierarchy
+objects in the same order, so its ``arch_digest`` and every exported
+counter are byte-identical to the reference (the safety bar set by the
+paper's hints-only argument, enforced by the differential test harness).
+
+Selection: ``CoreParams.backend`` names an engine through the backend
+registry; ``"auto"`` (the default) honours the ``REPRO_BACKEND``
+environment variable and otherwise picks numpy when it imports.  Runs a
+vectorized backend cannot replay bit-identically — PFM fabric attached,
+oracles, telemetry, instrumented core subclasses, no compiled trace —
+fall back to python and count ``SimStats.backend_fallbacks``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backends.base import ENV_VAR, ExecutionBackend, have_numpy
+from repro.registry.backends import backend_names, make_backend
+
+__all__ = [
+    "ENV_VAR",
+    "ExecutionBackend",
+    "backend_names",
+    "have_numpy",
+    "make_backend",
+    "resolve_backend",
+]
+
+
+def resolve_backend(requested: str | None) -> ExecutionBackend:
+    """Resolve a ``CoreParams.backend`` value to a backend instance.
+
+    An explicit name ("python", "numpy") pins the engine.  ``"auto"``
+    (or None/empty) consults ``$REPRO_BACKEND``, then autodetects: numpy
+    when importable, else python.  Unknown names — explicit or from the
+    environment — raise the registry's :class:`UnknownNameError`.
+    """
+    name = requested or "auto"
+    if name == "auto":
+        name = os.environ.get(ENV_VAR) or "auto"
+    if name == "auto":
+        name = "numpy" if have_numpy() else "python"
+    return make_backend(name)

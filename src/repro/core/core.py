@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.archstate import ArchDigest
 from repro.core.params import SimConfig
 from repro.core.stages.context import PipelineContext
 from repro.core.stages.dispatch import DispatchStage
@@ -120,31 +119,26 @@ class SuperscalarCore:
 
     def run(self, max_instructions: int | None = None) -> SimStats:
         limit = max_instructions or self.config.max_instructions
-        workload = self.workload
-        # Replay a compiled correct-path stream when one is available;
-        # fall back to functional execution otherwise.  The two sources
-        # are architecturally indistinguishable (same DynInst stream,
-        # same live-memory store timing, same final regs/memory), which
-        # the executed-vs-replayed arch_digest tests pin down.
-        trace = tracecache.get_trace(workload, limit)
-        if trace is not None:
-            source = trace.cursor(workload.memory, workload.initial_regs)
-        else:
-            source = workload.executor()
-        digest = ArchDigest()
-        observe = digest.observe
-        process = self._process
+        trace = tracecache.get_trace(self.workload, limit)
+        # Backend selection (ISSUE 6): an explicit CoreParams.backend
+        # pins the engine, "auto" resolves via $REPRO_BACKEND and then
+        # autodetection.  A non-python backend that is unavailable or
+        # cannot replay this run bit-identically (PFM fabric, oracle,
+        # telemetry, instrumented subclass, no compiled trace) falls
+        # back to the reference engine, recorded in the non-field
+        # provenance counter ``SimStats.backend_fallbacks``.
+        from repro.backends import make_backend, resolve_backend
+
+        backend = resolve_backend(self.params.backend)
         stats = self.stats
-        for dyn in source.run(limit):
-            observe(dyn)
-            process(dyn)
-            if stats.instructions % _PRUNE_INTERVAL == 0:
-                self._prune()
-        self._finalize()
-        self.stats.arch_digest = digest.finalize(
-            getattr(source, "regs", None), source.memory
-        )
-        return self.stats
+        if backend.name != "python":
+            if backend.available() and backend.eligible(self, trace):
+                stats.backend = backend.name
+                return backend.run(self, trace, limit)
+            stats.backend_fallbacks += 1
+            backend = make_backend("python")
+        stats.backend = "python"
+        return backend.run(self, trace, limit)
 
     def _prune(self) -> None:
         ctx = self.ctx

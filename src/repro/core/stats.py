@@ -106,6 +106,18 @@ class SimStats:
     #: no probes were attached.
     telemetry: dict | None = None
 
+    def __post_init__(self) -> None:
+        # Run provenance, deliberately NOT dataclass fields: which
+        # execution backend produced the numbers and how often a
+        # requested vectorized backend had to fall back to python.  The
+        # backend equivalence harness pins every exported counter to be
+        # byte-identical across backends, so provenance must stay out of
+        # ``dataclasses.asdict`` (goldens, baseline cache, checkpoints)
+        # and :meth:`to_dict` — both iterate ``fields()`` and therefore
+        # skip these automatically.
+        self.backend: str = "python"
+        self.backend_fallbacks: int = 0
+
     # ------------------------------------------------------------------ #
     # derived metrics
     # ------------------------------------------------------------------ #

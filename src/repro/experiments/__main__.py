@@ -219,6 +219,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="discard any existing checkpoint instead of resuming from it",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default="auto",
+        help="execution backend for every run, workers included (auto"
+             " honours $REPRO_BACKEND and picks numpy when importable)",
+    )
     trace_group = parser.add_argument_group("trace options")
     trace_group.add_argument(
         "--perfetto",
@@ -262,6 +269,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.backend != "auto":
+        # Worker processes inherit the environment, so pinning the
+        # backend here reaches every SweepPool run.
+        from repro.backends import ENV_VAR as backend_env_var
+
+        os.environ[backend_env_var] = args.backend
+
     if args.experiment is None and not args.smoke:
         parser.error("an experiment id (or --smoke) is required")
     if (
@@ -278,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "list":
         from repro.registry import (
+            backend_names,
             component_names,
             predictor_names,
             prefetcher_names,
@@ -295,6 +310,7 @@ def main(argv: list[str] | None = None) -> int:
             ("components", component_names()),
             ("predictors", predictor_names()),
             ("prefetchers", prefetcher_names()),
+            ("backends", backend_names()),
         ):
             print(f"{title}:")
             for name in names:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.core import PFMParams, SimConfig, SimStats, simulate
+from repro.core import CoreParams, PFMParams, SimConfig, SimStats, simulate
 from repro.registry import build_workload
 
 __all__ = [
@@ -36,6 +36,11 @@ def run_config(name: str, config: SimConfig, **overrides) -> SimStats:
     return simulate(build_workload(name, **overrides), config)
 
 
+def _core_params(backend: str) -> CoreParams:
+    """CoreParams pinned to *backend* ("auto" keeps the defaults)."""
+    return CoreParams() if backend == "auto" else CoreParams(backend=backend)
+
+
 _baseline_cache: dict[tuple[str, int, str], SimStats] = {}
 
 
@@ -54,13 +59,23 @@ def _overrides_digest(overrides: dict) -> str:
 
 
 def run_baseline(
-    name: str, window: int = DEFAULT_WINDOW, **overrides
+    name: str,
+    window: int = DEFAULT_WINDOW,
+    backend: str = "auto",
+    **overrides,
 ) -> SimStats:
-    """Baseline (plain core) run, cached per (workload, window, overrides)."""
+    """Baseline (plain core) run, cached per (workload, window, overrides).
+
+    Because every backend is bit-identical, the cache deliberately does
+    NOT key on *backend*: a hit may carry stats computed by a different
+    engine (only the non-field provenance attrs differ).
+    """
     key = (name, window, _overrides_digest(overrides))
     if key not in _baseline_cache:
         _baseline_cache[key] = run_config(
-            name, SimConfig(max_instructions=window), **overrides
+            name,
+            SimConfig(core=_core_params(backend), max_instructions=window),
+            **overrides,
         )
     return _baseline_cache[key]
 
@@ -69,11 +84,16 @@ def run_pfm(
     name: str,
     pfm: PFMParams,
     window: int = DEFAULT_WINDOW,
+    backend: str = "auto",
     **overrides,
 ) -> SimStats:
-    """PFM-enabled run."""
+    """PFM-enabled run (non-python backends fall back to the reference)."""
     return run_config(
-        name, SimConfig(max_instructions=window, pfm=pfm), **overrides
+        name,
+        SimConfig(
+            core=_core_params(backend), max_instructions=window, pfm=pfm
+        ),
+        **overrides,
     )
 
 

@@ -1,0 +1,45 @@
+"""The execution-backend registry: backend name -> constructor.
+
+The cycle engine's hot loop is swappable (ISSUE 6): the reference
+``python`` backend walks every instruction through the four stage
+objects, while the ``numpy`` backend replays a warm compiled trace in
+vectorized chunks.  :attr:`repro.core.params.CoreParams.backend` selects
+by name through this registry (``"auto"`` resolves via
+:func:`repro.backends.resolve_backend`), so a third engine — a JIT, a
+Rust extension — is one ``@register_backend`` decorator away.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.registry.base import Registry
+
+if TYPE_CHECKING:
+    from repro.backends.base import ExecutionBackend
+
+BackendFactory = Callable[..., "ExecutionBackend"]
+
+BACKENDS: Registry[BackendFactory] = Registry(
+    "backend",
+    autoload=(
+        "repro.backends.python_backend",
+        "repro.backends.numpy_backend",
+    ),
+)
+
+
+def register_backend(
+    name: str,
+) -> Callable[[BackendFactory], BackendFactory]:
+    """Decorator: register an execution-backend constructor under *name*."""
+    return BACKENDS.register(name)
+
+
+def make_backend(name: str, **kwargs: object) -> "ExecutionBackend":
+    """Construct the execution backend registered under *name*."""
+    return BACKENDS.get(name)(**kwargs)
+
+
+def backend_names() -> tuple[str, ...]:
+    return BACKENDS.names()

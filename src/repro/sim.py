@@ -15,10 +15,12 @@ breakdown (per-level cache stats, stall cycles, agent activity, energy).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
-from repro.core import SimConfig, SimStats, simulate
+from repro.backends.base import ENV_VAR as BACKEND_ENV_VAR
+from repro.core import CoreParams, SimConfig, SimStats, simulate
 from repro.experiments.report import aligned_rows
 from repro.experiments.runner import parse_config_label
 from repro.power.core_energy import CoreEnergyModel
@@ -91,6 +93,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="idealize branch prediction")
     parser.add_argument("--perfect-dcache", action="store_true",
                         help="idealize the data cache")
+    parser.add_argument("--backend", choices=("auto", "python", "numpy"),
+                        default="auto",
+                        help="execution backend (auto honours $REPRO_BACKEND"
+                             " and picks numpy when importable; ineligible"
+                             " runs fall back to python)")
     parser.add_argument("--compare", action="store_true",
                         help="also run the plain baseline and report speedup")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -106,6 +113,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     pfm = parse_config_label(args.pfm) if args.pfm else None
+    if args.backend != "auto":
+        # Also reaches SweepPool workers (auto-selecting runs consult
+        # $REPRO_BACKEND; see repro.backends.resolve_backend).
+        os.environ[BACKEND_ENV_VAR] = args.backend
 
     profiler = None
     if args.profile is not None:
@@ -140,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline = results[baseline_point.label]
     else:
         config = SimConfig(
+            core=CoreParams(backend=args.backend),
             max_instructions=args.window,
             pfm=pfm,
             perfect_branch_prediction=args.perfect_bp,
@@ -149,7 +161,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.compare:
             baseline = simulate(
                 build_workload(args.workload),
-                SimConfig(max_instructions=args.window),
+                SimConfig(
+                    core=CoreParams(backend=args.backend),
+                    max_instructions=args.window,
+                ),
             )
     elapsed = time.time() - started
     if profiler is not None:

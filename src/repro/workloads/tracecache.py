@@ -204,7 +204,7 @@ class CompiledTrace:
         "srcs_idx", "comment_idx", "mem_addrs", "store_values",
         "dst_values", "taken",
         "mnemonics", "registers", "src_tuples", "comments",
-        "_cols",
+        "_cols", "_nd",
     )
 
     def __init__(self, name: str, key: str) -> None:
@@ -228,6 +228,7 @@ class CompiledTrace:
         self.src_tuples: list[tuple[str, ...]] = []
         self.comments: list[str] = []
         self._cols: tuple | None = None
+        self._nd: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -290,6 +291,25 @@ class CompiledTrace:
 
     # ------------------------------------------------------------------ #
 
+    def check_columns(self) -> None:
+        """Validate column lengths against the header count.
+
+        ``from_payload`` performs this check on every disk load, but a
+        trace truncated *after* decode (a torn in-memory copy, a buggy
+        builder mutating columns, or a hand-constructed trace in tests)
+        used to replay silently with short columns and crash — or worse,
+        wrap — deep inside the cursor.  Every replay entry point calls
+        this instead, raising the same corruption error as the loader.
+        """
+        columns = (
+            self.pcs, self.next_pcs, self.op_codes, self.mnemonic_idx,
+            self.dst_idx, self.srcs_idx, self.comment_idx,
+            self.mem_addrs, self.store_values, self.dst_values,
+            self.taken,
+        )
+        if any(len(col) != self.length for col in columns):
+            raise ValueError("trace column lengths disagree with header")
+
     def columns(self) -> tuple:
         """Decoded per-instruction columns (shared, built once).
 
@@ -298,6 +318,7 @@ class CompiledTrace:
         """
         cols = self._cols
         if cols is None:
+            self.check_columns()
             mnemonics = self.mnemonics
             registers = self.registers
             src_tuples = self.src_tuples
@@ -323,8 +344,46 @@ class CompiledTrace:
         self, memory: Any, initial_regs: dict[str, float] | None
     ) -> "TraceCursor":
         """Zero-copy replay cursor over this trace for one simulation."""
+        self.check_columns()
         STATS["replays"] += 1
         return TraceCursor(self, memory, initial_regs)
+
+    def ndarrays(self) -> "dict[str, Any] | None":
+        """Numeric columns as NumPy arrays (shared, built once).
+
+        Feeds the vectorized backend's per-trace profile: op codes,
+        dst-register indices, taken flags, next-pcs, and the iline column
+        as dense integer arrays; store addresses/values as float arrays
+        with NaN holes (``mem_addrs``/``store_values`` are None except on
+        memory ops, and stores never carry NaN payloads in practice —
+        the backend only consumes these where the op-code mask says a
+        store exists, so the NaN encoding is a representation detail).
+        Returns None when numpy is unavailable.
+        """
+        if self._nd is not None:
+            return self._nd
+        # Validate before the availability gate: a torn trace is corrupt
+        # whether or not numpy is importable.
+        self.check_columns()
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy baked into the image
+            return None
+        self._nd = {
+            "op_codes": np.asarray(self.op_codes, dtype=np.int8),
+            "dst_idx": np.asarray(self.dst_idx, dtype=np.int32),
+            "srcs_idx": np.asarray(self.srcs_idx, dtype=np.int32),
+            "pcs": np.asarray(self.pcs, dtype=np.int64),
+            "next_pcs": np.asarray(self.next_pcs, dtype=np.int64),
+            "taken": np.asarray(
+                [bool(t) for t in self.taken], dtype=np.bool_
+            ),
+            "mem_addrs": np.asarray(
+                [-1 if a is None else a for a in self.mem_addrs],
+                dtype=np.int64,
+            ),
+        }
+        return self._nd
 
     # ------------------------------------------------------------------ #
     # persistence
@@ -546,12 +605,27 @@ def get_trace(workload: "Workload", window: int) -> CompiledTrace | None:
     return trace
 
 
+#: Callbacks fired by :func:`reset_memory_cache` so sibling caches keyed
+#: on compiled traces (the numpy backend's per-trace replay profiles)
+#: flush in lockstep with the trace memo.  Content-addressed caches stay
+#: *correct* without this; the hook exists for benchmark/test hygiene.
+_RESET_HOOKS: list = []
+
+
+def register_reset_hook(hook) -> None:
+    """Register *hook* () -> None to run on every reset_memory_cache()."""
+    if hook not in _RESET_HOOKS:
+        _RESET_HOOKS.append(hook)
+
+
 def reset_memory_cache() -> None:
     """Drop all in-process state (tests and cold-path benchmarks)."""
     _MEMO.clear()
     _KEY_MEMO.clear()
     for counter in STATS:
         STATS[counter] = 0
+    for hook in _RESET_HOOKS:
+        hook()
 
 
 # --------------------------------------------------------------------- #

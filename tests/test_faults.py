@@ -209,6 +209,48 @@ def test_clean_watchdog_run_trips_nothing(baseline):
     assert check_equivalence(baseline, stats).ok
 
 
+def test_numpy_backend_falls_back_under_fault_and_watchdog_knobs():
+    """The vectorized backend refuses fabric-carrying runs: a pinned
+    ``backend="numpy"`` with a FaultPlan or watchdog silently (but
+    countably) runs the reference engine instead."""
+    from repro.backends import have_numpy
+    from repro.core import CoreParams
+    from repro.registry import build_workload
+
+    if not have_numpy():
+        pytest.skip("numpy not installed")
+
+    def run(pfm: PFMParams | None) -> SimStats:
+        return simulate(
+            build_workload("astar"),
+            SimConfig(
+                core=CoreParams(backend="numpy"),
+                max_instructions=WINDOW,
+                pfm=pfm,
+            ),
+        )
+
+    # Trace-replayable plain run: numpy really engages.
+    plain = run(None)
+    assert plain.backend == "numpy"
+    assert plain.backend_fallbacks == 0
+
+    for pfm in (
+        PFMParams(fault_plan=get_plan("drop-obs")),
+        PFMParams(watchdog=campaign_watchdog()),
+        PFMParams(
+            fault_plan=get_plan("dead-component"),
+            watchdog=campaign_watchdog(),
+        ),
+    ):
+        stats = run(pfm)
+        assert stats.backend == "python"
+        assert stats.backend_fallbacks == 1
+        # The fallback is the reference engine: still architecturally
+        # equivalent to the numpy-executed plain run.
+        assert check_equivalence(plain, stats).ok
+
+
 def test_dead_component_completes_via_fallback(baseline):
     pfm = PFMParams(
         fault_plan=get_plan("dead-component"), watchdog=campaign_watchdog()

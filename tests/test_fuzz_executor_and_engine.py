@@ -8,11 +8,14 @@ engine must process any such program without violating its invariants.
 
 import random
 
-from hypothesis import given, settings, strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import SimConfig, SuperscalarCore
+from repro.backends import have_numpy
+from repro.core import CoreParams, SimConfig, SuperscalarCore, simulate
 from repro.isa.builder import ProgramBuilder
 from repro.memory.hierarchy import HierarchyParams
+from repro.workloads import tracecache
 from repro.workloads.base import Workload
 from repro.workloads.mem import MemoryImage
 from repro.workloads.trace import FunctionalExecutor
@@ -106,6 +109,73 @@ def test_fuzz_engine_completes_and_is_sane(seed):
     assert stats.instructions > 0
     assert stats.cycles >= stats.instructions // 4
     assert stats.ipc <= 4.0 + 1e-9
+
+
+def _build_fuzz_diff(seed: int = 0, length: int = 60) -> Workload:
+    """Registry builder for the backend-differential fuzz workload.
+
+    Registered (and unregistered) by the ``_fuzz_diff_registered``
+    fixture: only registry-built workloads carry a compiled-trace
+    identity, and the numpy backend replays compiled traces only.
+    """
+    builder, _, memory = generate_program(seed, length=length)
+    return Workload("fuzz-diff", builder.build(), memory)
+
+
+@pytest.fixture
+def _fuzz_diff_registered():
+    from repro.registry.workloads import WORKLOADS
+
+    if "fuzz-diff" not in WORKLOADS._entries:
+        WORKLOADS.register("fuzz-diff")(_build_fuzz_diff)
+    yield
+    # Leave the global registry exactly as found (test_registry pins
+    # the exact workload enumeration).
+    WORKLOADS._entries.pop("fuzz-diff", None)
+
+
+@pytest.mark.skipif(not have_numpy(), reason="numpy not installed")
+@given(st.integers(0, 10_000))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_fuzz_backend_differential(_fuzz_diff_registered, seed):
+    """Random programs agree across backends: same digest (which covers
+    the retired stream plus final registers and memory), same exported
+    stats, and the same final register file as the reference model."""
+    from repro.registry import build_workload
+
+    ref_builder, expected_regs, ref_memory = generate_program(seed, length=60)
+    stats_by_backend = {}
+    for backend in ("python", "numpy"):
+        tracecache.reset_memory_cache()
+        workload = build_workload("fuzz-diff", seed=seed, length=60)
+        stats_by_backend[backend] = simulate(
+            workload,
+            SimConfig(
+                core=CoreParams(backend=backend),
+                max_instructions=500,
+                memory=HierarchyParams(tlb_walk_latency=0),
+            ),
+        )
+
+    py, vec = stats_by_backend["python"], stats_by_backend["numpy"]
+    assert vec.backend == "numpy", seed  # trace compiled, replay engaged
+    assert py.backend == "python"
+    assert py.arch_digest == vec.arch_digest, seed
+    assert py.to_dict() == vec.to_dict(), seed
+
+    # The shared digest is pinned to the reference interpreter's final
+    # register file via the functional executor.
+    executor = FunctionalExecutor(ref_builder.build(), ref_memory)
+    for _ in range(500):
+        if executor.halted:
+            break
+        executor.step()
+    for reg, value in expected_regs.items():
+        assert executor.regs.get(reg, 0) == value, (seed, reg)
 
 
 def test_fuzz_reproducibility():

@@ -218,6 +218,27 @@ def test_truncated_payload_recovers(monkeypatch):
     assert tracecache.STATS["recoveries"] == 1
 
 
+def test_cursor_rejects_short_column_after_decode():
+    """A trace truncated *after* decode must raise the loader's
+    corruption error at replay, never silently run short columns."""
+    workload = build_workload("astar")
+    _simulate(workload, SMALL_WINDOW)
+    trace = tracecache.get_trace(build_workload("astar"), SMALL_WINDOW)
+    assert trace is not None
+
+    trace.store_values = trace.store_values[:-1]
+    trace._cols = None  # drop caches built before the truncation
+    trace._nd = None
+    with pytest.raises(
+        ValueError, match="trace column lengths disagree with header"
+    ):
+        trace.cursor(workload.memory, workload.initial_regs)
+    with pytest.raises(
+        ValueError, match="trace column lengths disagree with header"
+    ):
+        trace.ndarrays()
+
+
 def test_stale_version_recompiles(monkeypatch):
     executed = _executed_digest("astar", SMALL_WINDOW, monkeypatch)
     _simulate(build_workload("astar"), SMALL_WINDOW)
