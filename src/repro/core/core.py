@@ -174,6 +174,13 @@ class SuperscalarCore:
             self.stats.watchdog_loads_dropped = wd.loads_dropped
             if self.fabric.injector is not None:
                 self.stats.fault_events = dict(self.fabric.injector.counts)
+            self.stats.fabric_state = self.fabric.state
+            rc = self.fabric.reconfig
+            if rc is not None:
+                self.stats.reconfigs = rc.reconfigs
+                self.stats.reconfig_cycles = rc.reconfig_cycles
+                self.stats.reloads_abandoned = rc.reloads_abandoned
+                self.stats.drain_stall_cycles = rc.drain_stall_cycles
             self.stats.queue_stats = self.fabric.queue_stats()
         if self.telemetry is not None:
             self.stats.telemetry = self.telemetry.snapshot()

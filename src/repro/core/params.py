@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.core.watchdog import WatchdogParams
+from repro.core.watchdog import RecoveryPolicy, WatchdogParams
 from repro.memory.hierarchy import HierarchyParams
 from repro.telemetry.params import TelemetryParams
 
@@ -116,6 +116,10 @@ class PFMParams:
     #: Declarative fault-injection plan applied to the fabric's queues and
     #: agents (:mod:`repro.faults.plan`); None = fault-free.
     fault_plan: "FaultPlan | None" = None
+    #: Self-healing runtime-reconfiguration policy (inactive by default:
+    #: dead components disable the fabric permanently, exactly as before;
+    #: see :mod:`repro.pfm.reconfig`).
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
 
     def label(self) -> str:
         return (

@@ -83,6 +83,15 @@ class SimStats:
     watchdog_load_throttle_events: int = 0
     watchdog_loads_dropped: int = 0
 
+    # self-healing reconfiguration (repro.pfm.reconfig)
+    reconfigs: int = 0
+    reconfig_cycles: int = 0
+    reloads_abandoned: int = 0
+    drain_stall_cycles: int = 0
+    #: Final fabric state machine state ("active", "disabled", ...);
+    #: empty for plain-core runs.
+    fabric_state: str = ""
+
     # fault injection (repro.faults): events fired, by kind
     fault_events: dict[str, int] = field(default_factory=dict)
     #: Injected-load addresses the Load Agent had to align/clamp before
@@ -235,4 +244,11 @@ class SimStats:
         if self.fault_events:
             fired = sum(self.fault_events.values())
             lines.append(f"faults injected  {fired}")
+        if self.reconfigs or self.reloads_abandoned:
+            lines.append(
+                f"reconfigs        {self.reconfigs}"
+                f" ({self.reconfig_cycles} cycles,"
+                f" {self.reloads_abandoned} abandoned,"
+                f" final state {self.fabric_state or 'active'})"
+            )
         return "\n".join(lines)

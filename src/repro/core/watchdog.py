@@ -31,6 +31,14 @@ module refines it into three targeted defenses, each with dedicated
 
 All knobs default to ``None``/off so a plain configuration behaves
 exactly as before; the ``faults`` campaign enables them.
+
+:class:`RecoveryPolicy` is the constructive twin of the defenses above:
+instead of amputating a sick component forever, the fabric's
+:class:`~repro.pfm.reconfig.ReconfigController` consumes this policy to
+quiesce, drain, and hot-reload the bitstream — up to ``max_reloads``
+times with exponential backoff — before falling back to the permanent
+disable.  The policy lives here (not in ``repro.pfm``) because the
+watchdog owns the triggers the controller reacts to.
 """
 
 from __future__ import annotations
@@ -99,6 +107,64 @@ class WatchdogParams:
             raise ValueError("mlb_full_streak must be >= 1")
 
 
+@dataclass
+class RecoveryPolicy:
+    """Self-healing reconfiguration policy (inactive by default).
+
+    Consumed by :class:`repro.pfm.reconfig.ReconfigController`.  With the
+    defaults the controller is never built and the fabric behaves exactly
+    as before: dead-component declarations and exhausted RF budgets
+    disable the fabric permanently.
+    """
+
+    #: Failure-triggered hot reloads attempted before the controller
+    #: gives up and disables the fabric permanently (0 = recovery off).
+    max_reloads: int = 0
+    #: Core cycles to load the configuration bitstream into the fabric
+    #: (the LUTstructions-style self-loading cost; drain time is extra).
+    reconfig_latency_cycles: int = 2048
+    #: Exponential backoff: failure-triggered reload *k* (0-based) costs
+    #: ``reconfig_latency_cycles * reload_backoff_factor**k`` core cycles,
+    #: so a component that keeps dying gets progressively costlier to
+    #: revive and the budget runs out in bounded time.
+    reload_backoff_factor: int = 2
+    #: Core-cycle patience while draining in-flight queue/MLB/snoop state
+    #: before the remainder is force-flushed (a frozen clkC never drains
+    #: on its own).
+    drain_timeout_cycles: int = 512
+    #: Also reload when the override-accuracy breaker re-trips (the
+    #: component is alive but hinting garbage — a reload scrubs it).
+    reload_on_breaker: bool = False
+    #: Reload after this many watchdog squash timeouts (a lost
+    #: squash-done leaves the handshake protocol itself suspect); None
+    #: leaves the squash path to the watchdog alone.
+    squash_timeout_reload_after: int | None = None
+    #: Core time of one planned same-bitstream swap (maintenance scrub /
+    #: the architectural-invisibility experiment); does not count against
+    #: ``max_reloads`` and never backs off.  None = no scheduled swap.
+    scheduled_reload_at: int | None = None
+
+    def active(self) -> bool:
+        return self.max_reloads > 0 or self.scheduled_reload_at is not None
+
+    def __post_init__(self) -> None:
+        if self.max_reloads < 0:
+            raise ValueError("max_reloads must be >= 0")
+        if self.reconfig_latency_cycles < 0:
+            raise ValueError("reconfig_latency_cycles must be >= 0")
+        if self.reload_backoff_factor < 1:
+            raise ValueError("reload_backoff_factor must be >= 1")
+        if self.drain_timeout_cycles < 1:
+            raise ValueError("drain_timeout_cycles must be >= 1")
+        if (
+            self.squash_timeout_reload_after is not None
+            and self.squash_timeout_reload_after < 1
+        ):
+            raise ValueError("squash_timeout_reload_after must be >= 1")
+        if self.scheduled_reload_at is not None and self.scheduled_reload_at < 0:
+            raise ValueError("scheduled_reload_at must be >= 0")
+
+
 class Watchdog:
     """Per-run watchdog state; the fabric owns one instance."""
 
@@ -114,6 +180,11 @@ class Watchdog:
         # override-accuracy breaker
         self.override_disables = 0
         self.overrides_suppressed = 0
+        #: Level-triggered flag for the reconfiguration controller: set on
+        #: every breaker trip, cleared by whoever polls it.  The watchdog
+        #: never imports the controller (core must not depend on pfm), so
+        #: the handoff is this flag rather than a callback.
+        self.breaker_trip_pending = False
         self._window_total = 0
         self._window_correct = 0
         self._suppress_remaining = 0
@@ -192,6 +263,7 @@ class Watchdog:
         accuracy = self._window_correct / self._window_total
         if accuracy < threshold:
             self.override_disables += 1
+            self.breaker_trip_pending = True
             if self._trial_window:
                 self._disable_period = min(
                     self._disable_period * 2,
@@ -240,6 +312,26 @@ class Watchdog:
             self._throttle_remaining = self.params.mlb_throttle_loads
             self._recent_replays.clear()
             self._full_streak = 0
+
+    def on_reload(self) -> None:
+        """A hot reload replaced the component: reset per-instance state.
+
+        Cumulative counters (``dead_declarations``, ``override_disables``,
+        ...) survive — they describe the run — but liveness judgements and
+        the breaker's hysteresis belong to the torn-down instance: the
+        replacement starts with a clean slate, otherwise it would be
+        declared dead (or suppressed) on arrival for its predecessor's
+        sins.
+        """
+        self.component_dead = False
+        self._consecutive_timeouts = 0
+        self._progress_at_last_timeout = None
+        self.breaker_trip_pending = False
+        self._suppress_remaining = 0
+        self._disable_period = self.params.override_disable_predictions
+        self._trial_window = False
+        self._window_total = 0
+        self._window_correct = 0
 
     def load_throttled(self) -> bool:
         return self._throttle_remaining > 0

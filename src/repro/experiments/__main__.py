@@ -24,6 +24,7 @@ import time
 from pathlib import Path
 
 from repro.experiments import astar_sweeps, bfs_sweeps, energy_fig18
+from repro.experiments import chaos as chaos_module
 from repro.experiments import faults as faults_module
 from repro.experiments import fpga_table4, prefetch_sweeps, robustness
 from repro.experiments import slipstream_fig2, sweep as sweep_module
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "robust-graphs": robustness.bfs_graph_robustness,
     "sweep": sweep_module.sweep,
     "faults": faults_module.faults,
+    "chaos": chaos_module.chaos,
 }
 
 #: Experiments that produce a raw-stats payload for ``--json`` and have
@@ -60,6 +62,7 @@ EXPERIMENTS = {
 PAYLOAD_EXPERIMENTS = {
     "sweep": (sweep_module.run_sweep, sweep_module.SMOKE_WINDOW),
     "faults": (faults_module.run_faults, faults_module.FAULT_SMOKE_WINDOW),
+    "chaos": (chaos_module.run_chaos, chaos_module.CHAOS_SMOKE_WINDOW),
 }
 
 

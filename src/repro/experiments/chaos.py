@@ -1,0 +1,223 @@
+"""Chaos-recovery campaign: every fault plan x {no-recovery, recovery}.
+
+The ``faults`` campaign (PR 2) proves the watchdog *detects* — every
+fault plan degrades gracefully to the core's own predictor.  This
+campaign proves the reconfiguration controller *recovers*: each built-in
+plan runs twice, once with today's detect-and-amputate watchdog alone and
+once with a :class:`~repro.core.watchdog.RecoveryPolicy` armed, so the
+fabric quiesces, drains, and hot-reloads the bitstream instead of dying.
+A third kind of point — one *scheduled* same-bitstream swap mid-run on a
+fault-free fabric — pins the architectural-invisibility claim: the
+swapped run must be ``arch_digest``-identical to the clean run, not just
+to the plain baseline.
+
+Reported per faulted point: IPC retained vs the clean watchdog-enabled
+run (the recovery rows should sit strictly above their no-recovery
+twins for liveness faults), mean cycles-to-recovery
+(``reconfig_cycles / reconfigs``), and the fabric's final state.  The
+equivalence oracle runs on every point — recovery must never buy IPC
+with architectural state.  ``--json`` output is deterministic and
+byte-identical across ``--jobs`` values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.params import PFMParams
+from repro.core.watchdog import RecoveryPolicy
+from repro.experiments.faults import OracleViolation, campaign_watchdog
+from repro.experiments.pool import (
+    SweepPoint,
+    SweepPool,
+    baseline_point,
+    default_pool,
+    pfm_point,
+    stats_to_dict,
+)
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import DEFAULT_WINDOW
+from repro.faults import BUILTIN_PLANS, check_equivalence
+
+#: astar is the campaign workload: it exercises the full recovery
+#: surface — FST overrides (breaker trips), the squash protocol (lost
+#: squash-done reloads), per-call snoop re-arming after a swap, and the
+#: injected-load path.  Pure-prefetch workloads never consult IntQ-F, so
+#: the liveness triggers have nothing to save there.
+CHAOS_WORKLOADS = ("astar",)
+
+#: Window used by ``chaos --smoke`` (CI exercises the state machine and
+#: the oracle, not the cycles-to-recovery margins).
+CHAOS_SMOKE_WINDOW = 2_000
+
+
+def campaign_recovery() -> RecoveryPolicy:
+    """Recovery policy armed on every ``[.../recovery]`` point.
+
+    Three reloads with 2x backoff bound the revival budget at
+    ``2048 + 4096 + 8192`` core cycles; ``reload_on_breaker`` scrubs
+    hint-corrupting components, and two squash timeouts condemn a lossy
+    handshake.  Thresholds deliberately match the ``faults`` campaign
+    watchdog so the only variable between the paired points is recovery.
+    """
+    return RecoveryPolicy(
+        max_reloads=3,
+        reconfig_latency_cycles=2_048,
+        reload_backoff_factor=2,
+        drain_timeout_cycles=512,
+        reload_on_breaker=True,
+        squash_timeout_reload_after=2,
+    )
+
+
+def _chaos_pfm(fault_plan=None, recovery: RecoveryPolicy | None = None,
+               ) -> PFMParams:
+    return PFMParams(
+        watchdog=campaign_watchdog(),
+        fault_plan=fault_plan,
+        recovery=recovery or RecoveryPolicy(),
+    )
+
+
+def chaos_points(
+    window: int, workloads: tuple[str, ...] = CHAOS_WORKLOADS
+) -> list[SweepPoint]:
+    points = []
+    swap_at = max(1, window // 4)
+    for name in workloads:
+        points.append(baseline_point(name, window))
+        points.append(pfm_point(f"{name} [clean]", name, window, _chaos_pfm()))
+        points.append(
+            pfm_point(
+                f"{name} [swap]",
+                name,
+                window,
+                _chaos_pfm(recovery=RecoveryPolicy(scheduled_reload_at=swap_at)),
+            )
+        )
+        for plan_name, plan in BUILTIN_PLANS.items():
+            points.append(
+                pfm_point(
+                    f"{name} [fault:{plan_name}/no-recovery]",
+                    name,
+                    window,
+                    _chaos_pfm(plan),
+                )
+            )
+            points.append(
+                pfm_point(
+                    f"{name} [fault:{plan_name}/recovery]",
+                    name,
+                    window,
+                    _chaos_pfm(plan, campaign_recovery()),
+                )
+            )
+    return points
+
+
+def run_chaos(
+    window: int = DEFAULT_WINDOW,
+    pool: SweepPool | None = None,
+    workloads: tuple[str, ...] = CHAOS_WORKLOADS,
+) -> tuple[ExperimentResult, dict]:
+    """Run the campaign; return the rendered result and a JSON payload."""
+    pool = pool or default_pool()
+    points = chaos_points(window, workloads)
+    stats = pool.run(points)
+
+    result = ExperimentResult(
+        experiment="Chaos",
+        title=(
+            f"{len(BUILTIN_PLANS)} fault plans x {{no-recovery, recovery}}"
+            f" x {len(workloads)} workload(s) + 1 scheduled swap"
+        ),
+        unit="% of clean watchdog-enabled IPC (clean row: % of baseline)",
+    )
+    payload: dict = {
+        "window": window,
+        "workloads": list(workloads),
+        "plans": sorted(BUILTIN_PLANS),
+        "watchdog": dataclasses.asdict(campaign_watchdog()),
+        "recovery": dataclasses.asdict(campaign_recovery()),
+        "points": {},
+    }
+    failures = []
+    swap_mismatches = []
+    for point in points:
+        point_stats = stats[point.label]
+        entry = {
+            "workload": point.workload,
+            "key": point.key(),
+            "ipc": point_stats.ipc,
+            "arch_digest": point_stats.arch_digest,
+            "fabric_state": point_stats.fabric_state,
+            "reconfigs": point_stats.reconfigs,
+            "reconfig_cycles": point_stats.reconfig_cycles,
+            "reloads_abandoned": point_stats.reloads_abandoned,
+            "drain_stall_cycles": point_stats.drain_stall_cycles,
+            "mean_cycles_to_recovery": (
+                point_stats.reconfig_cycles / point_stats.reconfigs
+                if point_stats.reconfigs
+                else None
+            ),
+            "stats": stats_to_dict(point_stats),
+        }
+        if not point.label.startswith("baseline:"):
+            baseline = stats[f"baseline:{point.workload}"]
+            verdict = check_equivalence(baseline, point_stats)
+            entry["oracle_ok"] = verdict.ok
+            if not verdict.ok:
+                failures.append(f"{point.label}: {verdict.reason}")
+            clean = stats[f"{point.workload} [clean]"]
+            if point.label.endswith("[clean]"):
+                result.add(
+                    point.label, 100.0 * point_stats.speedup_over(baseline)
+                )
+            else:
+                retained = (
+                    100.0 * point_stats.ipc / clean.ipc if clean.ipc else 0.0
+                )
+                entry["ipc_retained_pct"] = retained
+                result.add(point.label, retained)
+            if point.label.endswith("[swap]"):
+                # The architectural-invisibility pin: a mid-run
+                # same-bitstream swap must be digest-identical to the
+                # *clean* run, not merely to the plain baseline.
+                invisible = point_stats.arch_digest == clean.arch_digest
+                entry["swap_invisible"] = invisible
+                if not invisible:
+                    swap_mismatches.append(point.label)
+        payload["points"][point.label] = entry
+    payload["oracle_failures"] = failures
+    payload["swap_mismatches"] = swap_mismatches
+    if failures:
+        raise OracleViolation(
+            "architectural-equivalence oracle failed for "
+            + "; ".join(failures)
+        )
+    if swap_mismatches:
+        raise OracleViolation(
+            "scheduled same-bitstream swap was architecturally visible for "
+            + "; ".join(swap_mismatches)
+        )
+    recovered = sum(
+        1
+        for label, entry in payload["points"].items()
+        if label.endswith("/recovery]")
+        and entry["reconfigs"] >= 1
+        and entry["fabric_state"] != "disabled"
+    )
+    paired = sum(1 for p in points if p.label.endswith("/recovery]"))
+    result.notes = (
+        f"oracle: all points digest-identical to baseline; scheduled swap"
+        f" digest-identical to clean; {recovered}/{paired} recovery points"
+        f" ended re-ACTIVE with >=1 reload"
+    )
+    return result, payload
+
+
+def chaos(window: int = DEFAULT_WINDOW,
+          pool: SweepPool | None = None) -> ExperimentResult:
+    """Registry entry point (rendered result only)."""
+    result, _ = run_chaos(window, pool)
+    return result

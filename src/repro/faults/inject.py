@@ -39,6 +39,11 @@ class FaultInjector:
         self.plan = plan
         self._rng = random.Random(f"{plan.seed}:{plan.name}")
         self.counts: dict[str, int] = {}
+        #: A bitstream reload past the plan's dead-on-arrival count scrubs
+        #: the fault (FPGA SEU-scrubbing model): the injector goes quiet.
+        self._healed = False
+        self._reloads_seen = 0
+        self._dead_from = plan.dead_at_rf_cycle
 
     # ------------------------------------------------------------------ #
 
@@ -62,13 +67,39 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
 
     def component_frozen(self, rf_cycle: int) -> bool:
-        """True once clkC is dead: the component never steps again."""
-        dead_at = self.plan.dead_at_rf_cycle
+        """True once clkC is dead: the component never steps again.
+
+        A bitstream reload moves (dead-on-arrival replacement) or clears
+        (successful scrub) the freeze point; see :meth:`on_reconfig`.
+        """
+        dead_at = self._dead_from
         if dead_at is None or rf_cycle < dead_at:
             return False
         if "component_frozen" not in self.counts:
             self._count("component_frozen")
         return True
+
+    def on_reconfig(self, rf_cycle: int) -> int:
+        """One bitstream reload completed at RF cycle *rf_cycle*.
+
+        Returns extra core cycles the reload itself stalls.  The first
+        ``reconfig_dead_reloads`` replacement components arrive dead
+        (frozen from the reload on — recovery of recovery); a reload past
+        those scrubs every injected fault, after which the injector goes
+        quiet for the rest of the run.
+        """
+        self._reloads_seen += 1
+        stall = 0
+        if self.plan.reconfig_stall_cycles:
+            self._count("reconfig_stall")
+            stall = self.plan.reconfig_stall_cycles
+        if self._reloads_seen <= self.plan.reconfig_dead_reloads:
+            self._count("reconfig_dead_on_arrival")
+            self._dead_from = rf_cycle
+        else:
+            self._healed = True
+            self._dead_from = None
+        return stall
 
     def mlb_entries(self, default: int) -> int:
         if self.plan.mlb_entries_override is None:
@@ -81,6 +112,8 @@ class FaultInjector:
 
     def on_obs(self, packet: ObsPacket) -> list[ObsPacket]:
         """Transform one observation packet into 0, 1, or 2 packets."""
+        if self._healed:
+            return [packet]
         if self._fire(self.plan.obs_drop, "obs_drop"):
             return []
         if self._fire(self.plan.obs_corrupt, "obs_corrupt"):
@@ -100,6 +133,8 @@ class FaultInjector:
 
     def on_pred(self, taken: bool) -> tuple[bool, bool]:
         """Return ``(delivered, direction)`` for one prediction packet."""
+        if self._healed:
+            return True, taken
         if self._fire(self.plan.pred_drop, "pred_drop"):
             return False, taken
         if self.plan.pred_stuck is not None:
@@ -114,6 +149,8 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
 
     def on_load(self, packet: LoadPacket) -> list[LoadPacket]:
+        if self._healed:
+            return [packet]
         if self._fire(self.plan.load_drop, "load_drop"):
             return []
         if self._fire(self.plan.load_corrupt, "load_corrupt"):
@@ -129,6 +166,8 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
 
     def on_return(self, ret: LoadReturn) -> LoadReturn | None:
+        if self._healed:
+            return ret
         if self._fire(self.plan.ret_drop, "ret_drop"):
             return None
         if self._fire(self.plan.ret_corrupt, "ret_corrupt"):
@@ -148,6 +187,8 @@ class FaultInjector:
         watchdog's squash timeout un-stalls it (or, unwatched, a long
         fixed penalty stands in for the eventual hardware reset).
         """
+        if self._healed:
+            return normal_done
         done = normal_done
         if self.plan.squash_done_delay:
             self._count("squash_done_delay")

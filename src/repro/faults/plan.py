@@ -54,6 +54,14 @@ class FaultPlan:
     # MLB overflow pressure: shrink the Missed Load Buffer to this size
     mlb_entries_override: int | None = None
 
+    # reconfiguration path (repro.pfm.reconfig): every bitstream reload
+    # stalls this many extra core cycles, and the first N replacement
+    # components arrive dead (frozen from the reload on) — recovery of
+    # recovery.  A reload past the dead ones scrubs all injected faults
+    # (the FPGA SEU-scrubbing model).
+    reconfig_stall_cycles: int = 0
+    reconfig_dead_reloads: int = 0
+
     def __post_init__(self) -> None:
         for field_name in (
             "obs_drop", "obs_dup", "obs_corrupt", "pred_drop",
@@ -67,6 +75,10 @@ class FaultPlan:
             raise ValueError(f"unknown pred_stuck {self.pred_stuck!r}")
         if self.mlb_entries_override is not None and self.mlb_entries_override < 1:
             raise ValueError("mlb_entries_override must be >= 1")
+        if self.reconfig_stall_cycles < 0:
+            raise ValueError("reconfig_stall_cycles must be >= 0")
+        if self.reconfig_dead_reloads < 0:
+            raise ValueError("reconfig_dead_reloads must be >= 0")
 
 
 #: One built-in plan per failure family.  Every one of these must pass
@@ -94,6 +106,12 @@ BUILTIN_PLANS: dict[str, FaultPlan] = {
             squash_done_lose=0.5,
         ),
         FaultPlan(name="dead-component", dead_at_rf_cycle=1_000),
+        FaultPlan(
+            name="delayed-reconfig",
+            dead_at_rf_cycle=1_000,
+            reconfig_stall_cycles=512,
+            reconfig_dead_reloads=1,
+        ),
         FaultPlan(name="mlb-thrash", mlb_entries_override=2),
         FaultPlan(
             name="chaos",

@@ -29,8 +29,10 @@ from repro.pfm.fetch_agent import FetchAgent
 from repro.pfm.load_agent import LoadAgent
 from repro.pfm.packets import ObsPacket, SquashPacket
 from repro.pfm.queues import TimedQueue
+from repro.pfm.reconfig import ReconfigController
 from repro.pfm.retire_agent import RetireAgent
 from repro.pfm.snoop import Bitstream, SnoopKind
+from repro.registry.components import rebuild_component
 from repro.workloads.mem import MemoryImage
 
 if TYPE_CHECKING:
@@ -191,6 +193,14 @@ class PFMFabric:
         self.obs_dropped = 0
         self.squashes_signalled = 0
         self.probe = None  # optional telemetry hub (attach_fabric wires it)
+        #: ROI-begin snoop value, recorded so a hot swap can re-arm the
+        #: replacement component (ROI markers retire once per run).
+        self.last_roi_value = None
+        #: Self-healing reconfiguration controller; None when the policy
+        #: is inactive, and the fabric behaves exactly as before.
+        self.reconfig: ReconfigController | None = None
+        if pfm.recovery.active():
+            self.reconfig = ReconfigController(self, pfm.recovery)
 
     # ------------------------------------------------------------------ #
     # pipeline interface (agent ports)
@@ -295,6 +305,12 @@ class PFMFabric:
         is dropped when it eventually arrives.
         """
         fa = self.fetch_agent
+        rc = self.reconfig
+        if rc is not None and not rc.ready(fetch_time):
+            # Mid-reload (or permanently disabled): the core's predictor
+            # carries the branch while the bitstream loads.
+            fa.note_fallback(fst_tag)
+            return None
         if not self.enabled or not self.roi_active:
             fa.note_fallback(fst_tag)
             return None
@@ -328,7 +344,10 @@ class PFMFabric:
                 fa.note_fallback(fst_tag)
                 return None  # quiescent: prediction will never arrive
             guard -= 1
-        self.enabled = False  # watchdog fired: chicken switch (§2.4)
+        # Watchdog fired: chicken switch (§2.4) — unless a recovery
+        # policy buys the component a reload first.
+        if rc is None or not rc.on_component_dead(self._now(), "rf-budget"):
+            self.enabled = False
         fa.note_fallback(fst_tag)
         return None
 
@@ -352,7 +371,11 @@ class PFMFabric:
         if not fa.drop_match(fst_tag):
             fa.note_fallback(fst_tag)
         if self.watchdog.component_dead:
-            self.enabled = False
+            rc = self.reconfig
+            if rc is None or not rc.on_component_dead(
+                self._now(), "dead-component"
+            ):
+                self.enabled = False
 
     # ------------------------------------------------------------------ #
     # retire side
@@ -362,6 +385,9 @@ class PFMFabric:
         """Retire-stage hook; returns the (possibly stalled) retire time."""
         if not self.enabled:
             return retire_time
+        rc = self.reconfig
+        if rc is not None and not rc.ready(retire_time):
+            return retire_time  # mid-reload: nothing to observe with
         entry = self.rst.lookup(dyn.pc)
         if entry is None:
             return retire_time
@@ -377,6 +403,7 @@ class PFMFabric:
         """Beginning of ROI (Section 2.1): squash, enable, begin packet."""
         self.roi_active = True
         packet, send_time = self.retire_agent.build_packet(dyn, entry, retire_time)
+        self.last_roi_value = packet.value
         self._obs_push(packet, send_time, droppable=False)
         return retire_time  # the core applies the pipeline squash
 
@@ -422,14 +449,25 @@ class PFMFabric:
         """
         if not self.enabled or not self.roi_active:
             return squash_time
+        rc = self.reconfig
+        if rc is not None and squash_time < rc.available_at:
+            # Mid-reload: the component isn't loaded yet, so there is
+            # nothing to hand the squash protocol to (queues are empty).
+            return squash_time
         self.squashes_signalled += 1
         c = self.timings.clk_ratio
         self._pending_squashes.append(squash_time + c)
         squash_done = squash_time + (self.timings.delay + 3) * c
         if self.injector is not None:
+            timeouts_before = self.watchdog.squash_timeouts
             squash_done = self.injector.squash_done(
                 squash_time, squash_done, c, self.watchdog
             )
+            if rc is not None and self.watchdog.squash_timeouts > timeouts_before:
+                # A lost squash-done leaves the handshake protocol itself
+                # suspect — count it toward the policy's reload threshold.
+                if rc.on_squash_timeout(squash_time):
+                    squash_done = max(squash_done, rc.available_at)
         self.fetch_agent.apply_squash(squash_done)
         if self.probe is not None:
             self.probe.agent(
@@ -504,6 +542,23 @@ class PFMFabric:
     # context isolation (Section 2.4)
     # ------------------------------------------------------------------ #
 
+    def _flush_inflight(self, now: int) -> int:
+        """Flush every queue and in-flight token; returns packets dropped.
+
+        Shared by :meth:`deprogram` and the reconfiguration drain: nothing
+        in flight — ObsQ packets, pending predictions and their fallback
+        debt, MLB fills, un-flushed load returns, queued squash-done
+        tokens — may leak into the next program's queues.
+        """
+        dropped = self.obs_q.clear(now)
+        dropped += self.intq_is.clear(now)
+        dropped += self.retq.clear(now)
+        dropped += self.fetch_agent.reset()
+        dropped += self.load_agent.reset()
+        dropped += len(self._pending_squashes)
+        self._pending_squashes.clear()
+        return dropped
+
     def deprogram(self, now: int) -> None:
         """Remove the context's component from RF and the Agents.
 
@@ -517,11 +572,8 @@ class PFMFabric:
         self.enabled = False
         self.roi_active = False
         self.roi_fetch_active = False
-        self.obs_q.clear(now)
-        self.intq_is.clear(now)
-        self.retq.clear(now)
-        self.fetch_agent.new_call()  # drop all pending predictions
-        self._pending_squashes.clear()
+        self.last_roi_value = None
+        self._flush_inflight(now)
 
     def reprogram(self, now: int) -> None:
         """Re-synthesize the component when the context is swapped back in.
@@ -531,13 +583,41 @@ class PFMFabric:
         guarantee).  The ROI must be re-entered before the component
         intervenes again.
         """
-        metadata = dict(self.bitstream.metadata)
-        metadata.update(self.params.component_overrides)
-        self.component = self.bitstream.component_factory(
-            self.timings, self.load_agent._memory, metadata
+        self.component = rebuild_component(
+            self.bitstream,
+            self.timings,
+            self.load_agent._memory,
+            self.params.component_overrides,
         )
         self.rf_cycle = max(self.rf_cycle, now // self.timings.clk_ratio)
         self.enabled = True
+
+    # ------------------------------------------------------------------ #
+    # self-healing reconfiguration (repro.pfm.reconfig)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> str:
+        """Fabric lifecycle state name ("active", "disabled", ...)."""
+        if self.reconfig is not None:
+            return self.reconfig.state.value
+        return "active" if self.enabled else "disabled"
+
+    def rearm_roi(self, now: int, roi_value) -> None:
+        """Replay the ROI-begin snoop to a freshly loaded component.
+
+        ROI markers retire once per run (astar enters its fill loop a
+        single time), so a hot-swapped component would otherwise wait
+        forever for an ROI_BEGIN that never comes.  The recorded begin
+        value is replayed through the normal observation path — the
+        replacement arms itself exactly the way the original did.
+        """
+        self.roi_active = True
+        self.roi_fetch_active = True
+        packet = ObsPacket(
+            kind=SnoopKind.ROI_BEGIN, tag="roi", pc=0, value=roi_value
+        )
+        self._obs_push_one(packet, now, droppable=False)
 
     # ------------------------------------------------------------------ #
 

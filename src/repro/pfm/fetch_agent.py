@@ -66,6 +66,7 @@ class FetchAgent:
         self.max_pending = 0  # high-water mark of the prediction stream
         self.enabled = True  # chicken switch (§2.4)
         self._fallback_debt: dict[str, int] = {}
+        self._resync_call = False  # first call after a reset realigns
         self.probe = None  # optional telemetry hub
 
     # ------------------------------------------------------------------ #
@@ -104,8 +105,40 @@ class FetchAgent:
         """Component signalled a new ROI call: flush the previous stream."""
         self.packets_dropped += len(self._pending)
         self._pending.clear()
-        self.producer_call += 1
+        if self._resync_call:
+            # First call of a freshly loaded component: adopt the fetch
+            # unit's current call position instead of incrementing.  The
+            # call marker (the worklist-base instruction) always fetches
+            # before its own retirement triggers this snoop, so at this
+            # moment the consumer counter already names the call the
+            # component is starting — see :meth:`reset`.
+            self._resync_call = False
+            self.producer_call = self.consumer_call
+        else:
+            self.producer_call += 1
         self.producer_seq = 0
+
+    def reset(self) -> int:
+        """Flush all in-flight state for a deprogram or hot swap.
+
+        Returns the number of pending predictions discarded.  The call
+        counters *realign* rather than advance: a freshly loaded
+        component has produced nothing, and blindly incrementing the
+        producer on its first call would drift whenever the flush or the
+        reload window swallowed a call's worklist snoop (one permanent
+        off-by-one and every later prediction is dropped as stale — or
+        worse, the producer runs ahead and trips the strict-mode
+        invariant).  Realigning both here and at the first ``new_call``
+        afterwards keeps the streams exact for every straddle ordering.
+        """
+        dropped = len(self._pending)
+        self.packets_dropped += dropped
+        self._pending.clear()
+        self._fallback_debt.clear()
+        self.producer_call = self.consumer_call
+        self.producer_seq = 0
+        self._resync_call = True
+        return dropped
 
     # ------------------------------------------------------------------ #
     # consumer side (called from the core's fetch stage via the fabric)
@@ -183,8 +216,15 @@ class FetchAgent:
         head = self._pending[0]
         if head.call > self.consumer_call:
             # Producer is already in a later call than the fetch unit —
-            # cannot happen with the marker ordering (model invariant).
-            raise FetchAgentError("producer call ahead of consumer call")
+            # impossible with the marker ordering, so under a clean run
+            # it is a model bug.  Under fault injection it is reachable
+            # (a duplicated worklist observation makes the component
+            # signal new_call twice), so the non-strict agent declines to
+            # supply and the core falls back; the stream realigns once
+            # the fetch unit reaches the next call marker.
+            if self.strict:
+                raise FetchAgentError("producer call ahead of consumer call")
+            return None
         if head.tag != fst_tag:
             return None
         if only_ready and head.ready > fetch_time:

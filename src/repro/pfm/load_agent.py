@@ -163,6 +163,19 @@ class LoadAgent:
 
     # ------------------------------------------------------------------ #
 
+    def reset(self) -> int:
+        """Drop in-flight MLB fills and un-flushed load returns.
+
+        Deprogram / hot-swap path: a replacement component must never
+        observe values requested by its predecessor (the load ident
+        namespace restarts with the component).  Returns the number of
+        pending load returns discarded.
+        """
+        dropped = len(self._pending_returns)
+        self._pending_returns.clear()
+        self._mlb_fills.clear()
+        return dropped
+
     def next_event_time(self) -> int | None:
         """Earliest future time at which this agent has work (fast-forward)."""
         times = [ready for ready, _ in self._pending_returns]

@@ -1,0 +1,253 @@
+"""Runtime partial reconfiguration: quiesce → drain → hot-swap → resume.
+
+The paper programs the fabric once, before the run; the only remedy the
+Section 2.4 chicken switch (and the PR 2 watchdog refinements) offer a
+sick component is permanent disablement.  This module is the constructive
+twin of that path — the detect-and-amputate machinery becomes a
+detect-drain-reload-recover loop, following the runtime-reconfigurable
+direction of "Supporting Dynamic Control-Flow Execution for Runtime
+Reconfigurable Processors" (PAPERS.md) with the reload latency costed
+like LUTstructions' self-loading instructions.
+
+State machine (one :class:`ReconfigController` per fabric, built only
+when ``PFMParams.recovery`` is active)::
+
+    ACTIVE ──trigger──▶ QUIESCING ──▶ DRAINED ──▶ LOADING ──▶ ACTIVE
+       │                                                        │
+       └────────────── reload budget exhausted ──▶ DISABLED ◀───┘
+
+* **Quiesce/drain** — new FST/RST traffic is refused (the ``ready`` gate
+  in the fabric's predict/observe paths), a squash packet is sent through
+  the normal ObsQ-R bypass so the component rolls back, and the fabric's
+  RF clock runs until every queue, the MLB, and in-flight snoop state
+  settle — or ``drain_timeout_cycles`` expires (a frozen clkC never
+  drains on its own).  Whatever is still in flight is then force-flushed:
+  nothing may leak into the replacement's queues.
+* **Load** — the replacement component is re-synthesized from the
+  registry bitstream (:func:`repro.registry.components.rebuild_component`)
+  under the ``reconfig_latency_cycles`` cost model, with exponential
+  backoff for failure-triggered reloads.
+* **Resume** — the watchdog's per-instance liveness state is cleared
+  (:meth:`~repro.core.watchdog.Watchdog.on_reload`), and the recorded
+  ROI-begin observation is replayed so a mid-ROI swap re-arms the
+  component (ROI markers retire once per run).
+
+Triggers come from the watchdog via :class:`~repro.core.watchdog.
+RecoveryPolicy`: dead-component declarations, RF-budget exhaustion,
+override-accuracy breaker trips (level-triggered flag polled here — the
+core layer never imports this module), repeated squash timeouts, and one
+optional *scheduled* same-bitstream swap used by the chaos campaign's
+architectural-invisibility experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.registry.components import rebuild_component
+
+if TYPE_CHECKING:
+    from repro.core.watchdog import RecoveryPolicy
+    from repro.pfm.fabric import PFMFabric
+
+
+class FabricState(enum.Enum):
+    """Lifecycle of the fabric's loaded component."""
+
+    ACTIVE = "active"
+    QUIESCING = "quiescing"
+    DRAINED = "drained"
+    LOADING = "loading"
+    DISABLED = "disabled"  # terminal: reload budget exhausted
+
+
+class ReconfigController:
+    """Drives quiesce/drain/hot-swap/resume for one fabric.
+
+    Reloads run synchronously inside the triggering call (the one-pass
+    timestamp-domain engine has no event loop to defer to); the *cost* is
+    modeled by ``available_at`` — the core time before which the fabric
+    refuses FST/RST traffic, so the core runs on its own predictor while
+    the bitstream "loads".
+    """
+
+    def __init__(self, fabric: "PFMFabric", policy: "RecoveryPolicy"):
+        self.fabric = fabric
+        self.policy = policy
+        self.state = FabricState.ACTIVE
+        #: Completed reloads (scheduled swaps included).
+        self.reconfigs = 0
+        #: Total core cycles spent between trigger and resume.
+        self.reconfig_cycles = 0
+        #: Reload requests refused because the budget was exhausted.
+        self.reloads_abandoned = 0
+        #: Core cycles spent waiting for in-flight state to settle.
+        self.drain_stall_cycles = 0
+        #: Failure-triggered reloads performed (the backoff exponent);
+        #: scheduled swaps do not count against the budget.
+        self.reload_attempts = 0
+        #: Packets force-flushed across all drains.
+        self.flushed_packets = 0
+        #: ``(core_time, from_state, to_state, reason)`` per transition.
+        self.transitions: list[tuple[int, str, str, str]] = []
+        #: Core time the current/last reload completes; the fabric's
+        #: predict/observe gates refuse traffic before it.
+        self.available_at = 0
+        self._squash_timeouts_seen = 0
+        self._scheduled_done = False
+
+    # ------------------------------------------------------------------ #
+    # state machine
+    # ------------------------------------------------------------------ #
+
+    def _goto(self, now: int, state: FabricState, reason: str) -> None:
+        if state is self.state:
+            return
+        self.transitions.append((now, self.state.value, state.value, reason))
+        self.state = state
+        probe = self.fabric.probe
+        if probe is not None:
+            probe.agent(now, "fabric", f"reconfig_{state.value}", self.reconfigs)
+
+    def ready(self, now: int) -> bool:
+        """May the fabric accept FST/RST traffic at core time *now*?
+
+        Also the trigger poll point: the engine is lazy (no global clock
+        tick), so scheduled swaps and breaker trips are detected here, on
+        the next snoop-table hit at or after their trigger time.
+        """
+        if self.state is FabricState.DISABLED:
+            return False
+        if now < self.available_at:
+            return False
+        pol = self.policy
+        if (
+            pol.scheduled_reload_at is not None
+            and not self._scheduled_done
+            and now >= pol.scheduled_reload_at
+        ):
+            self._scheduled_done = True
+            self.reload(now, "scheduled-swap", scheduled=True)
+            return self.state is not FabricState.DISABLED and now >= self.available_at
+        wd = self.fabric.watchdog
+        if wd.breaker_trip_pending:
+            wd.breaker_trip_pending = False
+            if pol.reload_on_breaker:
+                self.reload(now, "breaker-trip")
+                return (
+                    self.state is not FabricState.DISABLED
+                    and now >= self.available_at
+                )
+        return True
+
+    # ------------------------------------------------------------------ #
+    # triggers
+    # ------------------------------------------------------------------ #
+
+    def on_component_dead(self, now: int, reason: str) -> bool:
+        """Watchdog declared the component dead; True if a reload saved it."""
+        return self.reload(now, reason)
+
+    def on_squash_timeout(self, now: int) -> bool:
+        """One watchdog squash timeout; reload at the policy threshold."""
+        threshold = self.policy.squash_timeout_reload_after
+        if threshold is None:
+            return False
+        self._squash_timeouts_seen += 1
+        if self._squash_timeouts_seen < threshold:
+            return False
+        self._squash_timeouts_seen = 0
+        return self.reload(now, "squash-timeout")
+
+    # ------------------------------------------------------------------ #
+    # the reload itself
+    # ------------------------------------------------------------------ #
+
+    def reload(self, now: int, reason: str, scheduled: bool = False) -> bool:
+        """Quiesce, drain, hot-load a fresh component, resume.
+
+        Returns True when the fabric comes back ACTIVE (at core time
+        ``available_at``); False when the budget is exhausted and the
+        fabric fell back to today's permanent disable.
+        """
+        if self.state is FabricState.DISABLED:
+            return False
+        pol = self.policy
+        if not scheduled and self.reload_attempts >= pol.max_reloads:
+            self.reloads_abandoned += 1
+            self._goto(now, FabricState.DISABLED, f"abandoned:{reason}")
+            self.fabric.enabled = False
+            return False
+
+        fabric = self.fabric
+        was_roi = fabric.roi_active
+        roi_value = fabric.last_roi_value
+        self._goto(now, FabricState.QUIESCING, reason)
+        drained_at = self._drain(now)
+        self._goto(drained_at, FabricState.DRAINED, reason)
+
+        latency = pol.reconfig_latency_cycles
+        if not scheduled:
+            latency *= pol.reload_backoff_factor**self.reload_attempts
+            self.reload_attempts += 1
+        self._goto(drained_at, FabricState.LOADING, reason)
+        resume = drained_at + latency
+        c = fabric.timings.clk_ratio
+        injector = fabric.injector
+        if injector is not None:
+            # The reload may itself be faulty: stalled, or dead on arrival.
+            resume += injector.on_reconfig(resume // c)
+        fabric.component = rebuild_component(
+            fabric.bitstream,
+            fabric.timings,
+            fabric.load_agent._memory,
+            fabric.params.component_overrides,
+        )
+        fabric.rf_cycle = max(fabric.rf_cycle, -(-resume // c))
+        fabric.watchdog.on_reload()
+        fabric.enabled = True
+        self.available_at = resume
+        self.reconfigs += 1
+        self.reconfig_cycles += resume - now
+        self._goto(resume, FabricState.ACTIVE, reason)
+        if was_roi:
+            fabric.rearm_roi(resume, roi_value)
+        return True
+
+    def _drain(self, start: int) -> int:
+        """Settle in-flight state via the squash protocol; returns end time.
+
+        The component sees a normal squash packet (through the ObsQ-R
+        bypass) and rolls back; the RF clock then runs until the queues,
+        the MLB, and the component are provably quiescent or the drain
+        patience expires.  The squash/squash-done handshake cost
+        ``(D + 3) * C`` is the drain's floor — quiescing is never cheaper
+        than a pipeline squash.
+        """
+        fabric = self.fabric
+        t = fabric.timings
+        c = t.clk_ratio
+        fabric._pending_squashes.append(start + c)
+        fabric.rf_cycle = max(fabric.rf_cycle, start // c)
+        limit = (start + self.policy.drain_timeout_cycles) // c
+        while fabric.rf_cycle < limit and not self._settled():
+            if not fabric._step_rf():
+                break
+        handshake_done = start + (t.delay + 3) * c
+        end = max(t.core_time(fabric.rf_cycle), handshake_done)
+        self.drain_stall_cycles += end - start
+        self.flushed_packets += fabric._flush_inflight(end)
+        return end
+
+    def _settled(self) -> bool:
+        """All queues empty, no in-flight loads, component idle."""
+        fabric = self.fabric
+        return (
+            not fabric._pending_squashes
+            and fabric.obs_q.occupancy == 0
+            and fabric.intq_is.occupancy == 0
+            and fabric.retq.occupancy == 0
+            and fabric.load_agent.in_flight == 0
+            and fabric.component.is_idle()
+        )

@@ -77,3 +77,22 @@ def make_bitstream(
         component_factory=resolve_component(component),
         metadata=dict(metadata or {}),
     )
+
+
+def rebuild_component(
+    bitstream: "Bitstream",
+    timings,
+    memory,
+    overrides: Mapping[str, object] | None = None,
+):
+    """Re-synthesize a bitstream's component (reprogram / hot reload).
+
+    The factory runs from scratch — no state survives.  That is both the
+    Section 2.4 context-isolation guarantee and what makes a reload heal
+    a corrupted configuration: the bitstream, not the dying instance, is
+    the source of truth.  Used by ``PFMFabric.reprogram`` and the
+    :class:`~repro.pfm.reconfig.ReconfigController` hot-swap path.
+    """
+    metadata = dict(bitstream.metadata)
+    metadata.update(overrides or {})
+    return bitstream.component_factory(timings, memory, metadata)

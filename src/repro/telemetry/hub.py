@@ -120,6 +120,10 @@ class TelemetryHub:
             lambda now: fabric.retire_agent.port_delay_cycles,
         )
         samplers.register("clkC", lambda now: fabric.rf_cycle)
+        if fabric.reconfig is not None:
+            samplers.register(
+                "reconfigs", lambda now: fabric.reconfig.reconfigs
+            )
 
     # ------------------------------------------------------------------ #
     # export
