@@ -1,0 +1,91 @@
+"""Warm-service latency vs cold CLI invocation.
+
+The issue's acceptance bar for the resident daemon: once a request has
+been served, a *second identical* request must complete in at most half
+the wall time of a cold CLI invocation of the same sweep — the daemon
+amortizes interpreter startup, registry autoload, trace compilation,
+and every simulated point into its shared warm caches.
+
+Run explicitly (not part of the tier-1 suite)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_service_warm.py -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import repro
+from repro.experiments.sweep import SMOKE_WINDOW
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, SimulationService
+
+#: Ratio bar from the issue: warm round trip <= 0.5x cold CLI wall time.
+WARM_RATIO_BAR = 0.5
+
+
+def _cold_cli_sweep(json_path: Path, cache_dir: Path) -> float:
+    """Wall seconds for a cold CLI sweep (fresh process, fresh cache)."""
+    env = dict(
+        os.environ, PYTHONPATH=str(Path(repro.__file__).resolve().parents[1])
+    )
+    started = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "sweep",
+         "--window", str(SMOKE_WINDOW), "--json", str(json_path),
+         "--cache-dir", str(cache_dir)],
+        check=True, env=env, stdout=subprocess.DEVNULL,
+    )
+    return time.perf_counter() - started
+
+
+def test_warm_service_request_at_most_half_cold_cli(tmp_path):
+    cold_json = tmp_path / "cold.json"
+    cold_seconds = _cold_cli_sweep(cold_json, tmp_path / "cold-cache")
+
+    config = ServiceConfig(cache_dir=tmp_path / "warm-cache")
+    started = threading.Event()
+    box: dict = {}
+
+    async def _main():
+        service = SimulationService(config)
+        await service.start()
+        box["service"] = service
+        box["loop"] = asyncio.get_running_loop()
+        started.set()
+        await service.serve_until_shutdown()
+
+    thread = threading.Thread(target=lambda: asyncio.run(_main()), daemon=True)
+    thread.start()
+    assert started.wait(30)
+    try:
+        client = ServiceClient(cache_dir=config.cache_dir)
+        request = {"window": SMOKE_WINDOW}
+        first = client.run("sweep", request, timeout=600)  # prime the caches
+        warm_started = time.perf_counter()
+        second = client.run("sweep", request, timeout=600)
+        warm_seconds = time.perf_counter() - warm_started
+    finally:
+        box["loop"].call_soon_threadsafe(box["service"].request_shutdown)
+        thread.join(60)
+
+    # Determinism first: daemon results == the cold CLI's file, byte for
+    # byte, and the warm repeat changed nothing.
+    assert first == cold_json.read_bytes()
+    assert second == first
+
+    ratio = warm_seconds / cold_seconds
+    print(
+        f"\ncold CLI {cold_seconds:.2f}s, warm service {warm_seconds:.2f}s"
+        f" ({ratio:.2f}x, bar {WARM_RATIO_BAR}x)"
+    )
+    assert ratio <= WARM_RATIO_BAR, (
+        f"warm service request took {warm_seconds:.2f}s vs cold CLI"
+        f" {cold_seconds:.2f}s ({ratio:.2f}x > {WARM_RATIO_BAR}x bar)"
+    )

@@ -8,6 +8,8 @@ Examples::
     python -m repro.experiments sweep --jobs 4 --json results.json
     python -m repro.experiments --smoke --jobs 2
     python -m repro.experiments all
+    python -m repro.experiments serve              # resident daemon
+    python -m repro.experiments submit sweep --smoke --wait
 
 ``--jobs N`` fans each experiment's sweep points out over N worker
 processes; results are bit-identical to a serial run.  Baselines are
@@ -112,19 +114,50 @@ def _fmt_bytes(n: int) -> str:
     return f"{n} B"
 
 
-def _cache_command(parser, args) -> int:
-    """The ``cache`` subcommand: inspect or clear the `.repro-cache/` store."""
+def _cache_main(argv: list[str]) -> int:
+    """The ``cache`` subcommand: inspect or clear the `.repro-cache/` store.
+
+    Parsed by its own parser (not the experiments one) so maintenance
+    flags like ``clear --jobs`` don't collide with the sweep ``--jobs N``
+    worker-count option.
+    """
     from repro.workloads import tracecache
 
-    action = args.target or "list"
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments cache",
+        description="Inspect or clear the shared .repro-cache/ store.",
+    )
+    parser.add_argument(
+        "action", nargs="?", default="list", choices=("list", "clear"),
+        help="list (default): report store contents; clear: delete"
+             " compiled traces (or the service job store with --jobs)",
+    )
+    parser.add_argument(
+        "--jobs", action="store_true",
+        help="with 'clear': clear the service job store (journal, results,"
+             " per-job checkpoints) instead of the compiled traces",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR),
+        help=f"cache directory (default ${CACHE_DIR_ENV} or"
+             f" {DEFAULT_CACHE_DIR})",
+    )
+    args = parser.parse_args(argv)
     base = Path(args.cache_dir)
-    if action == "clear":
+
+    if args.action == "clear":
+        if args.jobs:
+            from repro.service import JobStore, jobs_dir
+
+            removed, freed = JobStore(jobs_dir(base)).clear()
+            print(f"removed {removed} job-store file(s), freed"
+                  f" {_fmt_bytes(freed)} from {jobs_dir(base)}")
+            return 0
         removed, freed = tracecache.clear_traces(base)
         print(f"removed {removed} compiled trace(s), freed {_fmt_bytes(freed)}"
               f" from {tracecache.trace_dir(base)}")
         return 0
-    if action != "list":
-        parser.error(f"unknown cache action {action!r}; use 'list' or 'clear'")
 
     entries = tracecache.trace_files(base)
     print(f"cache directory: {base}")
@@ -145,10 +178,28 @@ def _cache_command(parser, args) -> int:
     for label, sub in (("baselines", "baselines"), ("checkpoints", "checkpoints")):
         files, size = _dir_size(base / sub)
         print(f"{label}: {files} file(s), {_fmt_bytes(size)}")
+    from repro.service import jobs_dir
+
+    files, size = _dir_size(jobs_dir(base))
+    print(f"service jobs: {files} file(s), {_fmt_bytes(size)}"
+          f"  (clear with 'cache clear --jobs')")
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv:
+        from repro.service.cli import SERVICE_VERBS
+
+        if argv[0] in SERVICE_VERBS:
+            # Service verbs have their own flag surface (serve/submit/...);
+            # hand the whole line to the service CLI.
+            from repro.service.cli import main as service_main
+
+            return service_main(argv)
+        if argv[0] == "cache":
+            return _cache_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -163,8 +214,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         nargs="?",
         default=None,
-        help="workload to trace ('trace' only; default astar), or the"
-             " cache action ('cache' only: list/clear, default list)",
+        help="workload to trace ('trace' only; default astar)",
     )
     parser.add_argument(
         "--window",
@@ -295,12 +345,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "list":
         from repro.registry import (
+            SERVICE_KINDS,
             backend_names,
             component_names,
             predictor_names,
             prefetcher_names,
             workload_names,
         )
+        from repro.service import ENDPOINTS
 
         print("experiments:")
         for name in EXPERIMENTS:
@@ -308,6 +360,8 @@ def main(argv: list[str] | None = None) -> int:
         print("  trace  (telemetry trace of one workload; see --perfetto)")
         print("  shape  (aggregate shape-agreement metrics)")
         print("  cache  (inspect/clear the compiled-trace store)")
+        print("  serve / submit / status / result / cancel / stats"
+              "  (simulation service; see repro.service)")
         for title, names in (
             ("workloads", workload_names()),
             ("components", component_names()),
@@ -318,10 +372,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{title}:")
             for name in names:
                 print(f"  {name}")
+        print("service request kinds:")
+        for name, handler in SERVICE_KINDS.items():
+            print(f"  {name}  ({handler.summary})")
+        print("service endpoints:")
+        for method, route, summary in ENDPOINTS:
+            print(f"  {method} {route}  ({summary})")
         return 0
-
-    if args.experiment == "cache":
-        return _cache_command(parser, args)
 
     if args.experiment == "trace":
         from repro.telemetry.export import (

@@ -227,6 +227,7 @@ class SweepPool:
         retries: int = 2,
         retry_backoff: float = 0.5,
         fail_fast: bool = False,
+        memoize_all: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -240,6 +241,13 @@ class SweepPool:
         self.retries = 0 if fail_fast else retries
         self.retry_backoff = retry_backoff
         self.fail_fast = fail_fast
+        #: With ``memoize_all`` the in-memory cache serves *every* point
+        #: kind, not just plain baselines — sound because all points are
+        #: deterministic functions of their key.  The resident service
+        #: turns this on over a shared cache dict so repeated identical
+        #: requests (PFM configs included) are pure cache hits; the
+        #: on-disk cache stays baselines-only either way.
+        self.memoize_all = memoize_all
         self._memory_cache: dict[str, SimStats] = {}
         #: Accounting for the most recent run(): how many distinct points
         #: were computed vs replayed from checkpoint vs served from cache.
@@ -255,11 +263,13 @@ class SweepPool:
         return self.cache_dir / "baselines" / f"{point.key()}.json"
 
     def _cached_baseline(self, point: SweepPoint) -> SimStats | None:
-        if not point.is_baseline:
+        if not (point.is_baseline or self.memoize_all):
             return None
         key = point.key()
         if key in self._memory_cache:
             return self._memory_cache[key]
+        if not point.is_baseline:
+            return None  # non-baselines are memory-only, never on disk
         path = self._baseline_path(point)
         if path is not None and path.exists():
             stats = stats_from_dict(json.loads(path.read_text()))
@@ -268,9 +278,11 @@ class SweepPool:
         return None
 
     def _store_baseline(self, point: SweepPoint, stats: SimStats) -> None:
-        if not point.is_baseline:
+        if not (point.is_baseline or self.memoize_all):
             return
         self._memory_cache[point.key()] = stats
+        if not point.is_baseline:
+            return
         path = self._baseline_path(point)
         if path is None:
             return
@@ -296,31 +308,46 @@ class SweepPool:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # torn final line from a killed run
+                if not isinstance(record, dict) or "key" not in record:
+                    continue  # foreign or half-schema line
                 if record.get("failed"):
                     # Recorded so humans can see what died; a resumed
                     # sweep retries the point rather than trusting it.
                     done.pop(record["key"], None)
                     continue
-                done[record["key"]] = stats_from_dict(record["stats"])
+                try:
+                    done[record["key"]] = stats_from_dict(record["stats"])
+                except (KeyError, TypeError):
+                    # Stats payload from a different SimStats schema (or
+                    # torn mid-object yet still valid JSON): recompute
+                    # the point rather than resume from a bad record.
+                    continue
         return done
+
+    def _append_record(self, record: dict) -> None:
+        """Crash-safe append: flush makes the line visible to concurrent
+        readers, fsync makes it survive the machine dying — a record is
+        either fully durable or a torn trailing line the loader skips."""
+        assert self.checkpoint is not None
+        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        with self.checkpoint.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def _append_checkpoint(self, point: SweepPoint, stats: SimStats) -> None:
         if self.checkpoint is None:
             return
-        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
-        record = {"key": point.key(), "stats": stats_to_dict(stats)}
-        with self.checkpoint.open("a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+        self._append_record(
+            {"key": point.key(), "stats": stats_to_dict(stats)}
+        )
 
     def _append_failure(self, point: SweepPoint, error: str) -> None:
         if self.checkpoint is None:
             return
-        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
-        record = {"key": point.key(), "failed": True, "error": error}
-        with self.checkpoint.open("a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+        self._append_record(
+            {"key": point.key(), "failed": True, "error": error}
+        )
 
     def _clear_checkpoint(self) -> None:
         if self.checkpoint is not None and self.checkpoint.exists():

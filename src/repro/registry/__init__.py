@@ -41,6 +41,12 @@ from repro.registry.prefetchers import (
     prefetcher_names,
     register_prefetcher,
 )
+from repro.registry.service import (
+    SERVICE_KINDS,
+    register_request_kind,
+    request_kind_names,
+    resolve_request_kind,
+)
 from repro.registry.workloads import (
     WORKLOADS,
     build_workload,
@@ -74,4 +80,8 @@ __all__ = [
     "register_backend",
     "make_backend",
     "backend_names",
+    "SERVICE_KINDS",
+    "register_request_kind",
+    "resolve_request_kind",
+    "request_kind_names",
 ]

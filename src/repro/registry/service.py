@@ -1,0 +1,46 @@
+"""Registry of service request kinds (the daemon's job vocabulary).
+
+The simulation service (:mod:`repro.service`) accepts typed requests —
+``simulate``, ``sweep``, ``trace`` — each backed by a handler that knows
+how to parse the wire payload and run it through a :class:`SweepPool`.
+Handlers register here exactly like workloads and components register in
+their registries, so ``python -m repro.experiments list`` can enumerate
+what the daemon will accept, and adding a new request kind is one
+``@register_request_kind`` decorator in :mod:`repro.service.handlers`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.registry.base import Registry
+
+
+class ServiceRequestKind(Protocol):
+    """What a registered request handler must expose to be listable."""
+
+    kind: str
+    summary: str
+
+
+#: Request-kind handlers, autoloaded from the service handler module.
+SERVICE_KINDS: Registry[ServiceRequestKind] = Registry(
+    "service request kind", autoload=("repro.service.handlers",)
+)
+
+
+def register_request_kind(
+    name: str,
+) -> Callable[[ServiceRequestKind], ServiceRequestKind]:
+    """Decorator: register a request handler under *name*."""
+    return SERVICE_KINDS.register(name)
+
+
+def resolve_request_kind(name: str) -> ServiceRequestKind:
+    """Handler registered under *name*, or :class:`UnknownNameError`."""
+    return SERVICE_KINDS.get(name)
+
+
+def request_kind_names() -> tuple[str, ...]:
+    """All registered request kinds, in registration order."""
+    return SERVICE_KINDS.names()

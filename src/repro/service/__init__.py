@@ -1,0 +1,76 @@
+"""Simulation-as-a-service: a resident daemon over the sweep substrate.
+
+Every CLI invocation of this reproduction pays interpreter startup,
+registry autoload, and cold trace/baseline caches; at fleet scale those
+costs dominate the simulations themselves.  This package keeps one
+process resident — the same shell-vs-role split the paper applies to
+hardware (a fixed shell, post-fabrication roles loaded into it): the
+daemon is the shell, typed requests (``simulate``, ``sweep``, ``trace``)
+are the roles, and the warm caches are the shared fabric.
+
+Layers (one module each):
+
+* :mod:`repro.service.models`   — typed request/job models + wire codec
+* :mod:`repro.service.jobs`     — fsynced JSONL job journal, bounded
+  priority queue, admission control
+* :mod:`repro.service.handlers` — request kinds (registered in
+  :data:`repro.registry.service.SERVICE_KINDS`) running through
+  :class:`~repro.experiments.pool.SweepPool`
+* :mod:`repro.service.executor` — the persistent warm backend (shared
+  baseline memory cache + compiled-trace memo + registries)
+* :mod:`repro.service.server`   — the asyncio daemon (HTTP front door,
+  dispatcher, graceful SIGTERM drain)
+* :mod:`repro.service.client`   — blocking stdlib client
+* :mod:`repro.service.cli`      — ``serve``/``submit``/``status``/
+  ``result``/``cancel``/``stats`` verbs
+
+Determinism contract: a result fetched from the daemon is byte-identical
+to running the same request directly through a ``SweepPool`` — the
+daemon adds scheduling and caching, never content.
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    discover_endpoint,
+    wait_for_endpoint,
+)
+from repro.service.jobs import AdmissionError, JobQueue, JobStore
+from repro.service.models import (
+    JobRecord,
+    RequestError,
+    SimulateRequest,
+    SweepRequest,
+    TraceRequest,
+)
+from repro.service.server import (
+    ENDPOINTS,
+    ServiceConfig,
+    SimulationService,
+    endpoint_path,
+    jobs_dir,
+    service_dir,
+)
+
+__all__ = [
+    "AdmissionError",
+    "ENDPOINTS",
+    "JobQueue",
+    "JobRecord",
+    "JobStore",
+    "RequestError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceUnavailable",
+    "SimulateRequest",
+    "SimulationService",
+    "SweepRequest",
+    "TraceRequest",
+    "discover_endpoint",
+    "endpoint_path",
+    "jobs_dir",
+    "service_dir",
+    "wait_for_endpoint",
+]

@@ -1,0 +1,118 @@
+"""The daemon's persistent execution backend: one warm pool, many jobs.
+
+A cold CLI invocation pays interpreter startup, registry autoload, trace
+compilation, and baseline simulation on every run.  The daemon pays them
+once: this module owns the state that stays warm across requests —
+
+* one shared **baseline memory cache** (``{point-key: SimStats}``)
+  threaded into every per-job :class:`SweepPool`, so a baseline computed
+  for any request is served from memory to all later ones;
+* the process-global **compiled-trace memo**
+  (:mod:`repro.workloads.tracecache`), warmed by in-process (``jobs=1``)
+  runs and re-used by every later replay;
+* the **registries**, autoloaded once at daemon startup instead of once
+  per CLI invocation.
+
+Each job still gets its *own* pool object (its own checkpoint file, its
+own ``last_run_info``) so concurrent jobs never interleave journal
+writes — only the caches are shared, and those are append-only maps of
+content-addressed results, safe under the GIL for the thread-per-job
+execution model the daemon uses.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core import SimStats
+from repro.experiments.pool import SweepPool
+from repro.registry.service import resolve_request_kind
+from repro.service.jobs import JobStore
+from repro.service.models import JobRecord
+from repro.workloads.tracecache import STATS as TRACE_STATS
+
+
+class ServiceBackend:
+    """Runs admitted jobs through per-job pools over shared warm caches."""
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None,
+        store: JobStore,
+        worker_budget: int | None = None,
+    ):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.store = store
+        self.worker_budget = worker_budget or (os.cpu_count() or 1)
+        #: Shared across every per-job pool: content key -> SimStats.
+        self.shared_memory_cache: dict[str, SimStats] = {}
+        #: Cumulative SweepPool accounting across all finished jobs.
+        self.pool_totals: dict[str, int] = {
+            "computed": 0, "resumed": 0, "cached": 0, "failed": 0,
+        }
+
+    def warm_registries(self) -> None:
+        """Autoload every registry once, before the first request."""
+        from repro.registry import (
+            backend_names,
+            component_names,
+            predictor_names,
+            prefetcher_names,
+            request_kind_names,
+            workload_names,
+        )
+
+        workload_names()
+        component_names()
+        predictor_names()
+        prefetcher_names()
+        backend_names()
+        request_kind_names()
+
+    def make_pool(self, jobs: int, job_id: str) -> SweepPool:
+        """A per-job pool wired into the shared warm baseline cache."""
+        pool = SweepPool(
+            jobs=jobs,
+            cache_dir=self.cache_dir,
+            checkpoint=self.store.checkpoint_path(job_id),
+            memoize_all=True,
+        )
+        # Content-addressed results are interchangeable between pools;
+        # sharing the dict is what makes the second request warm.
+        pool._memory_cache = self.shared_memory_cache
+        return pool
+
+    def run_job(self, job: JobRecord) -> tuple[str, dict]:
+        """Execute one job (called from a worker thread); returns
+        ``(result text, meta)`` from the kind's handler."""
+        handler = resolve_request_kind(job.kind)
+        request = handler.request_cls.from_wire(job.request)
+        pool = self.make_pool(min(request.jobs, self.worker_budget), job.id)
+        text, meta = handler.run(request, pool)
+        info = pool.last_run_info or {}
+        for key in self.pool_totals:
+            self.pool_totals[key] += info.get(key, 0)
+        return text, meta
+
+    def cache_stats(self) -> dict:
+        """Warm-cache effectiveness for the ``/stats`` endpoint."""
+        trace = dict(TRACE_STATS)
+        trace_lookups = (
+            trace["memo_hits"] + trace["disk_hits"] + trace["compiles"]
+        )
+        pool = dict(self.pool_totals)
+        pool_lookups = pool["computed"] + pool["resumed"] + pool["cached"]
+        return {
+            "baseline_memory_entries": len(self.shared_memory_cache),
+            "pool": pool,
+            "pool_warm_rate": (
+                (pool["resumed"] + pool["cached"]) / pool_lookups
+                if pool_lookups else 0.0
+            ),
+            "trace": trace,
+            "trace_hit_rate": (
+                (trace["memo_hits"] + trace["disk_hits"]) / trace_lookups
+                if trace_lookups else 0.0
+            ),
+        }

@@ -27,6 +27,7 @@ Usage::
     perfetto_json(snapshot)             # load at https://ui.perfetto.dev
 """
 
+from repro.telemetry.counters import CounterBank
 from repro.telemetry.events import (
     AgentEvent,
     QueueEvent,
@@ -41,6 +42,7 @@ from repro.telemetry.sink import RingBufferSink
 
 __all__ = [
     "AgentEvent",
+    "CounterBank",
     "EVENT_GROUPS",
     "QueueEvent",
     "RingBufferSink",

@@ -1,0 +1,49 @@
+"""Monotonic named counters for long-lived processes (the service daemon).
+
+The event/ring machinery in this package observes *one simulation*; a
+resident daemon needs the complementary view — process-lifetime counts
+(requests admitted/rejected, jobs per terminal state, per-backend run
+counts) that survive across simulations and are cheap enough to bump on
+every request.  :class:`CounterBank` is that: a flat ``name -> int``
+bank with atomic-enough increments (single bytecode dict ops under the
+GIL), a sorted snapshot for the ``/stats`` endpoint, and no behavior —
+it never feeds back into simulation state.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class CounterBank:
+    """A flat bank of monotonically increasing named counters."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add *amount* (default 1) to counter *name*, creating it at 0."""
+        if amount < 0:
+            raise ValueError(f"counters are monotonic; got {amount} for {name!r}")
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def merge(self, counts: dict[str, int]) -> None:
+        """Bulk-increment from a ``name -> amount`` mapping."""
+        for name, amount in counts.items():
+            self.inc(name, amount)
+
+    def snapshot(self) -> dict[str, int]:
+        """Stable (key-sorted) copy, JSON-ready for ``/stats``."""
+        return {name: self._counts[name] for name in sorted(self._counts)}
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"<CounterBank {len(self._counts)} counters>"

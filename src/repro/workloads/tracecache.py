@@ -42,6 +42,7 @@ import hashlib
 import json
 import os
 import pickle
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -82,8 +83,16 @@ _OPCODE_OF: dict[OpClass, int] = {op: i for i, op in enumerate(_OPCLASSES)}
 
 #: In-process memoization: content key -> compiled trace.  Shared by all
 #: simulate() calls in this process (SweepPool points, baseline cache
-#: fills, benchmarks), so each worker compiles a workload at most once.
+#: fills, benchmarks, and every worker thread of the resident service
+#: daemon), so each process compiles a workload at most once.
 _MEMO: dict[str, "CompiledTrace"] = {}
+
+#: Serializes the compile-or-load slow path.  The service daemon runs
+#: jobs on event-loop-owned worker threads over this one shared memo;
+#: without the lock two concurrent first requests for the same workload
+#: would both pay the functional-execution compile.  Memo *hits* stay
+#: lock-free (single dict read under the GIL).
+_COMPILE_LOCK = threading.Lock()
 
 #: (registry name, canonical-overrides digest) -> content key, so
 #: repeated builds of one sweep point hash the workload content once.
@@ -576,33 +585,41 @@ def get_trace(workload: "Workload", window: int) -> CompiledTrace | None:
         STATS["memo_hits"] += 1
         return memo
 
-    ref = workload.build_ref
-    name = ref[0] if ref is not None else workload.name
-    path = _trace_path(name, key)
-    disk = _load_trace(path, key)
-    if disk is not None and (disk.halted or disk.length >= window):
-        STATS["disk_hits"] += 1
-        _MEMO[key] = disk
-        return disk
+    with _COMPILE_LOCK:
+        # Re-check under the lock: a sibling worker thread may have
+        # compiled (or disk-loaded) this workload while we waited.
+        memo = _MEMO.get(key)
+        if memo is not None and (memo.halted or memo.length >= window):
+            STATS["memo_hits"] += 1
+            return memo
 
-    # Compile (or extend a too-short trace to the new high-water mark).
-    have = max(
-        memo.length if memo is not None else 0,
-        disk.length if disk is not None else 0,
-    )
-    fresh = _rebuild(workload)
-    if fresh is None:
-        return None
-    if workload_content_key(fresh) != key:
-        # Nondeterministic builder: replay would diverge; refuse to cache.
-        return None
-    trace = CompiledTrace.compile(
-        fresh, _compile_length(max(window, have)), key=key, name=name
-    )
-    STATS["compiles"] += 1
-    _MEMO[key] = trace
-    _persist(path, trace)
-    return trace
+        ref = workload.build_ref
+        name = ref[0] if ref is not None else workload.name
+        path = _trace_path(name, key)
+        disk = _load_trace(path, key)
+        if disk is not None and (disk.halted or disk.length >= window):
+            STATS["disk_hits"] += 1
+            _MEMO[key] = disk
+            return disk
+
+        # Compile (or extend a too-short trace to the new high-water mark).
+        have = max(
+            memo.length if memo is not None else 0,
+            disk.length if disk is not None else 0,
+        )
+        fresh = _rebuild(workload)
+        if fresh is None:
+            return None
+        if workload_content_key(fresh) != key:
+            # Nondeterministic builder: replay would diverge; refuse to cache.
+            return None
+        trace = CompiledTrace.compile(
+            fresh, _compile_length(max(window, have)), key=key, name=name
+        )
+        STATS["compiles"] += 1
+        _MEMO[key] = trace
+        _persist(path, trace)
+        return trace
 
 
 #: Callbacks fired by :func:`reset_memory_cache` so sibling caches keyed

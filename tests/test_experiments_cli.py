@@ -85,3 +85,31 @@ def test_jobs_flag_on_figure_experiment(tmp_path, capsys):
     assert not list(
         (tmp_path / "cache" / "checkpoints").glob("*.jsonl")
     )
+
+
+def test_list_prints_service_surface(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "service request kinds:" in out
+    for kind in ("simulate", "sweep", "trace"):
+        assert kind in out
+    assert "service endpoints:" in out
+    assert "POST /submit" in out
+    assert "serve" in out and "submit" in out
+
+
+def test_cache_list_reports_service_job_store(tmp_path, capsys):
+    from repro.service.jobs import JobStore
+    from repro.service.server import jobs_dir
+
+    cache = tmp_path / "cache"
+    store = JobStore(jobs_dir(cache))
+    store.write_result("job-000001", "{}\n")
+    assert main(["cache", "list", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "service jobs: 1 file(s)" in out
+
+    assert main(["cache", "clear", "--jobs", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 job-store file(s)" in out
+    assert store.size() == (0, 0)

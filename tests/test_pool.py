@@ -374,3 +374,71 @@ def test_interrupted_sweep_leaves_checkpoint(tmp_path, monkeypatch):
     lines = checkpoint.read_text().splitlines()
     assert len(lines) == 1
     assert json.loads(lines[0])["key"] == points[0].key()
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint robustness (crash-safe appends / tolerant loads)
+# ---------------------------------------------------------------------- #
+
+
+def test_torn_trailing_checkpoint_line_is_skipped(tmp_path, counted_run_point):
+    """A run killed mid-append leaves a torn final JSONL line; resuming
+    must skip it (recomputing that point) instead of raising."""
+    done = pfm_point("done", "libquantum", WINDOW, PFMParams(delay=0))
+    torn = pfm_point("torn", "libquantum", WINDOW, PFMParams(delay=2))
+    checkpoint = tmp_path / "ck.jsonl"
+    good = json.dumps({"key": done.key(), "stats": stats_to_dict(_fake_stats())})
+    half = json.dumps({"key": torn.key(), "stats": stats_to_dict(_fake_stats())})
+    checkpoint.write_text(good + "\n" + half[: len(half) // 2])
+
+    results = SweepPool(checkpoint=checkpoint).run([done, torn])
+    assert set(results) == {"done", "torn"}
+    assert counted_run_point == ["torn"]  # only the torn point recomputed
+
+
+def test_checkpoint_record_with_foreign_stats_schema_is_recomputed(
+    tmp_path, counted_run_point
+):
+    """Valid JSON whose stats payload doesn't match SimStats (e.g. written
+    by an older schema) is recomputed, not trusted or fatal."""
+    point = pfm_point("p", "libquantum", WINDOW, PFMParams(delay=0))
+    checkpoint = tmp_path / "ck.jsonl"
+    checkpoint.write_text(
+        json.dumps({"key": point.key(), "stats": "not-a-dict"}) + "\n"
+        + json.dumps(["not", "a", "record"]) + "\n"
+        + json.dumps({"no_key": True}) + "\n"
+    )
+    results = SweepPool(checkpoint=checkpoint).run([point])
+    assert set(results) == {"p"}
+    assert counted_run_point == ["p"]
+
+
+def test_checkpoint_appends_are_fsynced(tmp_path, monkeypatch, counted_run_point):
+    """Every checkpoint append must reach the disk before the next point
+    starts: flush + fsync per record."""
+    synced: list[int] = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(
+        pool_module.os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd)
+    )
+    points = [
+        pfm_point("a", "libquantum", WINDOW, PFMParams(delay=0)),
+        pfm_point("b", "libquantum", WINDOW, PFMParams(delay=2)),
+    ]
+    SweepPool(checkpoint=tmp_path / "ck.jsonl").run(points)
+    assert len(synced) == len(points)
+
+
+def test_memoize_all_serves_pfm_points_from_memory(counted_run_point):
+    """With memoize_all (the service's warm mode) repeated PFM points are
+    pure memory-cache hits; the default pool recomputes them."""
+    point = pfm_point("p", "libquantum", WINDOW, PFMParams(delay=0))
+    warm = SweepPool(memoize_all=True)
+    warm.run([point])
+    warm.run([point])
+    assert counted_run_point == ["p"]  # second run served from memory
+
+    cold = SweepPool()
+    cold.run([point])
+    cold.run([point])
+    assert counted_run_point == ["p", "p", "p"]
