@@ -38,6 +38,15 @@ from pathlib import Path
 #: >25% slower than the baseline (after normalization) fails the gate.
 DEFAULT_TOLERANCE = 0.25
 
+#: Per-benchmark overrides tighter than the global gate.  The PFM astar
+#: entry is the single-tenant hot path: after the multi-tenant refactor
+#: it runs through the slot container and the (pass-through) fabric
+#: scheduler, and the recorded baseline predates that machinery — so
+#: holding it to 5% *is* the "one-tenant scheduler overhead" budget.
+TIGHT_TOLERANCES = {
+    "benchmarks/test_simulator_throughput.py::test_throughput_pfm_astar": 0.05,
+}
+
 
 def load_medians(path: Path) -> dict[str, float]:
     """Benchmark name -> median seconds from a pytest-benchmark export."""
@@ -74,13 +83,16 @@ def compare(
     for name in shared:
         normalized = ratios[name] / machine_factor
         delta = normalized - 1.0
+        allowed = min(tolerance, TIGHT_TOLERANCES.get(name, tolerance))
         flag = ""
-        if delta > tolerance:
+        if delta > allowed:
             flag = "  << REGRESSION"
             failures.append(
-                f"{name}: {delta:+.1%} vs baseline"
-                f" ({baseline[name] * 1000:.1f}ms -> {current[name] * 1000:.1f}ms)"
+                f"{name}: {delta:+.1%} vs baseline (allowed {allowed:.0%},"
+                f" {baseline[name] * 1000:.1f}ms -> {current[name] * 1000:.1f}ms)"
             )
+        elif name in TIGHT_TOLERANCES:
+            flag = f"  (tight gate {allowed:.0%})"
         lines.append(
             f"  {name:<{width}}  {baseline[name] * 1000:8.1f}ms"
             f" -> {current[name] * 1000:8.1f}ms  {delta:+7.1%}{flag}"

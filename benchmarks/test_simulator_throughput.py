@@ -47,6 +47,36 @@ def test_throughput_pfm_astar(benchmark):
     assert stats.pfm_predicted_branches > 0
 
 
+def test_throughput_pfm_astar_two_tenant(benchmark):
+    """Astar predictor plus an observe-only co-tenant in a second slot.
+
+    Measures what fabric sharing costs end to end: the mirrored
+    observation stream, partitioned-table dispatch, and the scheduler's
+    arbitration of the crossing.  The single-tenant overhead of the same
+    machinery is gated separately — ``test_throughput_pfm_astar`` runs
+    through the slot container too and ``check_regression.py`` holds it
+    to a 5% tighter tolerance against the recorded seed baseline.
+    """
+    from repro.pfm.tenancy import parse_tenant_spec
+
+    pfm = PFMParams(delay=0, tenants=(parse_tenant_spec("introspect"),))
+    stats = benchmark.pedantic(
+        lambda: simulate(
+            build_astar_workload(grid_width=128, grid_height=128),
+            SimConfig(max_instructions=WINDOW, pfm=pfm),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.pfm_predicted_branches > 0
+    probe = stats.tenant_stats["1:introspect"]
+    assert probe["obs_pushes"] > 0
+    benchmark.extra_info["probe_obs_pushes"] = probe["obs_pushes"]
+    benchmark.extra_info["probe_sched_stall_cycles"] = (
+        probe["sched_stall_cycles"]
+    )
+
+
 def test_throughput_pfm_bfs(benchmark):
     stats = benchmark.pedantic(
         lambda: simulate(

@@ -164,24 +164,32 @@ class SuperscalarCore:
             self.stats.prf_port_delay_cycles = retire_agent.port_delay_cycles
             self.stats.fetch_stall_pfm_cycles = fetch_agent.stall_cycles
             self.stats.agent_loads_sanitized = load_agent.loads_sanitized
-            wd = self.fabric.watchdog
-            self.stats.watchdog_fetch_timeouts = wd.fetch_timeouts
-            self.stats.watchdog_dead_declarations = wd.dead_declarations
-            self.stats.watchdog_squash_timeouts = wd.squash_timeouts
-            self.stats.watchdog_override_disables = wd.override_disables
-            self.stats.watchdog_overrides_suppressed = wd.overrides_suppressed
-            self.stats.watchdog_load_throttle_events = wd.load_throttle_events
-            self.stats.watchdog_loads_dropped = wd.loads_dropped
+            wd = self.fabric.watchdog_counters()
+            self.stats.watchdog_fetch_timeouts = wd["fetch_timeouts"]
+            self.stats.watchdog_dead_declarations = wd["dead_declarations"]
+            self.stats.watchdog_squash_timeouts = wd["squash_timeouts"]
+            self.stats.watchdog_override_disables = wd["override_disables"]
+            self.stats.watchdog_overrides_suppressed = wd["overrides_suppressed"]
+            self.stats.watchdog_load_throttle_events = wd["load_throttle_events"]
+            self.stats.watchdog_loads_dropped = wd["loads_dropped"]
             if self.fabric.injector is not None:
                 self.stats.fault_events = dict(self.fabric.injector.counts)
             self.stats.fabric_state = self.fabric.state
-            rc = self.fabric.reconfig
-            if rc is not None:
-                self.stats.reconfigs = rc.reconfigs
-                self.stats.reconfig_cycles = rc.reconfig_cycles
-                self.stats.reloads_abandoned = rc.reloads_abandoned
-                self.stats.drain_stall_cycles = rc.drain_stall_cycles
+            rc_totals = self.fabric.reconfig_totals()
+            if rc_totals is not None:
+                self.stats.reconfigs = rc_totals["reconfigs"]
+                self.stats.reconfig_cycles = rc_totals["reconfig_cycles"]
+                self.stats.reloads_abandoned = rc_totals["reloads_abandoned"]
+                self.stats.drain_stall_cycles = rc_totals["drain_stall_cycles"]
             self.stats.queue_stats = self.fabric.queue_stats()
+            sched = self.fabric.scheduler
+            self.stats.sched_obs_stall_cycles = sched.stall_cycles
+            self.stats.sched_preemptions = sched.preemptions
+            self.stats.fetch_override_conflicts = (
+                self.fabric.fetch_override_conflicts
+            )
+            if len(self.fabric.slots) > 1:
+                self.stats.tenant_stats = self.fabric.tenant_stats()
         if self.telemetry is not None:
             self.stats.telemetry = self.telemetry.snapshot()
 

@@ -20,6 +20,7 @@ from repro.telemetry.params import TelemetryParams
 
 if TYPE_CHECKING:  # layering: core never imports the fault subsystem
     from repro.faults.plan import FaultPlan
+    from repro.pfm.tenancy import TenantSpec
 
 
 @dataclass
@@ -120,8 +121,19 @@ class PFMParams:
     #: dead components disable the fabric permanently, exactly as before;
     #: see :mod:`repro.pfm.reconfig`).
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    #: Co-resident tenants sharing the fabric (:mod:`repro.pfm.tenancy`);
+    #: each spec adds one fabric slot beside the primary (slot 0, the
+    #: workload's own bitstream).  Empty = single-tenant, the paper's
+    #: configuration.
+    tenants: tuple["TenantSpec", ...] = ()
 
     def label(self) -> str:
+        if self.tenants:
+            extra = "+".join(spec.label() for spec in self.tenants)
+            return f"{self._base_label()} [{extra}]"
+        return self._base_label()
+
+    def _base_label(self) -> str:
         return (
             f"clk{self.clk_ratio}_w{self.width}, delay{self.delay}, "
             f"queue{self.queue_size}, port{self.port}"
@@ -140,6 +152,10 @@ class PFMParams:
             raise ValueError(f"unknown port option {self.port!r}")
         if self.fetch_policy not in (FETCH_POLICY_STALL, FETCH_POLICY_PROCEED):
             raise ValueError(f"unknown fetch policy {self.fetch_policy!r}")
+        # JSON round-trips and CLI plumbing hand tenants over as a list;
+        # normalize so configs hash/compare consistently.
+        if isinstance(self.tenants, list):
+            self.tenants = tuple(self.tenants)
 
 
 @dataclass

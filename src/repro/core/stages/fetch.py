@@ -107,7 +107,7 @@ class FetchStage:
                 stats.fetched_fst_hits += 1
                 if ctx.telemetry is not None:
                     ctx.telemetry.agent(fetch_time, "fetch", "fst_hit")
-                result = agent.predict(entry.tag, fetch_time)
+                result = agent.predict(entry, fetch_time)
                 if result is not None:
                     taken, effective = result
                     if effective > fetch_time:

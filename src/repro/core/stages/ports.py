@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional, Protocol, runtime_checkable
 
 if TYPE_CHECKING:
-    from repro.pfm.snoop import FSTEntry, RSTEntry
+    from repro.pfm.tenancy import SlotHit
     from repro.workloads.trace import DynInst
 
 
@@ -37,13 +37,15 @@ class FetchAgentHook(Protocol):
         """Per-fetch bookkeeping (ROI entry, per-call markers)."""
         ...
 
-    def lookup(self, pc: int) -> Optional["FSTEntry"]:
-        """Fetch Snoop Table lookup for *pc*."""
+    def lookup(self, pc: int) -> Optional["SlotHit"]:
+        """Fetch Snoop Table lookup for *pc* (slot-tagged hit)."""
         ...
 
-    def predict(self, tag: str, fetch_time: int) -> tuple[bool, int] | None:
+    def predict(self, hit: "SlotHit", fetch_time: int) -> tuple[bool, int] | None:
         """Custom prediction for an FST-hit branch, or ``None`` to fall
-        back to the core's own predictor (watchdog / quiescence, §2.4)."""
+        back to the core's own predictor (watchdog / quiescence, §2.4).
+        The hit carries its owning fabric slot; overlapping-PC losers are
+        resolved by tenant priority inside the fabric."""
         ...
 
     def record_override(self, correct: bool) -> None:
@@ -91,12 +93,14 @@ class RetireAgentHook(Protocol):
         """True while the component is enabled (inside the ROI)."""
         ...
 
-    def lookup(self, pc: int) -> Optional["RSTEntry"]:
-        """Retire Snoop Table lookup for *pc*."""
+    def lookup(self, pc: int) -> Optional["SlotHit"]:
+        """Retire Snoop Table lookup for *pc* (slot-tagged hit)."""
         ...
 
-    def on_retire(self, dyn: "DynInst", retire_time: int) -> None:
-        """Build and push the observation packet for an RST hit."""
+    def on_retire(self, dyn: "DynInst", hit: "SlotHit", retire_time: int) -> None:
+        """Build and push the observation packet(s) for an RST hit.
+        Retire-side observation is non-exclusive: every slot matching the
+        PC observes (winner first, then ``hit.others``)."""
         ...
 
     def on_squash(self, resolve_time: int, reason: str) -> int:

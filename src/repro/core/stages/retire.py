@@ -77,7 +77,7 @@ class RetireStage:
                     self._count_obs(entry)
                     if ctx.telemetry is not None:
                         ctx.telemetry.agent(rt, "retire", "rst_hit")
-                agent.on_retire(dyn, rt)
+                agent.on_retire(dyn, entry, rt)
                 if not was_active and agent.roi_active:
                     # Beginning of ROI (§2.1): the Retire Agent signals the
                     # core to squash its pipeline so core and component are

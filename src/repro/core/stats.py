@@ -92,6 +92,23 @@ class SimStats:
     #: empty for plain-core runs.
     fabric_state: str = ""
 
+    # multi-tenant fabric (repro.pfm.tenancy)
+    #: Observation-crossing grants the fabric scheduler delayed, in core
+    #: cycles summed across tenants (0 for single-tenant runs — the
+    #: scheduler is pass-through with one slot).
+    sched_obs_stall_cycles: int = 0
+    #: Priority preemptions: a high-priority tenant evicted a lower-
+    #: priority grant from a full crossing cycle.
+    sched_preemptions: int = 0
+    #: Fetch-override conflicts: overlapping FST PCs where a lower-
+    #: priority tenant lost the override to a higher-priority one.
+    fetch_override_conflicts: int = 0
+    #: Per-tenant counter snapshots keyed ``<slot>:<tenant>`` (flattened
+    #: as ``tenant_<slug>_<stat>``); empty for plain-core runs and kept
+    #: empty for single-tenant fabric runs so seed-era exports are
+    #: unchanged except for the three scalar counters above.
+    tenant_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+
     # fault injection (repro.faults): events fired, by kind
     fault_events: dict[str, int] = field(default_factory=dict)
     #: Injected-load addresses the Load Agent had to align/clamp before
@@ -190,6 +207,10 @@ class SimStats:
                 for queue, queue_stats in value.items():
                     for stat, v in queue_stats.items():
                         flat[f"queue_{_slug(queue)}_{_slug(stat)}"] = v
+            elif f.name == "tenant_stats":
+                for tenant, tenant_stats in value.items():
+                    for stat, v in tenant_stats.items():
+                        flat[f"tenant_{_slug(tenant)}_{_slug(stat)}"] = v
             else:
                 flat[f.name] = value
         flat["ipc"] = self.ipc

@@ -67,6 +67,10 @@ PAYLOAD_EXPERIMENTS = {
     "chaos": (chaos_module.run_chaos, chaos_module.CHAOS_SMOKE_WINDOW),
 }
 
+#: Experiments whose runners accept co-resident fabric tenants
+#: (``--tenant``); the others have no multi-tenant story yet.
+TENANT_EXPERIMENTS = ("sweep", "chaos")
+
 
 def _run_info(pool: SweepPool) -> str:
     info = pool.last_run_info or {}
@@ -279,6 +283,17 @@ def main(argv: list[str] | None = None) -> int:
         help="execution backend for every run, workers included (auto"
              " honours $REPRO_BACKEND and picks numpy when importable)",
     )
+    parser.add_argument(
+        "--tenant",
+        metavar="LAYOUT[:PRIO]",
+        action="append",
+        default=[],
+        dest="tenants",
+        help="co-resident fabric tenant for every PFM point (repeatable),"
+             " e.g. introspect or branch-mirror:background; combines with "
+             + "/".join(TENANT_EXPERIMENTS)
+             + " or bare --smoke",
+    )
     trace_group = parser.add_argument_group("trace options")
     trace_group.add_argument(
         "--perfetto",
@@ -331,6 +346,20 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment is None and not args.smoke:
         parser.error("an experiment id (or --smoke) is required")
+    tenant_specs: tuple = ()
+    if args.tenants:
+        if args.experiment is not None and args.experiment not in TENANT_EXPERIMENTS:
+            parser.error(
+                "--tenant combines only with "
+                + "/".join(TENANT_EXPERIMENTS)
+                + " (or bare --smoke)"
+            )
+        from repro.pfm.tenancy import parse_tenant_spec
+
+        try:
+            tenant_specs = tuple(parse_tenant_spec(t) for t in args.tenants)
+        except ValueError as exc:
+            parser.error(str(exc))
     if (
         args.experiment is not None
         and args.smoke
@@ -350,6 +379,7 @@ def main(argv: list[str] | None = None) -> int:
             component_names,
             predictor_names,
             prefetcher_names,
+            tenant_layout_names,
             workload_names,
         )
         from repro.service import ENDPOINTS
@@ -367,6 +397,7 @@ def main(argv: list[str] | None = None) -> int:
             ("components", component_names()),
             ("predictors", predictor_names()),
             ("prefetchers", prefetcher_names()),
+            ("tenant layouts", tenant_layout_names()),
             ("backends", backend_names()),
         ):
             print(f"{title}:")
@@ -426,7 +457,8 @@ def main(argv: list[str] | None = None) -> int:
         window = args.window or sweep_module.SMOKE_WINDOW
         pool = make_pool(args, "smoke", window)
         started = time.time()
-        result, payload = sweep_module.run_sweep(window, pool)
+        result, payload = sweep_module.run_sweep(window, pool,
+                                                 tenants=tenant_specs)
         print(result.render())
         print(f"   [{time.time() - started:.1f}s, jobs={args.jobs},"
               f" {_run_info(pool)}]")
@@ -461,7 +493,12 @@ def main(argv: list[str] | None = None) -> int:
         started = time.time()
         if name in PAYLOAD_EXPERIMENTS:
             run_with_payload = PAYLOAD_EXPERIMENTS[name][0]
-            result, payload = run_with_payload(window, pool)
+            kwargs = (
+                {"tenants": tenant_specs}
+                if tenant_specs and name in TENANT_EXPERIMENTS
+                else {}
+            )
+            result, payload = run_with_payload(window, pool, **kwargs)
             if args.json:
                 Path(args.json).write_text(sweep_module.payload_json(payload))
         else:

@@ -71,28 +71,39 @@ def campaign_recovery() -> RecoveryPolicy:
 
 
 def _chaos_pfm(fault_plan=None, recovery: RecoveryPolicy | None = None,
+               tenants: tuple = (),
                ) -> PFMParams:
     return PFMParams(
         watchdog=campaign_watchdog(),
         fault_plan=fault_plan,
         recovery=recovery or RecoveryPolicy(),
+        tenants=tenants,
     )
 
 
 def chaos_points(
-    window: int, workloads: tuple[str, ...] = CHAOS_WORKLOADS
+    window: int, workloads: tuple[str, ...] = CHAOS_WORKLOADS,
+    tenants: tuple = (),
 ) -> list[SweepPoint]:
+    """Campaign grid.  With *tenants*, every PFM point hosts the
+    co-tenants too: faults and recovery stay scoped to slot 0 (co-tenants
+    never inherit the fault plan or recovery policy), so the oracle then
+    also proves per-slot recovery leaves the neighbours' streams — and
+    the architectural stream — untouched.
+    """
     points = []
     swap_at = max(1, window // 4)
     for name in workloads:
         points.append(baseline_point(name, window))
-        points.append(pfm_point(f"{name} [clean]", name, window, _chaos_pfm()))
+        points.append(pfm_point(f"{name} [clean]", name, window,
+                      _chaos_pfm(tenants=tenants)))
         points.append(
             pfm_point(
                 f"{name} [swap]",
                 name,
                 window,
-                _chaos_pfm(recovery=RecoveryPolicy(scheduled_reload_at=swap_at)),
+                _chaos_pfm(recovery=RecoveryPolicy(scheduled_reload_at=swap_at),
+                           tenants=tenants),
             )
         )
         for plan_name, plan in BUILTIN_PLANS.items():
@@ -101,7 +112,7 @@ def chaos_points(
                     f"{name} [fault:{plan_name}/no-recovery]",
                     name,
                     window,
-                    _chaos_pfm(plan),
+                    _chaos_pfm(plan, tenants=tenants),
                 )
             )
             points.append(
@@ -109,7 +120,7 @@ def chaos_points(
                     f"{name} [fault:{plan_name}/recovery]",
                     name,
                     window,
-                    _chaos_pfm(plan, campaign_recovery()),
+                    _chaos_pfm(plan, campaign_recovery(), tenants=tenants),
                 )
             )
     return points
@@ -119,10 +130,11 @@ def run_chaos(
     window: int = DEFAULT_WINDOW,
     pool: SweepPool | None = None,
     workloads: tuple[str, ...] = CHAOS_WORKLOADS,
+    tenants: tuple = (),
 ) -> tuple[ExperimentResult, dict]:
     """Run the campaign; return the rendered result and a JSON payload."""
     pool = pool or default_pool()
-    points = chaos_points(window, workloads)
+    points = chaos_points(window, workloads, tenants)
     stats = pool.run(points)
 
     result = ExperimentResult(
@@ -141,6 +153,8 @@ def run_chaos(
         "recovery": dataclasses.asdict(campaign_recovery()),
         "points": {},
     }
+    if tenants:
+        payload["tenants"] = [spec.label() for spec in tenants]
     failures = []
     swap_mismatches = []
     for point in points:

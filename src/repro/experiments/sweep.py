@@ -11,7 +11,9 @@ two sweeps of the same grid produce byte-identical files regardless of
 
 from __future__ import annotations
 
+import dataclasses
 import json
+from typing import TYPE_CHECKING
 
 from repro.experiments.pool import (
     SweepPoint,
@@ -24,6 +26,9 @@ from repro.experiments.pool import (
 from repro.experiments.report import ExperimentResult
 from repro.experiments.runner import DEFAULT_WINDOW, parse_config_label
 from repro.registry import workload_names
+
+if TYPE_CHECKING:
+    from repro.pfm.tenancy import TenantSpec
 
 #: All workloads the reproduction can build, in registration order
 #: (the registry's autoload order keeps this stable across runs).
@@ -44,17 +49,21 @@ def sweep_points(
     window: int,
     workloads: tuple[str, ...] = SWEEP_WORKLOADS,
     configs: tuple[str, ...] = SWEEP_CONFIGS,
+    tenants: tuple["TenantSpec", ...] = (),
 ) -> list[SweepPoint]:
+    """Grid points; with *tenants* each PFM point also gets a tenant-free
+    twin (``<label> [solo]``) so the equivalence oracle has its reference.
+    """
     points = []
     for name in workloads:
         points.append(baseline_point(name, window))
         for config in configs:
-            points.append(
-                pfm_point(
-                    f"{name} [{config}]", name, window,
-                    parse_config_label(config),
-                )
-            )
+            pfm = parse_config_label(config)
+            label = f"{name} [{config}]"
+            if tenants:
+                points.append(pfm_point(f"{label} [solo]", name, window, pfm))
+                pfm = dataclasses.replace(pfm, tenants=tenants)
+            points.append(pfm_point(label, name, window, pfm))
     return points
 
 
@@ -63,10 +72,19 @@ def run_sweep(
     pool: SweepPool | None = None,
     workloads: tuple[str, ...] = SWEEP_WORKLOADS,
     configs: tuple[str, ...] = SWEEP_CONFIGS,
+    tenants: tuple["TenantSpec", ...] = (),
 ) -> tuple[ExperimentResult, dict]:
-    """Run the sweep; return the rendered result and a JSON-ready payload."""
+    """Run the sweep; return the rendered result and a JSON-ready payload.
+
+    With *tenants*, every PFM point runs twice — solo and with the
+    co-tenants resident — and the equivalence oracle requires the two
+    architectural digests to match (the registered tenant layouts are
+    observe-only, so sharing the fabric must not perturb the primary).
+    An :class:`~repro.experiments.faults.OracleViolation` aborts the
+    sweep; ``oracle_ok`` is recorded per tenanted point in the payload.
+    """
     pool = pool or default_pool()
-    points = sweep_points(window, workloads, configs)
+    points = sweep_points(window, workloads, configs, tenants)
     stats = pool.run(points)
 
     result = ExperimentResult(
@@ -80,6 +98,8 @@ def run_sweep(
         "configs": list(configs),
         "points": {},
     }
+    if tenants:
+        payload["tenants"] = [spec.label() for spec in tenants]
     for point in points:
         entry = {
             "workload": point.workload,
@@ -93,6 +113,23 @@ def run_sweep(
             )
             entry["speedup_pct"] = speedup
             result.add(point.label, speedup)
+        if (
+            tenants
+            and point.pfm is not None
+            and point.pfm.tenants
+        ):
+            from repro.experiments.faults import OracleViolation
+            from repro.faults.oracle import check_equivalence
+
+            verdict = check_equivalence(
+                stats[f"{point.label} [solo]"], stats[point.label]
+            )
+            if not verdict.ok:
+                raise OracleViolation(
+                    f"{point.label}: co-tenants perturbed the primary"
+                    f" architectural stream ({verdict.reason})"
+                )
+            entry["oracle_ok"] = True
         payload["points"][point.label] = entry
     return result, payload
 

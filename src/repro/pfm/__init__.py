@@ -20,6 +20,15 @@ reconfigurable fabric (RF).
 from repro.pfm.snoop import FSTEntry, RSTEntry, SnoopKind, Bitstream
 from repro.pfm.component import CustomComponent, RFTimings
 from repro.pfm.fabric import PFMFabric
+from repro.pfm.tenancy import (
+    FabricScheduler,
+    FabricSlot,
+    PartitionedFST,
+    PartitionedRST,
+    SlotHit,
+    TenantSpec,
+    parse_tenant_spec,
+)
 
 __all__ = [
     "FSTEntry",
@@ -29,4 +38,11 @@ __all__ = [
     "CustomComponent",
     "RFTimings",
     "PFMFabric",
+    "TenantSpec",
+    "parse_tenant_spec",
+    "SlotHit",
+    "FabricSlot",
+    "FabricScheduler",
+    "PartitionedFST",
+    "PartitionedRST",
 ]

@@ -1,0 +1,115 @@
+"""Observe-only introspection tenant: a synthesized telemetry probe.
+
+IPU-style flexible hardware introspection (PAPERS.md): instead of a
+host-side observer, the probe is a PFM component co-resident in the
+fabric, fed by a mirror of the primary tenant's Retire Snoop Table.  It
+never pushes predictions or loads — by construction it cannot change the
+architectural stream (the equivalence oracle proves it), and it costs
+only what fabric sharing costs: observation-crossing bandwidth and PRF
+read-port contention, both arbitrated by the fabric scheduler and
+attributed per tenant.
+
+Two tenant layouts are registered here:
+
+* ``introspect`` — mirrors every primary RST entry (droppable, so the
+  probe sheds under back-pressure rather than stalling anyone).
+* ``branch-mirror`` — mirrors only the branch-outcome entries (plus the
+  ROI markers needed to arm), a minimal branch-stream audit tap.
+"""
+
+from __future__ import annotations
+
+from repro.pfm.component import CustomComponent, RFIo, RFTimings
+from repro.pfm.packets import SquashPacket
+from repro.pfm.snoop import Bitstream, RSTEntry, SnoopKind
+from repro.registry.components import register_component
+from repro.registry.tenants import register_tenant_layout
+
+_ROI_KINDS = (SnoopKind.ROI_BEGIN, SnoopKind.ROI_END)
+
+
+@register_component("introspect")
+class IntrospectionUnit(CustomComponent):
+    """Counts and classifies the observation stream; intervenes never.
+
+    Metadata knobs: ``track_values`` (bool, default False) additionally
+    records the last value seen per tag — a "watchpoint register" in the
+    hardware analogy, sized into :meth:`structure` for the cost model.
+    """
+
+    name = "introspect"
+
+    def __init__(self, timings: RFTimings, memory, metadata: dict | None = None):
+        super().__init__(timings, memory, metadata)
+        self.observed = 0
+        self.squashes_seen = 0
+        self.counts_by_kind: dict[str, int] = {}
+        self.counts_by_tag: dict[str, int] = {}
+        self.track_values = bool(self.metadata.get("track_values", False))
+        self.last_value_by_tag: dict[str, object] = {}
+        self.armed = False
+
+    def step(self, io: RFIo) -> None:
+        while True:
+            packet = io.pop_obs()
+            if packet is None:
+                break
+            if isinstance(packet, SquashPacket):
+                self.squashes_seen += 1
+                continue
+            self.observed += 1
+            kind = packet.kind.name
+            self.counts_by_kind[kind] = self.counts_by_kind.get(kind, 0) + 1
+            self.counts_by_tag[packet.tag] = (
+                self.counts_by_tag.get(packet.tag, 0) + 1
+            )
+            if self.track_values:
+                self.last_value_by_tag[packet.tag] = packet.value
+            if packet.kind is SnoopKind.ROI_BEGIN:
+                self.armed = True
+
+    def is_idle(self) -> bool:
+        return True  # pure observer: no internal work ever in flight
+
+    def structure(self) -> dict[str, int]:
+        counters = 64 * (len(self.counts_by_kind) + len(self.counts_by_tag))
+        watch = 64 * len(self.last_value_by_tag) if self.track_values else 0
+        return {"counter_bits": counters, "watch_bits": watch}
+
+
+def _mirror_entry(entry: RSTEntry, prefix: str) -> RSTEntry:
+    droppable = entry.kind not in _ROI_KINDS
+    return RSTEntry(
+        pc=entry.pc,
+        kind=entry.kind,
+        tag=f"{prefix}:{entry.tag}",
+        droppable=droppable,
+    )
+
+
+def _probe_bitstream(name: str, entries: list[RSTEntry]) -> Bitstream:
+    return Bitstream(
+        name=name,
+        rst_entries=entries,
+        fst_entries=[],  # observe-only: no fetch-side overrides, ever
+        component_factory=IntrospectionUnit,
+        metadata={},
+    )
+
+
+@register_tenant_layout("introspect")
+def introspect_layout(primary: Bitstream, spec) -> Bitstream:
+    """Mirror every primary RST entry into an observe-only probe slot."""
+    entries = [_mirror_entry(e, "probe") for e in primary.rst_entries]
+    return _probe_bitstream(f"introspect({primary.name})", entries)
+
+
+@register_tenant_layout("branch-mirror")
+def branch_mirror_layout(primary: Bitstream, spec) -> Bitstream:
+    """Mirror only branch outcomes (plus ROI markers, needed to arm)."""
+    entries = [
+        _mirror_entry(e, "bmirror")
+        for e in primary.rst_entries
+        if e.kind is SnoopKind.BRANCH_OUTCOME or e.kind in _ROI_KINDS
+    ]
+    return _probe_bitstream(f"branch-mirror({primary.name})", entries)

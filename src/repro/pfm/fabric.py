@@ -1,75 +1,102 @@
-"""PFM fabric: co-simulation of the RF component with the core.
+"""PFM fabric: co-simulation of RF components with the core.
 
 The cycle model is one-pass in program order (see :mod:`repro.core.core`);
-the fabric advances the component's RF clock lazily: when the core's fetch
-stage needs a prediction it advances RF cycles until the matching packet
-exists (or the component is provably quiescent — the §2.4 watchdog /
-chicken-switch path); observation pushes advance the component to keep it
-current.  All causality flows forward: every observation a component can
-need to predict a branch comes from instructions older than that branch,
-which the one-pass engine has already processed and timestamped.
+each fabric slot advances its component's RF clock lazily: when the core's
+fetch stage needs a prediction the owning slot advances RF cycles until
+the matching packet exists (or the component is provably quiescent — the
+§2.4 watchdog / chicken-switch path); observation pushes advance the
+component to keep it current.  All causality flows forward: every
+observation a component can need to predict a branch comes from
+instructions older than that branch, which the one-pass engine has
+already processed and timestamped.
+
+Multi-tenancy (:mod:`repro.pfm.tenancy`): the fabric is a container of
+:class:`~repro.pfm.tenancy.FabricSlot` objects — slot 0 is the primary
+tenant (the workload's bitstream), further slots come from
+``PFMParams.tenants``.  Snoop lookups go through partitioned tables whose
+hits carry the owning slot; the hooks route pipeline traffic to that
+slot, resolving fetch-override conflicts by tenant priority and letting
+every matching slot observe on the retire side.  The observation
+crossing is arbitrated by the contention-aware
+:class:`~repro.pfm.tenancy.FabricScheduler`.  With a single slot, every
+routing layer collapses to a direct slot call (the hooks bind slot
+methods at construction), so single-tenant runs stay byte-identical to
+the pre-tenancy fabric.
 
 Squash/squash-done handshake cost: ``(D + 3) * C`` core cycles — one RF
 cycle for the squash packet crossing, ``D + 1`` RF cycles for rollback
 through the component pipeline, one RF cycle for the squash-done signal
-back through IntQ-F (Section 2.1); the Retire Agent stalls the retire unit
-until then, and unconsumed predictions are replayed at W per RF cycle.
+back through IntQ-F (Section 2.1); the Retire Agent stalls the retire
+unit until then, and unconsumed predictions are replayed at W per RF
+cycle.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.params import CoreParams, PFMParams
 from repro.core.resources import LaneScheduler
-from repro.core.watchdog import Watchdog
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.pfm.component import CustomComponent, RFIo, RFTimings
-from repro.pfm.fetch_agent import FetchAgent
-from repro.pfm.load_agent import LoadAgent
-from repro.pfm.packets import ObsPacket, SquashPacket
-from repro.pfm.queues import TimedQueue
-from repro.pfm.reconfig import ReconfigController
-from repro.pfm.retire_agent import RetireAgent
-from repro.pfm.snoop import Bitstream, SnoopKind
-from repro.registry.components import rebuild_component
+from repro.pfm.tenancy import (
+    FabricScheduler,
+    FabricSlot,
+    PartitionedFST,
+    PartitionedRST,
+    SlotHit,
+    TenantSpec,
+    slot_params,
+)
+from repro.pfm.snoop import Bitstream
 from repro.workloads.mem import MemoryImage
 
 if TYPE_CHECKING:
     from repro.core.stages.ports import AgentPort
-    from repro.pfm.snoop import FSTEntry, RSTEntry
+    from repro.workloads.trace import DynInst
 
 
 class FabricFetchHook:
     """Fetch Agent adapter satisfying :class:`~repro.core.stages.ports.
     FetchAgentHook` — what the fetch stage sees of the fabric (§2.2).
 
-    The forwarding methods are bound at construction (the FST and
-    watchdog are fixed for the fabric's lifetime) so a hook call costs
-    the same as the direct fabric call it replaces.
+    The forwarding methods are bound at construction (the partitioned FST
+    and the slot layout are fixed for the fabric's lifetime); with a
+    single slot they bind the slot's own methods, so a hook call costs
+    the same as the pre-tenancy direct fabric call.
     """
 
-    __slots__ = ("_fabric", "on_fetch", "lookup", "predict", "record_override")
+    __slots__ = (
+        "_roi_src", "_fabric", "on_fetch", "lookup", "predict",
+        "record_override",
+    )
 
     def __init__(self, fabric: "PFMFabric"):
         self._fabric = fabric
-        self.on_fetch = fabric.on_fetch
         self.lookup = fabric.fst.lookup
-        self.predict = fabric.predict
-        self.record_override = fabric.watchdog.record_override
+        self.predict = fabric.predict_hit
+        if fabric._single:
+            slot = fabric._slot0
+            self._roi_src: Any = slot
+            self.on_fetch = slot.on_fetch
+            self.record_override = slot.watchdog.record_override
+        else:
+            self._roi_src = fabric
+            self.on_fetch = fabric._on_fetch_multi
+            self.record_override = fabric._record_override
 
     @property
     def roi_fetch_active(self) -> bool:
-        return self._fabric.roi_fetch_active
+        return self._roi_src.roi_fetch_active
 
     @property
     def stall_cycles(self) -> int:
-        return self._fabric.fetch_agent.stall_cycles
+        return self._fabric.fetch_stall_cycles
 
 
 class FabricExecuteHook:
     """Load Agent adapter satisfying :class:`~repro.core.stages.ports.
-    ExecuteAgentHook` — the agent's LSU-path accounting (§2.3)."""
+    ExecuteAgentHook` — the agents' LSU-path accounting (§2.3), summed
+    across tenants."""
 
     __slots__ = ("_fabric",)
 
@@ -78,52 +105,66 @@ class FabricExecuteHook:
 
     @property
     def loads_issued(self) -> int:
-        return self._fabric.load_agent.loads_issued
+        return sum(s.load_agent.loads_issued for s in self._fabric.slots)
 
     @property
     def prefetches_issued(self) -> int:
-        return self._fabric.load_agent.prefetches_issued
+        return sum(s.load_agent.prefetches_issued for s in self._fabric.slots)
 
     @property
     def load_misses(self) -> int:
-        return self._fabric.load_agent.load_misses
+        return sum(s.load_agent.load_misses for s in self._fabric.slots)
 
     @property
     def replays(self) -> int:
-        return self._fabric.load_agent.replays
+        return sum(s.load_agent.replays for s in self._fabric.slots)
 
     @property
     def loads_sanitized(self) -> int:
-        return self._fabric.load_agent.loads_sanitized
+        return sum(s.load_agent.loads_sanitized for s in self._fabric.slots)
 
 
 class FabricRetireHook:
     """Retire Agent adapter satisfying :class:`~repro.core.stages.ports.
     RetireAgentHook` — RST snooping and squash sync (§2.1).
 
-    Forwarding methods are bound at construction (the RST is fixed for
-    the fabric's lifetime), matching the cost of the direct calls.
+    Forwarding methods are bound at construction (the partitioned RST is
+    fixed for the fabric's lifetime), matching the cost of direct calls;
+    a single-slot fabric binds the slot's methods directly.
     """
 
-    __slots__ = ("_fabric", "lookup", "on_retire", "on_squash")
+    __slots__ = ("_roi_src", "_fabric", "lookup", "on_retire", "on_squash")
 
     def __init__(self, fabric: "PFMFabric"):
         self._fabric = fabric
         self.lookup = fabric.rst.lookup
-        self.on_retire = fabric.on_retire
-        self.on_squash = fabric.on_core_squash
+        if fabric._single:
+            self._roi_src: Any = fabric._slot0
+            self.on_retire = fabric._on_retire_single
+            self.on_squash = fabric._slot0.on_core_squash
+        else:
+            self._roi_src = fabric
+            self.on_retire = fabric._on_retire_multi
+            self.on_squash = fabric.on_core_squash
 
     @property
     def roi_active(self) -> bool:
-        return self._fabric.roi_active
+        return self._roi_src.roi_active
 
     @property
     def port_delay_cycles(self) -> int:
-        return self._fabric.retire_agent.port_delay_cycles
+        return self._fabric.port_delay_cycles
 
 
 class PFMFabric:
-    """Everything on the RF side of the pipeline interface."""
+    """Everything on the RF side of the pipeline interface.
+
+    A container of fabric slots (one per tenant) plus the partitioned
+    snoop tables, the contention-aware scheduler, and the routing layer
+    the pipeline hooks call into.  Single-tenant attribute access
+    (``fabric.component``, ``fabric.obs_q``, ...) delegates to slot 0 —
+    the primary tenant — preserving the pre-tenancy surface.
+    """
 
     def __init__(
         self,
@@ -136,71 +177,48 @@ class PFMFabric:
     ):
         self.bitstream = bitstream
         self.params = pfm
-        self.timings = RFTimings(pfm.clk_ratio, pfm.width, pfm.delay)
-        self.rst = bitstream.make_rst()
-        self.fst = bitstream.make_fst()
-        metadata = dict(bitstream.metadata)
-        metadata.update(pfm.component_overrides)
-        self.component: CustomComponent = bitstream.component_factory(
-            self.timings, memory, metadata
-        )
-        self.call_marker_pcs: frozenset[int] = frozenset(
-            metadata.get("call_marker_pcs", ())
-        )
+        self.scheduler = FabricScheduler()
 
-        self.watchdog = Watchdog(pfm.watchdog)
-        self.injector = None
-        mlb_entries = pfm.mlb_entries
-        if pfm.fault_plan is not None:
-            # Imported here so fault-free builds never touch the fault
-            # subsystem (core/pfm must not depend on repro.faults).
-            from repro.faults.inject import FaultInjector
-
-            self.injector = FaultInjector(pfm.fault_plan)
-            mlb_entries = self.injector.mlb_entries(pfm.mlb_entries)
-
-        c = pfm.clk_ratio
-        self.obs_q = TimedQueue("ObsQ-R", pfm.queue_size, crossing_latency=c)
-        # IntQ-IS push times are component pipe-exit times, nondecreasing
-        # by construction — assert it (ObsQ-R and ObsQ-EX legitimately
-        # reorder send times via PRF port contention and MLB re-flushes).
-        self.intq_is = TimedQueue("IntQ-IS", pfm.queue_size, monotonic_push=True)
-        self.retq = TimedQueue("ObsQ-EX", pfm.queue_size, crossing_latency=c)
-        self.fetch_agent = FetchAgent(
-            pfm.queue_size, c, pfm.width, strict=self.injector is None
+        primary_spec = TenantSpec(
+            component=bitstream.name, priority=0, name=bitstream.name
         )
-        self.retire_agent = RetireAgent(core_params, lanes, pfm.port)
-        self.load_agent = LoadAgent(
-            self.intq_is,
-            self.retq,
-            hierarchy,
-            memory,
-            lanes,
-            core_params.ls_lanes(),
-            mlb_entries=mlb_entries,
-            replay_period=pfm.mlb_replay_period,
-            watchdog=self.watchdog,
-            injector=self.injector,
-        )
+        builds: list[tuple[TenantSpec, Bitstream, PFMParams]] = [
+            (primary_spec, bitstream, pfm)
+        ]
+        for spec in pfm.tenants:
+            # Imported lazily: the registry's tenant layouts pull in
+            # component modules, which single-tenant builds never need.
+            from repro.registry.tenants import build_tenant_bitstream
 
-        self._io = RFIo(self.timings, self)
-        self.rf_cycle = 0
-        self.roi_active = False  # retire-side (component enabled)
-        self.roi_fetch_active = False  # fetch-side (stats / markers)
-        self.enabled = True  # chicken switch
-        self._pending_squashes: list[int] = []  # visible times
-        self._watchdog_budget = pfm.watchdog_rf_cycles
-        self.obs_dropped = 0
-        self.squashes_signalled = 0
-        self.probe = None  # optional telemetry hub (attach_fabric wires it)
-        #: ROI-begin snoop value, recorded so a hot swap can re-arm the
-        #: replacement component (ROI markers retire once per run).
-        self.last_roi_value = None
-        #: Self-healing reconfiguration controller; None when the policy
-        #: is inactive, and the fabric behaves exactly as before.
-        self.reconfig: ReconfigController | None = None
-        if pfm.recovery.active():
-            self.reconfig = ReconfigController(self, pfm.recovery)
+            builds.append(
+                (spec, build_tenant_bitstream(spec, bitstream), slot_params(pfm, spec))
+            )
+
+        self.slots: list[FabricSlot] = []
+        for index, (spec, slot_bitstream, slot_pfm) in enumerate(builds):
+            slot = FabricSlot(
+                index,
+                spec,
+                slot_bitstream,
+                slot_pfm,
+                core_params,
+                lanes,
+                hierarchy,
+                memory,
+                self.scheduler,
+            )
+            self.scheduler.register(slot)
+            self.slots.append(slot)
+
+        self._slot0 = self.slots[0]
+        self._single = len(self.slots) == 1
+        self.fst = PartitionedFST(self.slots)
+        self.rst = PartitionedRST(self.slots)
+        #: Fetch-override conflicts: a lower-priority tenant's FST entry
+        #: lost a same-PC override to a higher-priority tenant.
+        self.fetch_override_conflicts = 0
+        self._last_predict_slot = self._slot0
+        self._hooks: tuple[Any, ...] = ()
 
     # ------------------------------------------------------------------ #
     # pipeline interface (agent ports)
@@ -216,422 +234,280 @@ class PFMFabric:
 
         The paper's Agents sit at fixed pipeline interfaces (§2.1–2.3);
         this is the software analogue of wiring them up at configuration
-        time.  Each port holds at most one agent.
+        time.  Each port holds at most one agent.  Re-attaching the same
+        fabric is idempotent: stale hooks from a previous call are
+        detached first (a foreign agent on a port still raises — one
+        context at a time, §2.4).
         """
-        fetch_port.attach(FabricFetchHook(self))
-        execute_port.attach(FabricExecuteHook(self))
-        retire_port.attach(FabricRetireHook(self))
-
-    # ------------------------------------------------------------------ #
-    # RF clock
-    # ------------------------------------------------------------------ #
-
-    def _now(self) -> int:
-        return self.timings.core_time(self.rf_cycle)
-
-    def _next_event_time(self) -> int | None:
-        times = []
-        if self._pending_squashes:
-            times.append(self._pending_squashes[0])
-        head = self.obs_q.head_visible_time()
-        if head is not None:
-            times.append(head)
-        head = self.retq.head_visible_time()
-        if head is not None:
-            times.append(head)
-        agent = self.load_agent.next_event_time()
-        if agent is not None:
-            times.append(agent)
-        return min(times) if times else None
-
-    def _step_rf(self) -> bool:
-        """Run one RF cycle; returns False when provably quiescent."""
-        if self.injector is not None and self.injector.component_frozen(
-            self.rf_cycle
-        ):
-            # clkC is dead: time passes but the component never steps, so
-            # IntQ-F never refills and ObsQ-R never drains.  Not quiescent
-            # (queues may hold entries) — the watchdog must save the run.
-            self.rf_cycle += 1
-            return True
-        if self.component.is_idle():
-            nxt = self._next_event_time()
-            if nxt is None:
-                return False
-            # Fast-forward dead RF cycles up to the next event.
-            c = self.timings.clk_ratio
-            target_cycle = max(self.rf_cycle, nxt // c)
-            self.rf_cycle = target_cycle
-        self._io.begin_cycle(self.rf_cycle)
-        self.load_agent.tick(self._io.now)
-        self.component.step(self._io)
-        self.rf_cycle += 1
-        return True
-
-    def advance_to(self, core_time: int) -> None:
-        """Run RF cycles whose window ends at or before *core_time*."""
-        if not self.enabled:
-            return
-        c = self.timings.clk_ratio
-        guard = self._watchdog_budget
-        while (self.rf_cycle + 1) * c <= core_time and guard > 0:
-            if not self._step_rf():
-                break
-            guard -= 1
-
-    # ------------------------------------------------------------------ #
-    # fetch side
-    # ------------------------------------------------------------------ #
-
-    def on_fetch(self, pc: int) -> None:
-        """Fetch-stage bookkeeping: ROI entry and per-call markers."""
-        if not self.roi_fetch_active:
-            entry = self.rst.lookup(pc)
-            if entry is not None and entry.kind is SnoopKind.ROI_BEGIN:
-                self.roi_fetch_active = True
-            return
-        if pc in self.call_marker_pcs:
-            self.fetch_agent.on_call_marker()
-
-    def predict(self, fst_tag: str, fetch_time: int) -> tuple[bool, int] | None:
-        """Supply the custom prediction for an FST-hit branch.
-
-        Returns ``(taken, effective_fetch_time)``, or None when the
-        watchdog fired, a graceful-degradation defense tripped, or the
-        component is quiescent — the caller then uses the core's own
-        predictor (§2.4).  Every None path settles the prediction-stream
-        alignment itself: either the matching late packet is discarded
-        (fetch-timeout path) or fallback debt is recorded so the packet
-        is dropped when it eventually arrives.
-        """
-        fa = self.fetch_agent
-        rc = self.reconfig
-        if rc is not None and not rc.ready(fetch_time):
-            # Mid-reload (or permanently disabled): the core's predictor
-            # carries the branch while the bitstream loads.
-            fa.note_fallback(fst_tag)
-            return None
-        if not self.enabled or not self.roi_active:
-            fa.note_fallback(fst_tag)
-            return None
-        wd = self.watchdog
-        if not wd.overrides_allowed():
-            # Accuracy breaker open: serve this FST hit from the core's
-            # predictor and drop the component's packet via the debt.
-            wd.note_suppressed()
-            fa.note_fallback(fst_tag)
-            return None
-        self.advance_to(fetch_time)
-        if self.params.fetch_policy == "proceed":
-            # §2.4 non-stalling design: use the packet only if it is
-            # already waiting in IntQ-F; otherwise the fetch unit proceeds
-            # with the core's predictor and the late packet is dropped.
-            result = fa.try_pop(fst_tag, fetch_time, only_ready=True)
-            if result is None:
-                fa.note_fallback(fst_tag)
-            return result
-        deadline = wd.fetch_deadline(fetch_time)
-        guard = self._watchdog_budget
-        while guard > 0:
-            result = fa.try_pop(fst_tag, fetch_time, deadline=deadline)
-            if result is not None:
-                wd.on_fetch_delivered()
-                return result
-            if deadline is not None and self._now() > deadline:
-                self._fetch_timeout(fst_tag)
-                return None
-            if not self._step_rf():
-                fa.note_fallback(fst_tag)
-                return None  # quiescent: prediction will never arrive
-            guard -= 1
-        # Watchdog fired: chicken switch (§2.4) — unless a recovery
-        # policy buys the component a reload first.
-        if rc is None or not rc.on_component_dead(self._now(), "rf-budget"):
-            self.enabled = False
-        fa.note_fallback(fst_tag)
-        return None
-
-    def _fetch_timeout(self, fst_tag: str) -> None:
-        """Fetch-stall deadline expired: fall back for this branch only.
-
-        The matching packet, if already produced (just late), is consumed
-        and discarded to keep the stream aligned; otherwise fallback debt
-        covers its eventual arrival.  A run of timeouts with no producer
-        progress declares the component dead and disables the fabric.
-        """
-        fa = self.fetch_agent
-        progress = (
-            fa.producer_call,
-            fa.producer_seq,
-            self.obs_q.pops,
-            self.intq_is.pops,
-            self.retq.pops,
+        ports = (fetch_port, execute_port, retire_port)
+        if self._hooks:
+            stale = set(map(id, self._hooks))
+            for port in ports:
+                if port.agent is not None and id(port.agent) in stale:
+                    port.detach()
+        hooks = (
+            FabricFetchHook(self),
+            FabricExecuteHook(self),
+            FabricRetireHook(self),
         )
-        self.watchdog.on_fetch_timeout(progress)
-        if not fa.drop_match(fst_tag):
-            fa.note_fallback(fst_tag)
-        if self.watchdog.component_dead:
-            rc = self.reconfig
-            if rc is None or not rc.on_component_dead(
-                self._now(), "dead-component"
-            ):
-                self.enabled = False
+        for port, hook in zip(ports, hooks):
+            port.attach(hook)
+        self._hooks = hooks
 
     # ------------------------------------------------------------------ #
-    # retire side
+    # routing (multi-slot paths; single-slot binds slot methods directly)
     # ------------------------------------------------------------------ #
 
-    def on_retire(self, dyn, retire_time: int) -> int:
-        """Retire-stage hook; returns the (possibly stalled) retire time."""
-        if not self.enabled:
-            return retire_time
-        rc = self.reconfig
-        if rc is not None and not rc.ready(retire_time):
-            return retire_time  # mid-reload: nothing to observe with
-        entry = self.rst.lookup(dyn.pc)
-        if entry is None:
-            return retire_time
-        if entry.kind is SnoopKind.ROI_BEGIN:
-            return self._begin_roi(dyn, entry, retire_time)
-        if not self.roi_active:
-            return retire_time
-        packet, send_time = self.retire_agent.build_packet(dyn, entry, retire_time)
-        self._obs_push(packet, send_time, droppable=entry.droppable)
-        return retire_time
+    def predict_hit(
+        self, hit: SlotHit, fetch_time: int
+    ) -> tuple[bool, int] | None:
+        """Route an FST hit to its owning slot's Fetch Agent.
 
-    def _begin_roi(self, dyn, entry, retire_time: int) -> int:
-        """Beginning of ROI (Section 2.1): squash, enable, begin packet."""
-        self.roi_active = True
-        packet, send_time = self.retire_agent.build_packet(dyn, entry, retire_time)
-        self.last_roi_value = packet.value
-        self._obs_push(packet, send_time, droppable=False)
-        return retire_time  # the core applies the pipeline squash
+        Overlapping PCs across tenants are winner-takes-all on the fetch
+        side: only the highest-priority slot's prediction can override
+        the core's predictor; every loser is counted as an override
+        conflict and its (eventual) prediction packet is dropped through
+        the fallback-debt mechanism so its stream stays aligned.
+        """
+        if not self._single:
+            self._last_predict_slot = hit.slot
+            for other in hit.others:
+                self.fetch_override_conflicts += 1
+                other.slot.note_override_conflict(other.entry.tag)
+        return hit.slot.predict_entry(hit.entry.tag, fetch_time)
 
-    # Drop decision latency: a droppable packet waits at most this many RF
-    # cycles for ObsQ-R space before the Retire Agent discards it.
-    _DROP_PATIENCE_RF = 8
+    def _on_fetch_multi(self, pc: int) -> None:
+        for slot in self.slots:
+            slot.on_fetch(pc)
 
-    def _obs_push(self, packet: ObsPacket, send_time: int, droppable: bool) -> None:
-        if self.injector is None:
-            self._obs_push_one(packet, send_time, droppable)
-            return
-        packets = self.injector.on_obs(packet)
-        for index, faulted in enumerate(packets):
-            # An injected duplicate never earns back-pressure patience.
-            self._obs_push_one(faulted, send_time, droppable or index > 0)
+    def _record_override(self, correct: bool) -> None:
+        # predict() -> record_override() is strictly sequential in the
+        # fetch stage, so the last routed slot owns this grade.
+        self._last_predict_slot.watchdog.record_override(correct)
 
-    def _obs_push_one(
-        self, packet: ObsPacket, send_time: int, droppable: bool
-    ) -> None:
-        self.advance_to(send_time)
-        guard = self._DROP_PATIENCE_RF if droppable else self._watchdog_budget
-        if self.injector is not None and self.injector.component_frozen(
-            self.rf_cycle
-        ):
-            # A dead component never drains ObsQ-R; don't spin the budget.
-            guard = min(guard, self._DROP_PATIENCE_RF)
-        while not self.obs_q.can_push() and guard > 0:
-            if not self._step_rf():
-                break
-            guard -= 1
-        if not self.obs_q.can_push():
-            self.obs_dropped += 1
-            self.obs_q.note_reject(send_time)
-            return
-        send_time = max(send_time, self.obs_q.earliest_push(send_time))
-        self.obs_q.push(send_time, packet)
+    def _on_retire_single(
+        self, dyn: "DynInst", hit: SlotHit, retire_time: int
+    ) -> int:
+        return self._slot0.on_retire_entry(dyn, hit.entry, retire_time)
+
+    def _on_retire_multi(
+        self, dyn: "DynInst", hit: SlotHit, retire_time: int
+    ) -> int:
+        # Retire-side observation is non-exclusive: every tenant whose
+        # RST matches the PC observes, winner (priority order) first so
+        # shared PRF read ports are granted to the primary first.
+        result = hit.slot.on_retire_entry(dyn, hit.entry, retire_time)
+        for other in hit.others:
+            other.slot.on_retire_entry(dyn, other.entry, retire_time)
+        return result
 
     def on_core_squash(self, squash_time: int, reason: str) -> int:
-        """Pipeline squash: run the squash/squash-done protocol.
-
-        Returns the squash-done time; the core floors subsequent retire
-        times to it (the Retire Agent stalls the retire unit, §2.1).
-        """
-        if not self.enabled or not self.roi_active:
-            return squash_time
-        rc = self.reconfig
-        if rc is not None and squash_time < rc.available_at:
-            # Mid-reload: the component isn't loaded yet, so there is
-            # nothing to hand the squash protocol to (queues are empty).
-            return squash_time
-        self.squashes_signalled += 1
-        c = self.timings.clk_ratio
-        self._pending_squashes.append(squash_time + c)
-        squash_done = squash_time + (self.timings.delay + 3) * c
-        if self.injector is not None:
-            timeouts_before = self.watchdog.squash_timeouts
-            squash_done = self.injector.squash_done(
-                squash_time, squash_done, c, self.watchdog
-            )
-            if rc is not None and self.watchdog.squash_timeouts > timeouts_before:
-                # A lost squash-done leaves the handshake protocol itself
-                # suspect — count it toward the policy's reload threshold.
-                if rc.on_squash_timeout(squash_time):
-                    squash_done = max(squash_done, rc.available_at)
-        self.fetch_agent.apply_squash(squash_done)
-        if self.probe is not None:
-            self.probe.agent(
-                squash_time, "fabric", "squash_sync", squash_done - squash_time
-            )
-        return squash_done
+        """Pipeline squash: run the squash/squash-done protocol on every
+        armed slot; the retire unit stalls until the slowest tenant's
+        handshake completes."""
+        if self._single:
+            return self._slot0.on_core_squash(squash_time, reason)
+        done = squash_time
+        for slot in self.slots:
+            done = max(done, slot.on_core_squash(squash_time, reason))
+        return done
 
     # ------------------------------------------------------------------ #
-    # component-facing callbacks (used by RFIo)
-    # ------------------------------------------------------------------ #
-
-    def obs_peek(self, now: int):
-        if self._pending_squashes and self._pending_squashes[0] <= now:
-            return SquashPacket(core_time=self._pending_squashes[0], reason="squash")
-        return self.obs_q.peek_visible(now)
-
-    def obs_pop(self, now: int):
-        if self._pending_squashes and self._pending_squashes[0] <= now:
-            t = self._pending_squashes.pop(0)
-            packet = SquashPacket(core_time=t, reason="squash")
-            self.component.on_squash(packet)
-            return packet
-        if self.obs_q.peek_visible(now) is None:
-            return None
-        return self.obs_q.pop(now)
-
-    def return_pop(self, now: int):
-        if self.retq.peek_visible(now) is None:
-            return None
-        return self.retq.pop(now)
-
-    def pred_can_push(self) -> bool:
-        # Occupancy is evaluated at the packet's pipe-exit time by push();
-        # here just bound the total in-flight stream.
-        return self.fetch_agent.pending_count() < self.params.queue_size * 4
-
-    def pred_push(self, taken: bool, ready: int, tag: str) -> bool:
-        if self.injector is not None:
-            delivered, taken = self.injector.on_pred(taken)
-            if not delivered:
-                return True  # lost in transit: the component saw success
-        if not self.fetch_agent.can_push(ready):
-            return False
-        return self.fetch_agent.push(taken, ready, tag)
-
-    def pred_new_call(self) -> None:
-        self.fetch_agent.new_call()
-
-    def load_can_push(self) -> bool:
-        return self.intq_is.can_push()
-
-    def load_push(self, packet, ready: int) -> bool:
-        if self.injector is not None:
-            packets = self.injector.on_load(packet)
-            if not packets:
-                return True  # lost in transit: the component saw success
-            if not self.intq_is.can_push():
-                return False
-            self.intq_is.push(ready, packets[0])
-            for dup in packets[1:]:
-                if self.intq_is.can_push():  # a full queue sheds the dup
-                    self.intq_is.push(ready, dup)
-                else:
-                    self.intq_is.note_reject(ready)
-            return True
-        if not self.intq_is.can_push():
-            return False
-        self.intq_is.push(ready, packet)
-        return True
-
-    # ------------------------------------------------------------------ #
-    # context isolation (Section 2.4)
-    # ------------------------------------------------------------------ #
-
-    def _flush_inflight(self, now: int) -> int:
-        """Flush every queue and in-flight token; returns packets dropped.
-
-        Shared by :meth:`deprogram` and the reconfiguration drain: nothing
-        in flight — ObsQ packets, pending predictions and their fallback
-        debt, MLB fills, un-flushed load returns, queued squash-done
-        tokens — may leak into the next program's queues.
-        """
-        dropped = self.obs_q.clear(now)
-        dropped += self.intq_is.clear(now)
-        dropped += self.retq.clear(now)
-        dropped += self.fetch_agent.reset()
-        dropped += self.load_agent.reset()
-        dropped += len(self._pending_squashes)
-        self._pending_squashes.clear()
-        return dropped
-
-    def deprogram(self, now: int) -> None:
-        """Remove the context's component from RF and the Agents.
-
-        Section 2.4: "The system must not allow one context's custom
-        component in RF to observe another context in the core.  This can
-        be enforced by removing a context's custom component from RF and
-        the Agents when that context is swapped out."  Every queue is
-        flushed (nothing may be observed later) and the fabric disables
-        until :meth:`reprogram`.
-        """
-        self.enabled = False
-        self.roi_active = False
-        self.roi_fetch_active = False
-        self.last_roi_value = None
-        self._flush_inflight(now)
-
-    def reprogram(self, now: int) -> None:
-        """Re-synthesize the component when the context is swapped back in.
-
-        The configuration bitstream rebuilds the component from scratch —
-        no state survives a context switch (that is the isolation
-        guarantee).  The ROI must be re-entered before the component
-        intervenes again.
-        """
-        self.component = rebuild_component(
-            self.bitstream,
-            self.timings,
-            self.load_agent._memory,
-            self.params.component_overrides,
-        )
-        self.rf_cycle = max(self.rf_cycle, now // self.timings.clk_ratio)
-        self.enabled = True
-
-    # ------------------------------------------------------------------ #
-    # self-healing reconfiguration (repro.pfm.reconfig)
+    # single-tenant compatibility surface (delegates to the primary slot)
     # ------------------------------------------------------------------ #
 
     @property
+    def component(self) -> Any:
+        return self._slot0.component
+
+    @component.setter
+    def component(self, value: Any) -> None:
+        self._slot0.component = value
+
+    @property
+    def enabled(self) -> bool:
+        return self._slot0.enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._slot0.enabled = value
+
+    @property
+    def roi_active(self) -> bool:
+        if self._single:
+            return self._slot0.roi_active
+        return any(s.roi_active for s in self.slots)
+
+    @roi_active.setter
+    def roi_active(self, value: bool) -> None:
+        self._slot0.roi_active = value
+
+    @property
+    def roi_fetch_active(self) -> bool:
+        if self._single:
+            return self._slot0.roi_fetch_active
+        return any(s.roi_fetch_active for s in self.slots)
+
+    @roi_fetch_active.setter
+    def roi_fetch_active(self, value: bool) -> None:
+        self._slot0.roi_fetch_active = value
+
+    @property
+    def timings(self) -> Any:
+        return self._slot0.timings
+
+    @property
+    def rf_cycle(self) -> int:
+        return self._slot0.rf_cycle
+
+    @property
+    def obs_q(self) -> Any:
+        return self._slot0.obs_q
+
+    @property
+    def intq_is(self) -> Any:
+        return self._slot0.intq_is
+
+    @property
+    def retq(self) -> Any:
+        return self._slot0.retq
+
+    @property
+    def fetch_agent(self) -> Any:
+        return self._slot0.fetch_agent
+
+    @property
+    def retire_agent(self) -> Any:
+        return self._slot0.retire_agent
+
+    @property
+    def load_agent(self) -> Any:
+        return self._slot0.load_agent
+
+    @property
+    def watchdog(self) -> Any:
+        return self._slot0.watchdog
+
+    @property
+    def injector(self) -> Any:
+        return self._slot0.injector
+
+    @property
+    def reconfig(self) -> Any:
+        return self._slot0.reconfig
+
+    @property
+    def call_marker_pcs(self) -> frozenset[int]:
+        return self._slot0.call_marker_pcs
+
+    @property
+    def squashes_signalled(self) -> int:
+        if self._single:
+            return self._slot0.squashes_signalled
+        return sum(s.squashes_signalled for s in self.slots)
+
+    @property
+    def obs_dropped(self) -> int:
+        if self._single:
+            return self._slot0.obs_dropped
+        return sum(s.obs_dropped for s in self.slots)
+
+    @property
+    def last_roi_value(self) -> Any:
+        return self._slot0.last_roi_value
+
+    @property
+    def _pending_squashes(self) -> list[int]:
+        return self._slot0._pending_squashes
+
+    @property
+    def probe(self) -> Any:
+        return self._slot0.probe
+
+    @probe.setter
+    def probe(self, value: Any) -> None:
+        for slot in self.slots:
+            slot.probe = value
+
+    @property
     def state(self) -> str:
-        """Fabric lifecycle state name ("active", "disabled", ...)."""
-        if self.reconfig is not None:
-            return self.reconfig.state.value
-        return "active" if self.enabled else "disabled"
+        """Primary tenant's lifecycle state ("active", "disabled", ...)."""
+        return self._slot0.state
 
-    def rearm_roi(self, now: int, roi_value) -> None:
-        """Replay the ROI-begin snoop to a freshly loaded component.
+    def predict(self, fst_tag: str, fetch_time: int) -> tuple[bool, int] | None:
+        """Tag-addressed prediction on the primary slot (compat path)."""
+        return self._slot0.predict_entry(fst_tag, fetch_time)
 
-        ROI markers retire once per run (astar enters its fill loop a
-        single time), so a hot-swapped component would otherwise wait
-        forever for an ROI_BEGIN that never comes.  The recorded begin
-        value is replayed through the normal observation path — the
-        replacement arms itself exactly the way the original did.
-        """
-        self.roi_active = True
-        self.roi_fetch_active = True
-        packet = ObsPacket(
-            kind=SnoopKind.ROI_BEGIN, tag="roi", pc=0, value=roi_value
-        )
-        self._obs_push_one(packet, now, droppable=False)
+    def advance_to(self, core_time: int) -> None:
+        """Run every slot's RF cycles ending at or before *core_time*."""
+        if self._single:
+            self._slot0.advance_to(core_time)
+            return
+        for slot in self.slots:
+            slot.advance_to(core_time)
+
+    def obs_peek(self, now: int) -> Any:
+        return self._slot0.obs_peek(now)
+
+    def obs_pop(self, now: int) -> Any:
+        return self._slot0.obs_pop(now)
+
+    def rearm_roi(self, now: int, roi_value: Any) -> None:
+        self._slot0.rearm_roi(now, roi_value)
+
+    def deprogram(self, now: int) -> None:
+        """Context switch out: every tenant's component leaves RF (§2.4)."""
+        for slot in self.slots:
+            slot.deprogram(now)
+
+    def reprogram(self, now: int) -> None:
+        """Context switch back in: re-synthesize every tenant's component."""
+        for slot in self.slots:
+            slot.reprogram(now)
 
     # ------------------------------------------------------------------ #
+    # finalize-time aggregates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fetch_stall_cycles(self) -> int:
+        return sum(s.fetch_agent.stall_cycles for s in self.slots)
+
+    @property
+    def port_delay_cycles(self) -> int:
+        return sum(s.retire_agent.port_delay_cycles for s in self.slots)
+
+    def watchdog_counters(self) -> dict[str, int]:
+        """Watchdog counters summed across every slot's watchdog."""
+        totals: dict[str, int] = {}
+        for slot in self.slots:
+            for key, value in slot.watchdog.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def reconfig_totals(self) -> dict[str, int] | None:
+        """Reconfiguration counters summed across slots with recovery
+        policies, or None when no slot carries one."""
+        controllers = [s.reconfig for s in self.slots if s.reconfig is not None]
+        if not controllers:
+            return None
+        return {
+            "reconfigs": sum(rc.reconfigs for rc in controllers),
+            "reconfig_cycles": sum(rc.reconfig_cycles for rc in controllers),
+            "reloads_abandoned": sum(rc.reloads_abandoned for rc in controllers),
+            "drain_stall_cycles": sum(rc.drain_stall_cycles for rc in controllers),
+        }
 
     def queue_stats(self) -> dict[str, dict[str, int]]:
-        """Per-queue counter summaries for all four fabric queues.
-
-        IntQ-F lives inside the Fetch Agent (predictions carry ready
-        times through the delay pipeline rather than a TimedQueue), so
-        its summary comes from the agent; ObsQ-R additionally reports the
-        observation packets the Retire Agent shed on back-pressure.
-        """
-        stats = {
-            q.name: q.stats() for q in (self.obs_q, self.intq_is, self.retq)
-        }
-        stats["ObsQ-R"]["dropped"] = self.obs_dropped
-        stats["IntQ-F"] = self.fetch_agent.stats()
+        """Per-queue counter summaries for every slot's fabric queues."""
+        stats: dict[str, dict[str, int]] = {}
+        for slot in self.slots:
+            stats.update(slot.queue_stats())
         return stats
+
+    def tenant_stats(self) -> dict[str, dict[str, int]]:
+        """Per-tenant counter snapshots, keyed ``<slot>:<tenant>``."""
+        return {
+            f"{slot.index}:{slot.tenant}": slot.tenant_stats()
+            for slot in self.slots
+        }

@@ -42,7 +42,7 @@ class TimedQueue:
     """
 
     __slots__ = (
-        "name", "capacity", "crossing_latency", "monotonic_push",
+        "name", "owner", "capacity", "crossing_latency", "monotonic_push",
         "_entries", "_pop_times", "_last_push_time",
         "pushes", "pops", "push_backpressure", "max_occupancy",
         "full_rejects", "probe",
@@ -54,10 +54,15 @@ class TimedQueue:
         capacity: int,
         crossing_latency: int = 0,
         monotonic_push: bool = False,
+        owner: str = "",
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.name = name
+        #: Owning subsystem label ("slot0:astar-bp", ...) threaded into
+        #: every diagnostic so multi-tenant invariant failures name the
+        #: queue's owner, not just the queue.
+        self.owner = owner
         self.capacity = capacity
         self.crossing_latency = crossing_latency
         self.monotonic_push = monotonic_push
@@ -78,6 +83,12 @@ class TimedQueue:
 
     # ------------------------------------------------------------------ #
 
+    def _who(self) -> str:
+        """Diagnostic identity: queue name plus owner when labelled."""
+        if self.owner:
+            return f"{self.name}[{self.owner}]"
+        return self.name
+
     @property
     def occupancy(self) -> int:
         return len(self._entries)
@@ -95,19 +106,21 @@ class TimedQueue:
         if len(self._entries) < self.capacity:
             return now
         if not self._pop_times:
-            raise QueueFullError(f"{self.name}: full and consumer never popped")
+            raise QueueFullError(
+                f"{self._who()}: full and consumer never popped"
+            )
         return max(now, self._pop_times[0])
 
     def push(self, now: int, item) -> int:
         """Push at time *now*; return the effective push time."""
         if len(self._entries) >= self.capacity:
             self.push_backpressure += 1
-            raise QueueFullError(f"{self.name}: push while full")
+            raise QueueFullError(f"{self._who()}: push while full")
         if __debug__ and self.monotonic_push:
             last = self._last_push_time
             if last is not None and now < last:
                 raise QueueInvariantError(
-                    f"{self.name}: non-monotonic push at t={now} after a "
+                    f"{self._who()}: non-monotonic push at t={now} after a "
                     f"push at t={last} (producer pipeline exit times must "
                     f"be nondecreasing)"
                 )
@@ -147,14 +160,14 @@ class TimedQueue:
         """Pop the head entry at time *now* (must be visible)."""
         if not self._entries:
             raise QueueInvariantError(
-                f"{self.name}: pop from empty queue at t={now} "
+                f"{self._who()}: pop from empty queue at t={now} "
                 f"(pushes={self.pushes}, pops={self.pops}); consumer must "
                 f"peek_visible before popping"
             )
         visible_time, item = self._entries[0]
         if visible_time > now:
             raise QueueInvariantError(
-                f"{self.name}: pop at t={now} but head not visible until "
+                f"{self._who()}: pop at t={now} but head not visible until "
                 f"t={visible_time} (crossing_latency={self.crossing_latency}); "
                 f"consumer clock ran ahead of the synchronizer"
             )

@@ -49,7 +49,7 @@ from repro.registry.components import rebuild_component
 
 if TYPE_CHECKING:
     from repro.core.watchdog import RecoveryPolicy
-    from repro.pfm.fabric import PFMFabric
+    from repro.pfm.tenancy import FabricSlot
 
 
 class FabricState(enum.Enum):
@@ -63,7 +63,11 @@ class FabricState(enum.Enum):
 
 
 class ReconfigController:
-    """Drives quiesce/drain/hot-swap/resume for one fabric.
+    """Drives quiesce/drain/hot-swap/resume for one fabric slot.
+
+    Per-slot by construction: the controller only ever touches its own
+    slot's queues, agents, and component, so one tenant's recovery never
+    drains a healthy neighbour.
 
     Reloads run synchronously inside the triggering call (the one-pass
     timestamp-domain engine has no event loop to defer to); the *cost* is
@@ -72,7 +76,7 @@ class ReconfigController:
     the bitstream "loads".
     """
 
-    def __init__(self, fabric: "PFMFabric", policy: "RecoveryPolicy"):
+    def __init__(self, fabric: "FabricSlot", policy: "RecoveryPolicy"):
         self.fabric = fabric
         self.policy = policy
         self.state = FabricState.ACTIVE

@@ -41,6 +41,13 @@ from repro.registry.prefetchers import (
     prefetcher_names,
     register_prefetcher,
 )
+from repro.registry.tenants import (
+    TENANT_LAYOUTS,
+    build_tenant_bitstream,
+    register_tenant_layout,
+    resolve_tenant_layout,
+    tenant_layout_names,
+)
 from repro.registry.service import (
     SERVICE_KINDS,
     register_request_kind,
@@ -84,4 +91,9 @@ __all__ = [
     "register_request_kind",
     "resolve_request_kind",
     "request_kind_names",
+    "TENANT_LAYOUTS",
+    "register_tenant_layout",
+    "resolve_tenant_layout",
+    "tenant_layout_names",
+    "build_tenant_bitstream",
 ]

@@ -28,6 +28,7 @@ COMPONENTS: Registry[ComponentFactory] = Registry(
         "repro.pfm.components.bfs_engine",
         "repro.pfm.components.prefetchers",
         "repro.pfm.components.template",
+        "repro.pfm.components.introspect",
     ),
 )
 

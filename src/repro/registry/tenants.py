@@ -1,0 +1,53 @@
+"""The tenant-layout registry: layout name -> co-tenant bitstream builder.
+
+A tenant layout synthesizes the configuration bitstream for a co-resident
+fabric tenant (:mod:`repro.pfm.tenancy`) *from the primary tenant's
+bitstream*: an observe-only introspection tenant, for example, mirrors
+the primary's Retire Snoop Table so it sees the same retired stream
+without programming any fetch-side overrides.  Layouts are referenced by
+name through the ``--tenant name[:priority]`` CLI surface and
+``TenantSpec.component``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.registry.base import Registry
+
+if TYPE_CHECKING:
+    from repro.pfm.snoop import Bitstream
+    from repro.pfm.tenancy import TenantSpec
+
+TenantLayout = Callable[["Bitstream", "TenantSpec"], "Bitstream"]
+
+TENANT_LAYOUTS: Registry[TenantLayout] = Registry(
+    "tenant layout",
+    autoload=("repro.pfm.components.introspect",),
+)
+
+
+def register_tenant_layout(name: str) -> Callable[[TenantLayout], TenantLayout]:
+    """Decorator: register a co-tenant bitstream builder under *name*."""
+    return TENANT_LAYOUTS.register(name)
+
+
+def resolve_tenant_layout(name: str) -> TenantLayout:
+    return TENANT_LAYOUTS.get(name)
+
+
+def tenant_layout_names() -> tuple[str, ...]:
+    return TENANT_LAYOUTS.names()
+
+
+def build_tenant_bitstream(
+    spec: "TenantSpec", primary: "Bitstream"
+) -> "Bitstream":
+    """Synthesize the bitstream for one co-tenant slot.
+
+    The layout named by ``spec.component`` is applied to the primary
+    tenant's bitstream; unknown layout names raise the registry's
+    :class:`~repro.registry.base.UnknownNameError` listing every valid
+    layout.
+    """
+    return resolve_tenant_layout(spec.component)(primary, spec)

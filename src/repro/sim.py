@@ -89,6 +89,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="dynamic instructions to simulate")
     parser.add_argument("--pfm", metavar="CONFIG", default=None,
                         help='PFM parameters, e.g. "clk4_w4, delay4, portLS1"')
+    parser.add_argument("--tenant", metavar="LAYOUT[:PRIO]", action="append",
+                        default=[], dest="tenants",
+                        help="co-resident fabric tenant (repeatable), e.g."
+                             " introspect or branch-mirror:background;"
+                             " requires --pfm")
     parser.add_argument("--perfect-bp", action="store_true",
                         help="idealize branch prediction")
     parser.add_argument("--perfect-dcache", action="store_true",
@@ -113,6 +118,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     pfm = parse_config_label(args.pfm) if args.pfm else None
+    if args.tenants:
+        if pfm is None:
+            parser.error("--tenant requires --pfm (co-tenants share the"
+                         " primary tenant's fabric)")
+        from dataclasses import replace
+
+        from repro.pfm.tenancy import parse_tenant_spec
+
+        try:
+            specs = tuple(parse_tenant_spec(t) for t in args.tenants)
+        except ValueError as exc:
+            parser.error(str(exc))
+        pfm = replace(pfm, tenants=specs)
     if args.backend != "auto":
         # Also reaches SweepPool workers (auto-selecting runs consult
         # $REPRO_BACKEND; see repro.backends.resolve_backend).

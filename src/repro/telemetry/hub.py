@@ -98,31 +98,52 @@ class TelemetryHub:
     # ------------------------------------------------------------------ #
 
     def attach_fabric(self, fabric) -> None:
-        """Attach probes and samplers to a built :class:`PFMFabric`."""
-        if self._queue:
-            for q in (fabric.obs_q, fabric.intq_is, fabric.retq):
-                q.probe = self
-        if self._agent or self._queue:
-            fabric.probe = self
-            fabric.fetch_agent.probe = self
-            fabric.load_agent.probe = self
-            fabric.retire_agent.probe = self
+        """Attach probes and samplers to a built :class:`PFMFabric`.
+
+        Wires every fabric slot: slot 0 (the primary tenant) keeps the
+        historical track names, co-tenant slot *i* gets an ``@i`` suffix
+        (``occ:ObsQ-R@1``, ``clkC@1``, ...) so per-slot occupancy is
+        attributable in traces.
+        """
         samplers = self.samplers
-        samplers.register("occ:ObsQ-R", lambda now: fabric.obs_q.occupancy)
-        samplers.register(
-            "occ:IntQ-F", lambda now: fabric.fetch_agent.occupancy_at(now)
-        )
-        samplers.register("occ:IntQ-IS", lambda now: fabric.intq_is.occupancy)
-        samplers.register("occ:ObsQ-EX", lambda now: fabric.retq.occupancy)
-        samplers.register("occ:MLB", lambda now: fabric.load_agent.mlb_occupancy)
-        samplers.register(
-            "prf_port_delay",
-            lambda now: fabric.retire_agent.port_delay_cycles,
-        )
-        samplers.register("clkC", lambda now: fabric.rf_cycle)
-        if fabric.reconfig is not None:
+        for slot in fabric.slots:
+            if self._queue:
+                for q in (slot.obs_q, slot.intq_is, slot.retq):
+                    q.probe = self
+            if self._agent or self._queue:
+                slot.probe = self
+                slot.fetch_agent.probe = self
+                slot.load_agent.probe = self
+                slot.retire_agent.probe = self
+            tag = "" if slot.index == 0 else f"@{slot.index}"
             samplers.register(
-                "reconfigs", lambda now: fabric.reconfig.reconfigs
+                f"occ:ObsQ-R{tag}", lambda now, s=slot: s.obs_q.occupancy
+            )
+            samplers.register(
+                f"occ:IntQ-F{tag}",
+                lambda now, s=slot: s.fetch_agent.occupancy_at(now),
+            )
+            samplers.register(
+                f"occ:IntQ-IS{tag}", lambda now, s=slot: s.intq_is.occupancy
+            )
+            samplers.register(
+                f"occ:ObsQ-EX{tag}", lambda now, s=slot: s.retq.occupancy
+            )
+            samplers.register(
+                f"occ:MLB{tag}", lambda now, s=slot: s.load_agent.mlb_occupancy
+            )
+            samplers.register(
+                f"prf_port_delay{tag}",
+                lambda now, s=slot: s.retire_agent.port_delay_cycles,
+            )
+            samplers.register(f"clkC{tag}", lambda now, s=slot: s.rf_cycle)
+            if slot.reconfig is not None:
+                samplers.register(
+                    f"reconfigs{tag}", lambda now, s=slot: s.reconfig.reconfigs
+                )
+        if len(fabric.slots) > 1:
+            samplers.register(
+                "sched:stalls", lambda now: fabric.scheduler.stall_cycles
             )
 
     # ------------------------------------------------------------------ #
