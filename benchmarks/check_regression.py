@@ -98,14 +98,21 @@ def compare(
             f" -> {current[name] * 1000:8.1f}ms  {delta:+7.1%}{flag}"
         )
 
-    # Per-backend medians: the numpy replay entries ride a different
-    # code path than the reference engine, so a vectorization regression
-    # can hide inside an overall-median pass.  Group by engine (numpy
-    # benchmarks carry "numpy" in their name) and report each group's
-    # median normalized ratio alongside the per-benchmark rows.
+    # Per-group medians: the numpy replay entries ride a different code
+    # path than the reference engine, and the result-store sweeps measure
+    # store I/O rather than the cycle model — a regression in either can
+    # hide inside an overall-median pass.  Group by path (numpy
+    # benchmarks carry "numpy" in their name, store benchmarks "_store")
+    # and report each group's median normalized ratio alongside the
+    # per-benchmark rows.
     by_backend: dict[str, list[float]] = {}
     for name in shared:
-        backend = "numpy" if "numpy" in name else "python"
+        if "numpy" in name:
+            backend = "numpy"
+        elif "_store" in name:
+            backend = "store"
+        else:
+            backend = "python"
         by_backend.setdefault(backend, []).append(
             ratios[name] / machine_factor
         )

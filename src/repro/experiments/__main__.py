@@ -12,9 +12,13 @@ Examples::
     python -m repro.experiments submit sweep --smoke --wait
 
 ``--jobs N`` fans each experiment's sweep points out over N worker
-processes; results are bit-identical to a serial run.  Baselines are
-cached under ``--cache-dir`` (default ``.repro-cache/``) and interrupted
-sweeps resume from a per-experiment checkpoint file there.
+processes; results are bit-identical to a serial run.  Completed points
+are published to a content-addressed result store under ``--cache-dir``
+(default ``.repro-cache/store/``) and interrupted sweeps resume from a
+per-experiment checkpoint file there.  ``sweep --shard i/n --store DIR``
+runs a deterministic slice of the grid on one host; ``shard-merge``
+unions the shard stores and renders a result set byte-identical to the
+single-host run (EXPERIMENTS.md "Distributed sweeps").
 """
 
 from __future__ import annotations
@@ -76,11 +80,12 @@ def _run_info(pool: SweepPool) -> str:
     info = pool.last_run_info or {}
     return (f"{info.get('computed', 0)} simulated,"
             f" {info.get('resumed', 0)} resumed,"
-            f" {info.get('cached', 0)} cached")
+            f" {info.get('cached', 0)} cached,"
+            f" {info.get('store_hits', 0)} from store")
 
 
 def make_pool(args, experiment: str, window: int) -> SweepPool:
-    """One pool per experiment: shared baseline cache, own checkpoint."""
+    """One pool per experiment: shared result store, own checkpoint."""
     cache_dir = None if args.no_cache else args.cache_dir
     checkpoint = None
     if cache_dir is not None:
@@ -94,6 +99,7 @@ def make_pool(args, experiment: str, window: int) -> SweepPool:
         cache_dir=cache_dir,
         checkpoint=checkpoint,
         fail_fast=args.fail_fast,
+        store=getattr(args, "store", None),
     )
 
 
@@ -129,17 +135,29 @@ def _cache_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments cache",
-        description="Inspect or clear the shared .repro-cache/ store.",
+        description="Inspect, clear, or garbage-collect .repro-cache/.",
     )
     parser.add_argument(
-        "action", nargs="?", default="list", choices=("list", "clear"),
-        help="list (default): report store contents; clear: delete"
-             " compiled traces (or the service job store with --jobs)",
+        "action", nargs="?", default="list", choices=("list", "clear", "gc"),
+        help="list (default): report per-section sizes; clear: delete"
+             " compiled traces (the result store with --store, the service"
+             " job store with --jobs); gc: evict least-recently-written"
+             " cache files until the total fits --max-bytes",
     )
     parser.add_argument(
         "--jobs", action="store_true",
         help="with 'clear': clear the service job store (journal, results,"
              " per-job checkpoints) instead of the compiled traces",
+    )
+    parser.add_argument(
+        "--store", action="store_true",
+        help="with 'clear': clear the content-addressed result store"
+             " instead of the compiled traces",
+    )
+    parser.add_argument(
+        "--max-bytes", metavar="SIZE", default=None,
+        help="with 'gc': byte budget for traces+baselines+store combined"
+             " (suffixes K/M/G, e.g. 200M); oldest files evicted first",
     )
     parser.add_argument(
         "--cache-dir",
@@ -150,6 +168,26 @@ def _cache_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     base = Path(args.cache_dir)
 
+    if args.action == "gc":
+        from repro.store import gc_cache, parse_size
+
+        if args.max_bytes is None:
+            parser.error("gc requires --max-bytes SIZE (e.g. --max-bytes 200M)")
+        try:
+            budget = parse_size(args.max_bytes)
+        except ValueError as exc:
+            parser.error(str(exc))
+        summary = gc_cache(base, budget)
+        for name, section in summary["sections"].items():
+            print(f"{name}: {section['files']} file(s),"
+                  f" {_fmt_bytes(section['bytes'])} -> evicted"
+                  f" {section['evicted_files']} file(s),"
+                  f" {_fmt_bytes(section['evicted_bytes'])}")
+        print(f"total {_fmt_bytes(summary['total_bytes'])} -> kept"
+              f" {_fmt_bytes(summary['kept_bytes'])}"
+              f" (budget {_fmt_bytes(budget)})")
+        return 0
+
     if args.action == "clear":
         if args.jobs:
             from repro.service import JobStore, jobs_dir
@@ -157,6 +195,14 @@ def _cache_main(argv: list[str]) -> int:
             removed, freed = JobStore(jobs_dir(base)).clear()
             print(f"removed {removed} job-store file(s), freed"
                   f" {_fmt_bytes(freed)} from {jobs_dir(base)}")
+            return 0
+        if args.store:
+            from repro.store import ResultStore, store_dir
+
+            store = ResultStore(store_dir(base))
+            removed, freed = store.clear()
+            print(f"removed {removed} result-store entr{'y' if removed == 1 else 'ies'},"
+                  f" freed {_fmt_bytes(freed)} from {store.directory}")
             return 0
         removed, freed = tracecache.clear_traces(base)
         print(f"removed {removed} compiled trace(s), freed {_fmt_bytes(freed)}"
@@ -179,14 +225,101 @@ def _cache_main(argv: list[str]) -> int:
             print(f"  {entry['path'].name}  {_fmt_bytes(entry['size_bytes'])}"
                   f"  (unreadable — will be recompiled on next use)")
     print(f"  total: {len(entries)} file(s), {_fmt_bytes(total)}")
+    grand_total = total
     for label, sub in (("baselines", "baselines"), ("checkpoints", "checkpoints")):
         files, size = _dir_size(base / sub)
+        grand_total += size
         print(f"{label}: {files} file(s), {_fmt_bytes(size)}")
+    from repro.store import ResultStore, store_dir
+
+    store = ResultStore(store_dir(base))
+    store_count, store_bytes = len(store), store.size_bytes()
+    grand_total += store_bytes
+    print(f"result store ({store.directory}): {store_count}"
+          f" entr{'y' if store_count == 1 else 'ies'},"
+          f" {_fmt_bytes(store_bytes)}"
+          f"  (evict with 'cache gc --max-bytes SIZE')")
     from repro.service import jobs_dir
 
     files, size = _dir_size(jobs_dir(base))
+    grand_total += size
     print(f"service jobs: {files} file(s), {_fmt_bytes(size)}"
           f"  (clear with 'cache clear --jobs')")
+    print(f"total cache footprint: {_fmt_bytes(grand_total)}")
+    return 0
+
+
+def _shard_merge_main(argv: list[str]) -> int:
+    """The ``shard-merge`` subcommand: union shard stores, render the grid.
+
+    N hosts each ran ``sweep --shard i/N --store DIR-i``; this unions
+    their stores into ``--store OUT`` and (with ``--json``) renders the
+    *full* sweep grid from the merged store — every point a store hit,
+    output byte-identical to a single-host ``sweep --json`` run.  Points
+    missing from every shard (a shard died) are computed and published,
+    so the merge also repairs partial fleets.
+    """
+    from repro.store import ResultStore
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments shard-merge",
+        description="Union shard result stores and render the full sweep.",
+    )
+    parser.add_argument(
+        "sources", nargs="+", metavar="STORE",
+        help="shard store directories to merge (in order; first value"
+             " wins on byte conflicts)",
+    )
+    parser.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="destination store directory (created if missing)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="render the full sweep grid from the merged store to FILE"
+             " (byte-identical to a single-host 'sweep --json')",
+    )
+    parser.add_argument(
+        "--window", type=int, default=None,
+        help=f"grid window for --json (default {DEFAULT_WINDOW};"
+             f" {sweep_module.SMOKE_WINDOW} under --smoke) — must match"
+             f" the shard runs",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="render the --smoke grid (must match the shard runs)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for any points missing from every shard",
+    )
+    args = parser.parse_args(argv)
+
+    merged = ResultStore(args.store)
+    totals = {"added": 0, "identical": 0, "conflicts": 0, "invalid": 0}
+    for source in args.sources:
+        summary = merged.merge_from(source)
+        for field in totals:
+            totals[field] += summary[field]
+        print(f"merged {source}: {summary['added']} added,"
+              f" {summary['identical']} identical,"
+              f" {summary['conflicts']} conflict(s) kept ours,"
+              f" {summary['invalid']} invalid skipped")
+    count = len(merged)
+    print(f"store {merged.directory}: {count}"
+          f" entr{'y' if count == 1 else 'ies'},"
+          f" {_fmt_bytes(merged.size_bytes())}")
+
+    if args.json:
+        window = args.window or (
+            sweep_module.SMOKE_WINDOW if args.smoke else DEFAULT_WINDOW
+        )
+        pool = SweepPool(jobs=args.jobs, store=merged)
+        result, payload = sweep_module.run_sweep(window, pool)
+        Path(args.json).write_text(sweep_module.payload_json(payload))
+        print(result.render())
+        print(f"   [jobs={args.jobs}, {_run_info(pool)}]")
+        print(f"raw stats written to {args.json}")
     return 0
 
 
@@ -203,6 +336,8 @@ def main(argv: list[str] | None = None) -> int:
             return service_main(argv)
         if argv[0] == "cache":
             return _cache_main(argv[1:])
+        if argv[0] == "shard-merge":
+            return _shard_merge_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -257,13 +392,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-dir",
         default=os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR),
-        help=f"baseline cache + checkpoint directory"
+        help=f"result store + checkpoint directory"
              f" (default ${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the on-disk baseline cache and checkpointing",
+        help="disable the on-disk result store and checkpointing",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result store directory (default"
+             " <cache-dir>/store); shard runs point each invocation at"
+             " its own store, merged later with 'shard-merge'",
+    )
+    parser.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help="run only the deterministic 1-based shard I of N of the"
+             " sweep grid, publishing results into the store"
+             " (sweep or bare --smoke only; see 'shard-merge')",
     )
     parser.add_argument(
         "--fail-fast",
@@ -372,6 +523,45 @@ def main(argv: list[str] | None = None) -> int:
             + "/trace; alone it runs the full-matrix sweep"
         )
 
+    shard = None
+    if args.shard is not None:
+        if args.experiment not in (None, "sweep"):
+            parser.error(
+                "--shard combines only with the sweep experiment"
+                " (or bare --smoke)"
+            )
+        if tenant_specs:
+            parser.error("--shard does not combine with --tenant")
+        from repro.store import parse_shard
+
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    if shard is not None:
+        window = args.window or (
+            sweep_module.SMOKE_WINDOW if args.smoke else DEFAULT_WINDOW
+        )
+        index, count = shard
+        pool = make_pool(args, f"sweep-shard{index}of{count}", window)
+        if pool.store is None:
+            parser.error(
+                "--shard needs a result store: pass --store DIR or drop"
+                " --no-cache"
+            )
+        started = time.time()
+        payload = sweep_module.run_sweep_shard(window, pool, shard)
+        print(f"shard {index}/{count}: ran {payload['points_selected']} of"
+              f" {payload['points_total']} grid points into"
+              f" {pool.store.directory}")
+        print(f"   [{time.time() - started:.1f}s, jobs={args.jobs},"
+              f" {_run_info(pool)}]")
+        if args.json:
+            Path(args.json).write_text(sweep_module.payload_json(payload))
+            print(f"shard summary written to {args.json}")
+        return 0
+
     if args.experiment == "list":
         from repro.registry import (
             SERVICE_KINDS,
@@ -389,7 +579,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         print("  trace  (telemetry trace of one workload; see --perfetto)")
         print("  shape  (aggregate shape-agreement metrics)")
-        print("  cache  (inspect/clear the compiled-trace store)")
+        print("  cache  (inspect/clear/gc the on-disk caches)")
+        print("  shard-merge  (union shard result stores; see --shard)")
         print("  serve / submit / status / result / cancel / stats"
               "  (simulation service; see repro.service)")
         for title, names in (

@@ -14,10 +14,13 @@ Three properties the harness guarantees:
   results are bit-identical regardless of worker count or scheduling
   order.  ``tests/test_determinism.py`` and the golden snapshots under
   ``tests/goldens/`` enforce this.
-* **Baseline reuse** — plain-core points are content-addressed by
-  ``(workload, window, config-hash)`` and persisted under the cache
-  directory (CLI default ``.repro-cache/``), so concurrent workers and
-  later invocations never rerun a baseline they have already paid for.
+* **Result reuse** — every completed point (baseline, PFM, oracle,
+  telemetry alike) is published to a content-addressed
+  :class:`~repro.store.ResultStore` under the cache directory (CLI
+  default ``.repro-cache/store/``) and every requested point is looked
+  up there first, so concurrent workers, later invocations, resident
+  daemons, and merged stores from other hosts never rerun a point
+  anyone has already paid for.
 * **Checkpoint/resume** — with a checkpoint path set, every finished
   point is appended to a JSONL file as it completes; a re-invocation of
   an interrupted sweep replays the file and only computes the remainder.
@@ -46,6 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core import PFMParams, SimConfig, SimStats, simulate
+from repro.store import ResultStore, store_dir
 from repro.telemetry import TelemetryParams
 from repro.workloads.tracecache import (
     CACHE_DIR_ENV,
@@ -107,8 +111,7 @@ class SweepPoint:
             and self.telemetry is None
         )
 
-    def config_key(self) -> str:
-        """Content hash of the run configuration (label excluded)."""
+    def _config_spec(self) -> dict:
         spec = {
             "workload": self.workload,
             "window": self.window,
@@ -122,12 +125,33 @@ class SweepPoint:
         if self.telemetry is not None:
             # Added only when set so pre-existing cache keys still match.
             spec["telemetry"] = dataclasses.asdict(self.telemetry)
-        digest = hashlib.sha256(_canonical_bytes(spec))
+        return spec
+
+    def config_key(self) -> str:
+        """Content hash of the run configuration (label excluded)."""
+        digest = hashlib.sha256(_canonical_bytes(self._config_spec()))
         return digest.hexdigest()[:16]
 
     def key(self) -> str:
-        """Stable identity used by the baseline cache and checkpoints."""
+        """Stable identity used by the memory memo and checkpoints."""
         return f"{self.workload}-w{self.window}-{self.config_key()}"
+
+    def store_key(self) -> str:
+        """Full content address for the shared result store.
+
+        Extends the :meth:`config_key` spec with the workload's
+        ``trace_key`` — the content hash of its compiled instruction
+        stream — so editing a workload builder silently invalidates
+        every dependent store entry, on every host.  The execution
+        backend is deliberately *not* part of the key: results are
+        byte-identical across backends by construction
+        (``tests/test_backend_equivalence.py`` pins that contract).
+        """
+        from repro.store import trace_key_for
+
+        spec = self._config_spec()
+        spec["trace_key"] = trace_key_for(self.workload, self.overrides)
+        return hashlib.sha256(_canonical_bytes(spec)).hexdigest()
 
 
 # Canonical spec encoding is shared with the trace cache so sweep-point
@@ -212,11 +236,15 @@ class SweepPool:
     collected as they complete but always keyed by label, so callers
     see an order-independent mapping.
 
-    ``cache_dir=None`` keeps the baseline cache purely in-memory (the
-    default for library use, e.g. under pytest); pass a directory (the
-    CLI passes ``.repro-cache``) to persist baselines across processes
-    and invocations.  ``checkpoint`` names a JSONL file recording each
-    finished point for crash recovery.
+    ``cache_dir=None`` keeps result reuse purely in-memory (the default
+    for library use, e.g. under pytest); pass a directory (the CLI
+    passes ``.repro-cache``) to attach a content-addressed
+    :class:`~repro.store.ResultStore` under ``<cache_dir>/store/`` that
+    persists *every* completed point across processes, invocations, and
+    hosts.  Pass ``store`` explicitly (a :class:`ResultStore` or a
+    directory) to share one store between pools or point several
+    shard runs at separate stores.  ``checkpoint`` names a JSONL file
+    recording each finished point for crash recovery.
     """
 
     def __init__(
@@ -228,6 +256,7 @@ class SweepPool:
         retry_backoff: float = 0.5,
         fail_fast: bool = False,
         memoize_all: bool = False,
+        store: ResultStore | str | os.PathLike | None = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -241,55 +270,71 @@ class SweepPool:
         self.retries = 0 if fail_fast else retries
         self.retry_backoff = retry_backoff
         self.fail_fast = fail_fast
+        if store is None and self.cache_dir is not None:
+            store = store_dir(self.cache_dir)
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        #: Content-addressed disk store serving *all* point kinds, or
+        #: ``None`` for memory-only pools.
+        self.store: ResultStore | None = store
         #: With ``memoize_all`` the in-memory cache serves *every* point
         #: kind, not just plain baselines — sound because all points are
         #: deterministic functions of their key.  The resident service
         #: turns this on over a shared cache dict so repeated identical
-        #: requests (PFM configs included) are pure cache hits; the
-        #: on-disk cache stays baselines-only either way.
+        #: requests (PFM configs included) are pure cache hits without
+        #: paying a store-key workload build.
         self.memoize_all = memoize_all
         self._memory_cache: dict[str, SimStats] = {}
-        #: Accounting for the most recent run(): how many distinct points
-        #: were computed vs replayed from checkpoint vs served from cache.
+        self._store_keys: dict[str, str] = {}
+        #: Accounting for the most recent run(): distinct points computed
+        #: vs replayed from checkpoint vs served from the memory memo vs
+        #: served from the result store.
         self.last_run_info: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
-    # baseline cache
+    # result store + memory memo
     # ------------------------------------------------------------------ #
 
-    def _baseline_path(self, point: SweepPoint) -> Path | None:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / "baselines" / f"{point.key()}.json"
-
-    def _cached_baseline(self, point: SweepPoint) -> SimStats | None:
-        if not (point.is_baseline or self.memoize_all):
-            return None
+    def _store_key(self, point: SweepPoint) -> str:
+        """Store address for *point*, memoized per pool (the digest pays
+        one workload build per distinct point, see ``store_key``)."""
         key = point.key()
-        if key in self._memory_cache:
-            return self._memory_cache[key]
-        if not point.is_baseline:
-            return None  # non-baselines are memory-only, never on disk
-        path = self._baseline_path(point)
-        if path is not None and path.exists():
-            stats = stats_from_dict(json.loads(path.read_text()))
-            self._memory_cache[key] = stats
-            return stats
-        return None
+        skey = self._store_keys.get(key)
+        if skey is None:
+            skey = point.store_key()
+            self._store_keys[key] = skey
+        return skey
 
-    def _store_baseline(self, point: SweepPoint, stats: SimStats) -> None:
+    def _remember(self, point: SweepPoint, stats: SimStats) -> None:
+        if point.is_baseline or self.memoize_all:
+            self._memory_cache[point.key()] = stats
+
+    def _cached_in_memory(self, point: SweepPoint) -> SimStats | None:
         if not (point.is_baseline or self.memoize_all):
+            return None
+        return self._memory_cache.get(point.key())
+
+    def _store_lookup(self, point: SweepPoint) -> SimStats | None:
+        if self.store is None:
+            return None
+        return self.store.get(self._store_key(point))
+
+    def _publish(self, point: SweepPoint, stats: SimStats,
+                 overwrite: bool = True) -> None:
+        if self.store is None:
             return
-        self._memory_cache[point.key()] = stats
-        if not point.is_baseline:
+        skey = self._store_key(point)
+        if not overwrite and skey in self.store:
             return
-        path = self._baseline_path(point)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(stats_to_dict(stats), sort_keys=True))
-        tmp.replace(path)  # atomic: concurrent writers agree on content
+        self.store.put(
+            skey,
+            stats,
+            meta={
+                "workload": point.workload,
+                "window": point.window,
+                "point_key": point.key(),
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # checkpointing
@@ -372,6 +417,7 @@ class SweepPool:
         finished = self._load_checkpoint()
         resumed = 0
         cached = 0
+        store_hits = 0
 
         pending: dict[str, SweepPoint] = {}  # key -> representative point
         waiting: dict[str, list[SweepPoint]] = {}  # key -> all points
@@ -383,17 +429,29 @@ class SweepPool:
                 continue
             seen.add(key)
             if key in finished:
+                # Checkpointed by an interrupted run: reuse, and publish
+                # to the store so the result outlives the checkpoint.
                 resumed += 1
-                self._memory_cache[key] = finished[key]
+                self._remember(point, finished[key])
+                self._publish(point, finished[key], overwrite=False)
                 continue
-            stats = self._cached_baseline(point)
-            if stats is None:
-                pending[key] = point
-            else:
+            stats = self._cached_in_memory(point)
+            if stats is not None:
                 cached += 1
+                continue
+            stats = self._store_lookup(point)
+            if stats is not None:
+                # Published by an earlier run, another worker, a daemon
+                # sharing the store, or a merged shard from another host.
+                store_hits += 1
+                self._remember(point, stats)
+                finished[key] = stats
+                continue
+            pending[key] = point
 
         def record(point: SweepPoint, stats: SimStats) -> None:
-            self._store_baseline(point, stats)
+            self._remember(point, stats)
+            self._publish(point, stats)
             self._append_checkpoint(point, stats)
             finished[point.key()] = stats
 
@@ -405,7 +463,7 @@ class SweepPool:
 
         self.last_run_info = {
             "computed": len(todo), "resumed": resumed, "cached": cached,
-            "failed": len(failures),
+            "store_hits": store_hits, "failed": len(failures),
         }
         if failures:
             # Successful points are already checkpointed; keep the file so

@@ -139,6 +139,71 @@ def payload_json(payload: dict) -> str:
     return json.dumps(payload, sort_keys=True, indent=2) + "\n"
 
 
+# --------------------------------------------------------------------- #
+# sharded sweeps
+# --------------------------------------------------------------------- #
+
+
+def shard_slice(
+    points: list[SweepPoint], shard: tuple[int, int]
+) -> list[SweepPoint]:
+    """The deterministic subset of *points* owned by shard ``(i, n)``.
+
+    Assignment hashes each point's key (see
+    :func:`repro.store.shard_of`), so it is independent of enumeration
+    order and host — N invocations of ``--shard i/N`` over the same grid
+    partition it exactly, with no point run twice and none missed.
+    """
+    from repro.store import shard_of
+
+    index, count = shard
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index must satisfy 1 <= {index} <= {count}")
+    return [p for p in points if shard_of(p.key(), count) == index]
+
+
+def run_sweep_shard(
+    window: int,
+    pool: SweepPool,
+    shard: tuple[int, int],
+    workloads: tuple[str, ...] = SWEEP_WORKLOADS,
+    configs: tuple[str, ...] = SWEEP_CONFIGS,
+) -> dict:
+    """Run one shard of the sweep grid, publishing into ``pool.store``.
+
+    The product of a shard run is its *store*, not a rendered table:
+    speedups need the same-workload baseline, which may be owned by a
+    different shard.  ``repro.experiments shard-merge`` unions the shard
+    stores and renders the full grid from them — byte-identical to a
+    single-host ``sweep`` run.  The returned payload summarizes what
+    this shard computed (deterministic, sorted keys).
+    """
+    if pool.store is None:
+        raise ValueError(
+            "shard runs need a result store (pass --store or --cache-dir);"
+            " without one there is nothing to merge"
+        )
+    points = sweep_points(window, workloads, configs)
+    mine = shard_slice(points, shard)
+    stats = pool.run(mine)
+    return {
+        "shard": f"{shard[0]}/{shard[1]}",
+        "window": window,
+        "workloads": list(workloads),
+        "configs": list(configs),
+        "points_total": len(points),
+        "points_selected": len(mine),
+        "points": {
+            point.label: {
+                "workload": point.workload,
+                "key": point.key(),
+                "ipc": stats[point.label].ipc,
+            }
+            for point in mine
+        },
+    }
+
+
 def sweep(window: int = DEFAULT_WINDOW,
           pool: SweepPool | None = None) -> ExperimentResult:
     """Registry entry point (rendered result only)."""

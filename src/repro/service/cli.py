@@ -72,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="admit and journal jobs without dispatching them"
              " (maintenance / drain testing)",
     )
+    serve.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="content-addressed result store directory (default"
+             " <cache-dir>/store); give each daemon of a sharded fleet"
+             " its own store and union them with 'shard-merge'",
+    )
 
     submit = sub.add_parser("submit", help="admit a job to the daemon")
     _add_common(submit)
@@ -98,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--configs", default=None,
         help="semicolon list of config labels (sweep kind; default grid)",
+    )
+    submit.add_argument(
+        "--shard", metavar="I/N", default=None,
+        help="run only shard I of N of the sweep grid into the daemon's"
+             " result store (sweep kind; see 'shard-merge')",
     )
     submit.add_argument("--ring", type=int, default=None,
                         help="telemetry ring capacity (trace kind)")
@@ -149,6 +160,7 @@ async def _serve(args) -> int:
         max_inflight=args.inflight,
         worker_budget=args.worker_budget,
         hold=args.hold,
+        store_dir=args.store,
     )
     service = SimulationService(config)
     await service.start()
@@ -211,6 +223,8 @@ def _build_request(args) -> tuple[str, dict]:
             request["configs"] = [
                 part.strip() for part in args.configs.split(";") if part.strip()
             ]
+        if args.shard:
+            request["shard"] = args.shard  # "I/N"; validated server-side
     return kind, request
 
 

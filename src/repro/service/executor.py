@@ -4,9 +4,14 @@ A cold CLI invocation pays interpreter startup, registry autoload, trace
 compilation, and baseline simulation on every run.  The daemon pays them
 once: this module owns the state that stays warm across requests —
 
-* one shared **baseline memory cache** (``{point-key: SimStats}``)
-  threaded into every per-job :class:`SweepPool`, so a baseline computed
-  for any request is served from memory to all later ones;
+* one shared **memory cache** (``{point-key: SimStats}``) threaded into
+  every per-job :class:`SweepPool`, so a point computed for any request
+  is served from memory to all later ones;
+* one shared content-addressed **result store**
+  (:class:`repro.store.ResultStore` under ``<cache-dir>/store/``),
+  consulted before every simulation and published to after — it is the
+  disk tier under the memory cache, survives restarts, and merges with
+  stores from other hosts (``shard-merge``);
 * the process-global **compiled-trace memo**
   (:mod:`repro.workloads.tracecache`), warmed by in-process (``jobs=1``)
   runs and re-used by every later replay;
@@ -30,6 +35,8 @@ from repro.experiments.pool import SweepPool
 from repro.registry.service import resolve_request_kind
 from repro.service.jobs import JobStore
 from repro.service.models import JobRecord
+from repro.store import ResultStore
+from repro.store import store_dir as result_store_dir
 from repro.workloads.tracecache import STATS as TRACE_STATS
 
 
@@ -41,15 +48,25 @@ class ServiceBackend:
         cache_dir: str | os.PathLike | None,
         store: JobStore,
         worker_budget: int | None = None,
+        store_dir: str | os.PathLike | None = None,
     ):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.store = store
         self.worker_budget = worker_budget or (os.cpu_count() or 1)
         #: Shared across every per-job pool: content key -> SimStats.
         self.shared_memory_cache: dict[str, SimStats] = {}
+        if store_dir is None and self.cache_dir is not None:
+            store_dir = result_store_dir(self.cache_dir)
+        #: One content-addressed result store for the whole daemon; every
+        #: per-job pool consults it before simulating and publishes into
+        #: it, so results survive restarts and merge across a fleet.
+        self.result_store: ResultStore | None = (
+            ResultStore(store_dir) if store_dir is not None else None
+        )
         #: Cumulative SweepPool accounting across all finished jobs.
         self.pool_totals: dict[str, int] = {
-            "computed": 0, "resumed": 0, "cached": 0, "failed": 0,
+            "computed": 0, "resumed": 0, "cached": 0, "store_hits": 0,
+            "failed": 0,
         }
 
     def warm_registries(self) -> None:
@@ -71,12 +88,13 @@ class ServiceBackend:
         request_kind_names()
 
     def make_pool(self, jobs: int, job_id: str) -> SweepPool:
-        """A per-job pool wired into the shared warm baseline cache."""
+        """A per-job pool wired into the shared warm caches."""
         pool = SweepPool(
             jobs=jobs,
             cache_dir=self.cache_dir,
             checkpoint=self.store.checkpoint_path(job_id),
             memoize_all=True,
+            store=self.result_store,
         )
         # Content-addressed results are interchangeable between pools;
         # sharing the dict is what makes the second request warm.
@@ -102,13 +120,31 @@ class ServiceBackend:
             trace["memo_hits"] + trace["disk_hits"] + trace["compiles"]
         )
         pool = dict(self.pool_totals)
-        pool_lookups = pool["computed"] + pool["resumed"] + pool["cached"]
+        pool_lookups = (
+            pool["computed"] + pool["resumed"] + pool["cached"]
+            + pool["store_hits"]
+        )
+        store = (
+            dict(self.result_store.counters)
+            if self.result_store is not None else {}
+        )
+        store_warm = store.get("hits", 0) + store.get("memo_hits", 0)
+        store_lookups = store_warm + store.get("misses", 0)
         return {
             "baseline_memory_entries": len(self.shared_memory_cache),
             "pool": pool,
             "pool_warm_rate": (
-                (pool["resumed"] + pool["cached"]) / pool_lookups
+                (pool["resumed"] + pool["cached"] + pool["store_hits"])
+                / pool_lookups
                 if pool_lookups else 0.0
+            ),
+            "store": store,
+            "store_hit_rate": (
+                store_warm / store_lookups if store_lookups else 0.0
+            ),
+            "store_entries": (
+                len(self.result_store)
+                if self.result_store is not None else 0
             ),
             "trace": trace,
             "trace_hit_rate": (

@@ -157,6 +157,16 @@ class SweepHandler:
     @classmethod
     def run(cls, request: SweepRequest, pool: SweepPool) -> tuple[str, dict]:
         workloads, configs = cls.grid(request)
+        if request.shard is not None:
+            # A shard job's product is its result store (the daemon's, or
+            # --store); the payload is the shard summary.  Merge the
+            # stores of N daemons with `repro.experiments shard-merge`.
+            from repro.experiments.sweep import run_sweep_shard
+
+            payload = run_sweep_shard(
+                request.window, pool, request.shard, workloads, configs
+            )
+            return payload_json(payload), {"points": payload["points_selected"]}
         result, payload = run_sweep(request.window, pool, workloads, configs)
         meta = {"points": len(payload["points"])}
         return payload_json(payload), meta

@@ -23,6 +23,8 @@ killed daemon resumes with full knowledge of what was queued.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, ClassVar
 
@@ -33,6 +35,21 @@ DEFAULT_WINDOW = 40_000
 
 class RequestError(ValueError):
     """A submitted payload failed validation (HTTP 400 at the front door)."""
+
+
+def request_digest(kind: str, request: dict) -> str:
+    """Content digest of a validated wire request, for coalescing.
+
+    Two submits with the same digest ask for the same deterministic
+    result, so the daemon runs one and fans the bytes out to both.
+    ``jobs`` is excluded: worker count changes how a result is computed,
+    never what it is (``tests/test_determinism.py``).  The input is the
+    *validated* ``to_wire()`` payload, so spelling differences in the
+    submitted JSON (defaults omitted vs explicit) cannot split a digest.
+    """
+    spec = {key: value for key, value in request.items() if key != "jobs"}
+    blob = json.dumps({"kind": kind, "request": spec}, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 # --------------------------------------------------------------------- #
@@ -54,6 +71,34 @@ def _require_str(payload: dict, key: str, default: str | None) -> str | None:
     if value is not None and not isinstance(value, str):
         raise RequestError(f"field {key!r} must be a string, got {value!r}")
     return value
+
+
+def _require_shard(payload: dict) -> tuple[int, int] | None:
+    value = payload.get("shard")
+    if value is None:
+        return None
+    if isinstance(value, str):
+        index_text, _, count_text = value.partition("/")
+        try:
+            value = [int(index_text), int(count_text)]
+        except ValueError:
+            raise RequestError(
+                f"field 'shard' must be I/N or [index, count], got {value!r}"
+            ) from None
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or any(not isinstance(v, int) or isinstance(v, bool) for v in value)
+    ):
+        raise RequestError(
+            f"field 'shard' must be I/N or [index, count], got {value!r}"
+        )
+    index, count = value
+    if count < 1 or not 1 <= index <= count:
+        raise RequestError(
+            f"field 'shard' must satisfy 1 <= index <= count, got {value!r}"
+        )
+    return index, count
 
 
 def _require_names(payload: dict, key: str) -> tuple[str, ...]:
@@ -120,15 +165,21 @@ class SweepRequest:
     workloads: tuple[str, ...] = ()  # empty = every registered workload
     configs: tuple[str, ...] = ()  # empty = the default SWEEP_CONFIGS grid
     jobs: int = 1
+    shard: tuple[int, int] | None = None  # (index, count), 1-based
 
     def to_wire(self) -> dict:
-        return {
+        wire: dict[str, Any] = {
             "kind": self.kind,
             "window": self.window,
             "workloads": list(self.workloads),
             "configs": list(self.configs),
             "jobs": self.jobs,
         }
+        if self.shard is not None:
+            # Added only when set so pre-shard journal records (and their
+            # coalescing digests) keep their exact shape.
+            wire["shard"] = list(self.shard)
+        return wire
 
     @classmethod
     def from_wire(cls, payload: dict) -> "SweepRequest":
@@ -137,6 +188,7 @@ class SweepRequest:
             workloads=_require_names(payload, "workloads"),
             configs=_require_names(payload, "configs"),
             jobs=_require_int(payload, "jobs", 1),
+            shard=_require_shard(payload),
         )
 
 

@@ -1,0 +1,105 @@
+"""LRU-by-mtime eviction across the on-disk cache sections.
+
+``.repro-cache/`` accumulates three kinds of content-addressed files —
+compiled traces, legacy baseline entries, and result-store entries —
+and at fleet scale the store grows without bound.  ``cache gc
+--max-bytes SIZE`` walks all three sections, sorts by mtime (every
+cache read touches its file via :func:`os.utime`-free reads, so mtime
+is write-recency: least-recently *published* goes first), and deletes
+oldest-first until the total fits the budget.
+
+Eviction is always safe: every evicted file is a pure cache entry that
+the next run recomputes and republishes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: ``(section name, glob pattern relative to the cache dir)`` — the
+#: evictable sections.  Checkpoints and the service job journal are
+#: deliberately absent: those are state, not cache.
+SECTIONS: tuple[tuple[str, str], ...] = (
+    ("traces", "traces/*.trace.pkl"),
+    ("baselines", "baselines/*.json"),
+    ("store", "store/??/*.json"),
+)
+
+_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_size(text: str) -> int:
+    """``"512"`` bytes, ``"64K"``, ``"200M"``, ``"1G"`` -> byte count."""
+    cleaned = str(text).strip().lower()
+    factor = 1
+    if cleaned and cleaned[-1] in _SUFFIXES:
+        factor = _SUFFIXES[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = int(cleaned)
+    except ValueError:
+        raise ValueError(
+            f"size {text!r} is not an integer with optional K/M/G suffix"
+        ) from None
+    if value < 0:
+        raise ValueError("size must be >= 0")
+    return value * factor
+
+
+def collect(cache_dir: str | os.PathLike) -> list[tuple[Path, int, float, str]]:
+    """Every evictable file as ``(path, size, mtime, section)``."""
+    base = Path(cache_dir)
+    entries: list[tuple[Path, int, float, str]] = []
+    for section, pattern in SECTIONS:
+        for path in base.glob(pattern):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently deleted
+            entries.append((path, stat.st_size, stat.st_mtime, section))
+    return entries
+
+
+def gc_cache(cache_dir: str | os.PathLike, max_bytes: int) -> dict:
+    """Evict LRU files until the evictable sections fit *max_bytes*.
+
+    Returns a summary::
+
+        {"sections": {name: {"files": n, "bytes": b,
+                             "evicted_files": n, "evicted_bytes": b}},
+         "total_bytes": ..., "evicted_bytes": ..., "kept_bytes": ...}
+    """
+    entries = collect(cache_dir)
+    sections: dict[str, dict[str, int]] = {
+        name: {"files": 0, "bytes": 0, "evicted_files": 0, "evicted_bytes": 0}
+        for name, _ in SECTIONS
+    }
+    total = 0
+    for _, size, _, section in entries:
+        sections[section]["files"] += 1
+        sections[section]["bytes"] += size
+        total += size
+
+    # Oldest mtime first; path as tiebreaker keeps eviction deterministic
+    # when a whole batch shares one timestamp.
+    entries.sort(key=lambda entry: (entry[2], str(entry[0])))
+    evicted = 0
+    excess = total - max_bytes
+    for path, size, _, section in entries:
+        if excess <= 0:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue  # already gone or unwritable: skip, keep going
+        sections[section]["evicted_files"] += 1
+        sections[section]["evicted_bytes"] += size
+        evicted += size
+        excess -= size
+    return {
+        "sections": sections,
+        "total_bytes": total,
+        "evicted_bytes": evicted,
+        "kept_bytes": total - evicted,
+    }

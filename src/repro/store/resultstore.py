@@ -1,0 +1,318 @@
+"""Content-addressed result store for sweep points.
+
+Every sweep point is a deterministic function of its full
+configuration, so its :class:`~repro.core.SimStats` can be published
+under a content digest and served to any later run — same process,
+next invocation, or a different host entirely.  The store is the layer
+every distributed sweep sits on:
+
+* **Keying** — entries are addressed by a sha256 digest over the
+  complete point spec *plus* the workload's ``trace_key`` (the content
+  hash of the compiled instruction stream).  Editing a workload builder
+  changes the trace_key and silently invalidates every dependent entry;
+  the execution backend is *excluded* because results are byte-identical
+  across backends by construction (``tests/test_backend_equivalence.py``).
+* **Atomicity** — entries are written to a unique temp file and
+  ``os.replace``d into place, so concurrent writers (threads, worker
+  processes, or two daemons sharing a directory) always leave a whole
+  entry behind: last writer wins, readers never see a torn file.
+* **Validation** — every read checks the envelope version, the embedded
+  key, and the stats schema; anything torn, corrupted, or written by an
+  older store version reads as a miss (counted in ``recoveries``) and
+  gets recomputed rather than trusted.
+* **Union** — :meth:`ResultStore.merge_from` copies validated entries
+  between stores, so N hosts each running a shard produce stores that
+  merge into one result set byte-identical to a single-host run.
+
+Layout: ``<directory>/<key[:2]>/<key>.json`` — two-level fanout keeps
+directory listings sane at million-entry scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.core import SimStats
+from repro.workloads.tracecache import canonical_bytes
+
+#: Bumped whenever the entry envelope or SimStats serialization changes
+#: incompatibly; old entries then read as misses, never as wrong data.
+STORE_VERSION = 1
+
+#: Subdirectory of a cache dir (``.repro-cache/``) holding the store.
+DEFAULT_STORE_SUBDIR = "store"
+
+
+def store_dir(cache_dir: str | os.PathLike) -> Path:
+    """Conventional store location under a sweep cache directory."""
+    return Path(cache_dir) / DEFAULT_STORE_SUBDIR
+
+
+# --------------------------------------------------------------------- #
+# workload content keys
+# --------------------------------------------------------------------- #
+
+_TRACE_KEY_MEMO: dict[tuple[str, str], str | None] = {}
+
+
+def trace_key_for(workload: str, overrides: dict) -> str | None:
+    """Content key of the built workload's instruction stream.
+
+    Builds the workload through the registry (annotating it with its
+    trace cache key) and memoizes per process — store-key computation
+    must not pay a workload build per lookup on the warm path.  Returns
+    ``None`` when the workload cannot be built or carries no key; the
+    store key then degrades to config-only addressing.
+    """
+    try:
+        digest = hashlib.sha256(canonical_bytes(overrides)).hexdigest()
+        memo_key = (workload, digest)
+    except Exception:
+        memo_key = None
+    if memo_key is not None and memo_key in _TRACE_KEY_MEMO:
+        return _TRACE_KEY_MEMO[memo_key]
+    from repro.registry import build_workload
+
+    try:
+        built = build_workload(workload, **overrides)
+        key = getattr(built, "trace_key", None)
+    except Exception:
+        key = None
+    if memo_key is not None:
+        _TRACE_KEY_MEMO[memo_key] = key
+    return key
+
+
+def reset_trace_key_memo() -> None:
+    """Drop the per-process trace-key memo (tests and benchmarks)."""
+    _TRACE_KEY_MEMO.clear()
+
+
+# --------------------------------------------------------------------- #
+# sharding
+# --------------------------------------------------------------------- #
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``"i/n"`` into ``(index, count)`` with ``1 <= i <= n``."""
+    index_text, sep, count_text = str(text).partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard spec {text!r} is not of the form I/N (e.g. 2/4)"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"shard index must satisfy 1 <= {index} <= {count}"
+        )
+    return index, count
+
+
+def shard_of(key: str, count: int) -> int:
+    """Deterministic 1-based shard assignment for a sweep-point key.
+
+    Hash-based, so the assignment depends only on the key — never on
+    enumeration order, host, or process — and every point lands in
+    exactly one shard.
+    """
+    return int(hashlib.sha256(key.encode()).hexdigest(), 16) % count + 1
+
+
+# --------------------------------------------------------------------- #
+# the store
+# --------------------------------------------------------------------- #
+
+
+class ResultStore:
+    """Content-addressed ``{digest: SimStats}`` map on disk.
+
+    Reads are validated (version/key/schema) and memoized in-process;
+    writes are atomic.  All methods tolerate a read-only or missing
+    directory — the store then behaves as always-miss.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self._memo: dict[str, SimStats] = {}
+        self.counters: dict[str, int] = {
+            "hits": 0,
+            "memo_hits": 0,
+            "misses": 0,
+            "publishes": 0,
+            "recoveries": 0,
+        }
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    # -- encoding ------------------------------------------------------ #
+
+    @staticmethod
+    def encode(key: str, stats: SimStats, meta: dict | None = None) -> bytes:
+        """Deterministic entry bytes: identical stats -> identical bytes.
+
+        ``sort_keys`` json over plain dicts means two hosts that computed
+        the same point independently publish byte-identical entries —
+        which is what lets :meth:`merge_from` treat byte-equality as
+        result-equality.
+        """
+        payload = {
+            "version": STORE_VERSION,
+            "key": key,
+            "meta": dict(meta or {}),
+            "stats": dataclasses.asdict(stats),
+        }
+        return (json.dumps(payload, sort_keys=True) + "\n").encode()
+
+    @staticmethod
+    def decode(raw: bytes, key: str) -> SimStats | None:
+        """Validate entry bytes; ``None`` on any defect (never raises)."""
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != STORE_VERSION:
+            return None
+        if payload.get("key") != key:
+            return None  # entry copied/renamed to the wrong address
+        stats_payload = payload.get("stats")
+        if not isinstance(stats_payload, dict):
+            return None
+        try:
+            return SimStats(**stats_payload)
+        except TypeError:
+            return None  # stats schema drifted; recompute instead
+
+    # -- read / write -------------------------------------------------- #
+
+    def get(self, key: str) -> SimStats | None:
+        stats = self._memo.get(key)
+        if stats is not None:
+            self.counters["memo_hits"] += 1
+            return stats
+        try:
+            raw = self.path_for(key).read_bytes()
+        except OSError:
+            self.counters["misses"] += 1
+            return None
+        stats = self.decode(raw, key)
+        if stats is None:
+            self.counters["recoveries"] += 1
+            self.counters["misses"] += 1
+            return None
+        self.counters["hits"] += 1
+        self._memo[key] = stats
+        return stats
+
+    def put(self, key: str, stats: SimStats,
+            meta: dict | None = None) -> None:
+        self._memo[key] = stats
+        self._write_raw(self.path_for(key), self.encode(key, stats, meta))
+        self.counters["publishes"] += 1
+
+    @staticmethod
+    def _write_raw(path: Path, raw: bytes) -> None:
+        """Atomic publish; a failed write degrades to memory-only."""
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem[:8], suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(raw)
+                os.replace(tmp_name, path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except OSError:
+            pass
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memo or self.path_for(key).exists()
+
+    # -- introspection ------------------------------------------------- #
+
+    def files(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.files())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self.files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def reset_memo(self) -> None:
+        """Drop the in-process memo (fresh-process simulation in tests)."""
+        self._memo.clear()
+
+    def clear(self) -> tuple[int, int]:
+        """Delete every entry; returns ``(files_removed, bytes_freed)``."""
+        removed = freed = 0
+        for path in self.files():
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        self._memo.clear()
+        return removed, freed
+
+    # -- union --------------------------------------------------------- #
+
+    def merge_from(self, source: ResultStore | str | os.PathLike
+                   ) -> dict[str, int]:
+        """Union *source*'s entries into this store.
+
+        Entries are validated before copying (a corrupt shard file never
+        propagates) and copied as raw bytes, preserving byte-identity.
+        On a key collision: identical bytes count as ``identical``;
+        differing bytes keep ours and count as ``conflicts`` — with
+        deterministic simulation a conflict means one side is stale or
+        damaged, and first-wins keeps merges order-insensitive once a
+        value has landed.
+        """
+        if not isinstance(source, ResultStore):
+            source = ResultStore(source)
+        summary = {"added": 0, "identical": 0, "conflicts": 0, "invalid": 0}
+        for path in source.files():
+            key = path.stem
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                summary["invalid"] += 1
+                continue
+            if self.decode(raw, key) is None:
+                summary["invalid"] += 1
+                continue
+            dest = self.path_for(key)
+            try:
+                existing = dest.read_bytes()
+            except OSError:
+                existing = None
+            if existing is not None:
+                summary["identical" if existing == raw else "conflicts"] += 1
+                continue
+            self._write_raw(dest, raw)
+            summary["added"] += 1
+        return summary

@@ -79,8 +79,8 @@ def test_jobs_flag_on_figure_experiment(tmp_path, capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "MPKI" in out
-    # baselines persisted for later invocations
-    assert list((tmp_path / "cache" / "baselines").glob("*.json"))
+    # results persisted to the content-addressed store for later runs
+    assert list((tmp_path / "cache" / "store").glob("??/*.json"))
     # finished sweeps leave no checkpoint behind
     assert not list(
         (tmp_path / "cache" / "checkpoints").glob("*.jsonl")
@@ -96,6 +96,94 @@ def test_list_prints_service_surface(capsys):
     assert "service endpoints:" in out
     assert "POST /submit" in out
     assert "serve" in out and "submit" in out
+
+
+def test_sharded_sweep_merge_byte_identical_to_single_host(tmp_path, capsys):
+    """The distributed-sweep contract, end to end through the CLI: two
+    shard invocations into separate stores, merged and rendered, produce
+    the same JSON bytes as one unsharded run."""
+    unsharded = tmp_path / "unsharded.json"
+    assert main([
+        "sweep", "--window", "800", "--no-cache", "--json", str(unsharded),
+    ]) == 0
+    for index in ("1", "2"):
+        assert main([
+            "sweep", "--window", "800", "--shard", f"{index}/2",
+            "--no-cache", "--store", str(tmp_path / f"store-{index}"),
+        ]) == 0
+    out = capsys.readouterr().out
+    assert "shard 1/2: ran" in out and "shard 2/2: ran" in out
+
+    merged = tmp_path / "merged.json"
+    assert main([
+        "shard-merge", str(tmp_path / "store-1"), str(tmp_path / "store-2"),
+        "--store", str(tmp_path / "store-merged"),
+        "--window", "800", "--json", str(merged),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "0 conflict(s) kept ours" in out
+    assert "0 simulated" in out  # every grid point was a store hit
+    assert unsharded.read_bytes() == merged.read_bytes()
+
+
+def test_shard_summary_json_and_validation(tmp_path, capsys):
+    summary = tmp_path / "shard.json"
+    assert main([
+        "sweep", "--window", "800", "--shard", "1/1", "--no-cache",
+        "--store", str(tmp_path / "store"), "--json", str(summary),
+    ]) == 0
+    capsys.readouterr()
+    import json
+
+    payload = json.loads(summary.read_text())
+    assert payload["shard"] == "1/1"
+    assert payload["points_selected"] == payload["points_total"]
+    assert list((tmp_path / "store").glob("??/*.json"))
+
+    with pytest.raises(SystemExit):  # malformed spec
+        main(["sweep", "--shard", "3/2", "--no-cache",
+              "--store", str(tmp_path / "s")])
+    with pytest.raises(SystemExit):  # shard needs a store
+        main(["sweep", "--shard", "1/2", "--no-cache"])
+    with pytest.raises(SystemExit):  # only the sweep grid is shardable
+        main(["tab4", "--shard", "1/2", "--store", str(tmp_path / "s")])
+
+
+def test_cache_gc_cli_evicts_to_budget(tmp_path, capsys):
+    import os
+
+    cache = tmp_path / "cache"
+    for name, mtime in (("old", 1_000), ("new", 2_000)):
+        path = cache / "store" / "ab" / (name * 32 + ".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"x" * 100)
+        os.utime(path, (mtime, mtime))
+
+    with pytest.raises(SystemExit):  # gc requires --max-bytes
+        main(["cache", "gc", "--cache-dir", str(cache)])
+    assert main(["cache", "gc", "--max-bytes", "100",
+                 "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "store: 2 file(s)" in out and "evicted 1 file(s)" in out
+    assert "budget 100 B" in out
+    survivors = list((cache / "store").glob("??/*.json"))
+    assert [p.name for p in survivors] == ["new" * 32 + ".json"]
+
+
+def test_cache_list_and_clear_cover_the_store(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["astar-mpki", "--window", "2000",
+                 "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "list", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "result store" in out and "entr" in out
+    assert "total cache footprint:" in out
+
+    assert main(["cache", "clear", "--store", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "result-store entr" in out
+    assert not list((cache / "store").glob("??/*.json"))
 
 
 def test_cache_list_reports_service_job_store(tmp_path, capsys):

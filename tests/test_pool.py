@@ -131,30 +131,49 @@ def test_speedup_pct():
 
 
 # ---------------------------------------------------------------------- #
-# baseline cache
+# result store
 # ---------------------------------------------------------------------- #
 
 
-def test_baseline_cache_persists_to_disk(tmp_path, counted_run_point):
+def test_results_persist_to_disk_store(tmp_path, counted_run_point):
     point = baseline_point("libquantum", WINDOW)
     pool = SweepPool(cache_dir=tmp_path)
     first = pool.run([point])[point.label]
-    cache_files = list((tmp_path / "baselines").glob("*.json"))
-    assert len(cache_files) == 1
+    assert len(list((tmp_path / "store").glob("??/*.json"))) == 1
 
-    # a brand-new pool (fresh memory cache) must hit the disk cache
+    # a brand-new pool (fresh memory cache) must hit the disk store
     fresh = SweepPool(cache_dir=tmp_path)
     second = fresh.run([point])[point.label]
     assert len(counted_run_point) == 1  # only the first run computed
+    assert fresh.last_run_info["store_hits"] == 1
     assert dataclasses.asdict(first) == dataclasses.asdict(second)
 
 
-def test_pfm_points_not_cached_as_baselines(tmp_path, counted_run_point):
+def test_pfm_points_served_from_store(tmp_path, counted_run_point):
+    """Every point kind is store-backed now, not just plain baselines
+    (the pre-store engine persisted a baselines/ dir; the store subsumed
+    it, so a second invocation replays PFM points too)."""
     point = pfm_point("p", "libquantum", WINDOW, PFMParams(delay=0))
     SweepPool(cache_dir=tmp_path).run([point])
+    second = SweepPool(cache_dir=tmp_path)
+    second.run([point])
+    assert len(counted_run_point) == 1
+    assert second.last_run_info == {
+        "computed": 0, "resumed": 0, "cached": 0, "store_hits": 1,
+        "failed": 0,
+    }
+    assert not (tmp_path / "baselines").exists()  # legacy dir never written
+
+
+def test_pfm_store_hits_skip_the_memory_memo(tmp_path, counted_run_point):
+    """Without memoize_all, a PFM point stays out of the in-pool memory
+    memo even when it was served from the store (the memo gating is what
+    keeps a long-lived pool's footprint bounded to baselines)."""
+    point = pfm_point("p", "libquantum", WINDOW, PFMParams(delay=0))
     SweepPool(cache_dir=tmp_path).run([point])
-    assert len(counted_run_point) == 2
-    assert not (tmp_path / "baselines").exists()
+    pool = SweepPool(cache_dir=tmp_path)
+    pool.run([point])
+    assert point.key() not in pool._memory_cache
 
 
 def test_memory_cache_without_disk(counted_run_point):
@@ -193,6 +212,39 @@ def test_resume_skips_finished_points(tmp_path, counted_run_point):
     assert counted_run_point == ["todo"]  # "done" replayed from checkpoint
     assert results["done"].cycles == 777
     assert not checkpoint.exists()
+
+
+def test_resume_short_circuits_through_store(tmp_path, counted_run_point):
+    """Resuming an interrupted sweep must not re-run points whose results
+    already sit in the result store (e.g. published by another daemon or
+    a previous partial run): checkpoint hits resume, store hits replay,
+    and only genuinely new work computes."""
+    points = [
+        pfm_point("ckpt", "libquantum", WINDOW, PFMParams(delay=0)),
+        pfm_point("stored", "libquantum", WINDOW, PFMParams(delay=2)),
+        pfm_point("new", "libquantum", WINDOW, PFMParams(delay=4)),
+    ]
+    # first run publishes "stored" into the shared store
+    SweepPool(cache_dir=tmp_path).run([points[1]])
+    # interrupted run left "ckpt" in a checkpoint file
+    checkpoint = tmp_path / "ck.jsonl"
+    checkpoint.write_text(
+        json.dumps(
+            {"key": points[0].key(), "stats": stats_to_dict(_fake_stats())}
+        ) + "\n"
+    )
+
+    pool = SweepPool(cache_dir=tmp_path, checkpoint=checkpoint)
+    results = pool.run(points)
+    assert set(results) == {"ckpt", "stored", "new"}
+    assert counted_run_point == ["stored", "new"]  # "stored" from run 1
+    assert pool.last_run_info == {
+        "computed": 1, "resumed": 1, "cached": 0, "store_hits": 1,
+        "failed": 0,
+    }
+    # the checkpoint-resumed point was also published for other hosts
+    from repro.store import ResultStore, store_dir
+    assert points[0].store_key() in ResultStore(store_dir(tmp_path))
 
 
 def test_resume_tolerates_torn_final_line(tmp_path, counted_run_point):
